@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: octree depth / leaf-capacity policy.
+ *
+ * Sweeps maxDepth and leafCapacity and reports the quantities they
+ * trade against each other: build time, Octree-Table size (the
+ * on-chip budget of Fig. 13), descent levels per pick (the lookup
+ * cost of Fig. 12) and sampling quality.
+ */
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "datasets/modelnet_like.h"
+#include "octree/octree_table.h"
+#include "sampling/metrics.h"
+#include "sampling/ois_fps_sampler.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+void
+run()
+{
+    bench::banner("ABLATION: OCTREE DEPTH AND LEAF CAPACITY",
+                  "Build cost vs table size vs descent work vs "
+                  "sampling quality");
+
+    ModelNetLike::Config mn_cfg;
+    mn_cfg.points = 100000;
+    const Frame frame = ModelNetLike::generate("MN.chair", mn_cfg);
+    const std::size_t k = 4096;
+
+    TablePrinter table({"maxDepth", "leafCap", "build time", "depth",
+                        "table size", "levels/pick", "coverage"});
+
+    for (const int max_depth : {8, 10, 12}) {
+        for (const std::uint32_t leaf_cap : {8u, 64u, 256u}) {
+            Octree::Config tree_cfg;
+            tree_cfg.maxDepth = max_depth;
+            tree_cfg.leafCapacity = leaf_cap;
+
+            WallTimer build_timer;
+            Octree tree = Octree::build(frame.cloud, tree_cfg);
+            const double build_sec = build_timer.seconds();
+            const OctreeTable octree_table =
+                OctreeTable::fromOctree(tree);
+
+            OisFpsSampler::Config cfg;
+            cfg.octree = tree_cfg;
+            const auto result =
+                OisFpsSampler(cfg).sampleWithTree(tree, k);
+            const double levels_per_pick =
+                static_cast<double>(
+                    result.stats.get("sample.levels_visited")) /
+                static_cast<double>(k - 1);
+
+            // Map reordered picks to original indices for metrics.
+            std::vector<PointIndex> orig;
+            orig.reserve(result.spt.size());
+            for (PointIndex i : result.spt)
+                orig.push_back(tree.permutation()[i]);
+
+            table.addRow(
+                {std::to_string(max_depth), std::to_string(leaf_cap),
+                 TablePrinter::fmtTime(build_sec),
+                 std::to_string(tree.depth()),
+                 TablePrinter::fmtBytes(
+                     static_cast<double>(octree_table.sizeBytes())),
+                 TablePrinter::fmt(levels_per_pick, 1),
+                 TablePrinter::fmt(
+                     coverageRadius(frame.cloud, orig), 3)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: semi-approximate VEG (paper Section VIII).
+ *
+ * The last expansion ring's sort dominates VEG's workload (Fig. 16);
+ * the semi-approximate variant replaces it with random picks. This
+ * bench compares paper-exact VEG, strict VEG and semi-approximate
+ * VEG on sorter workload, distance computations and recall against
+ * brute-force KNN ground truth.
+ */
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datasets/s3dis_like.h"
+#include "gather/brute_gatherers.h"
+#include "gather/veg_gatherer.h"
+#include "sampling/random_sampler.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+double
+recallAgainst(const GatherResult &truth, const GatherResult &probe)
+{
+    std::size_t hits = 0;
+    const std::size_t centroids = truth.centroids();
+    for (std::size_t c = 0; c < centroids; ++c) {
+        const auto t = truth.of(c);
+        const std::set<PointIndex> t_set(t.begin(), t.end());
+        for (PointIndex i : probe.of(c))
+            hits += t_set.count(i);
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(centroids * truth.k);
+}
+
+void
+run()
+{
+    bench::banner("ABLATION: SEMI-APPROXIMATE VEG (SECTION VIII)",
+                  "Sorter workload vs neighbor recall for the three "
+                  "VEG flavors, K = 32");
+
+    // A down-sampled S3DIS-style input of 4096 points.
+    S3disLike::Config room_cfg;
+    room_cfg.points = 40000;
+    const Frame room = S3disLike::generate("room0", room_cfg);
+    const auto sample =
+        RandomSampler(3).sample(room.cloud, 4096);
+    const PointCloud input = room.cloud.gather(sample.indices);
+
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 9;
+    const Octree tree = Octree::build(input, tree_cfg);
+
+    Rng rng(5);
+    std::vector<PointIndex> centrals(1024);
+    for (auto &c : centrals)
+        c = static_cast<PointIndex>(rng.below(input.size()));
+    const std::size_t k = 32;
+
+    BruteKnn brute(tree.reorderedCloud());
+    const auto truth = brute.gather(centrals, k);
+
+    TablePrinter table({"variant", "dist computes", "sort candidates",
+                        "recall vs brute"});
+    table.addRow({"KNN-brute",
+                  TablePrinter::fmtCount(truth.stats.get(
+                      "gather.distance_computations")),
+                  TablePrinter::fmtCount(
+                      truth.stats.get("gather.sort_candidates")),
+                  "1.000"});
+
+    for (const VegMode mode : {VegMode::Strict, VegMode::Paper,
+                               VegMode::SemiApprox}) {
+        VegKnn::Config cfg;
+        cfg.mode = mode;
+        VegKnn veg(tree, cfg);
+        const auto result = veg.gather(centrals, k);
+        table.addRow(
+            {toString(mode),
+             TablePrinter::fmtCount(result.stats.get(
+                 "gather.distance_computations")),
+             TablePrinter::fmtCount(
+                 result.stats.get("gather.sort_candidates")),
+             TablePrinter::fmt(recallAgainst(truth, result), 3)});
+    }
+    table.print();
+    std::printf("\nexpected: strict = exact; paper trades a little "
+                "recall for a big sort cut;\nsemi-approx removes the "
+                "sort entirely at a further recall cost.\n");
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

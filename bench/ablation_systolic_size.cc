@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: FCU systolic-array geometry.
+ *
+ * The paper fixes 16x16 to match PointACC/Mesorasi. This bench
+ * sweeps the array size on the four Table I networks and reports
+ * FCU latency and utilization — showing where the DSU (not the FCU)
+ * becomes the bottleneck.
+ */
+
+#include "bench/bench_util.h"
+#include "core/inference_engine.h"
+#include "datasets/dataset_suite.h"
+#include "sim/fcu_dla.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+PointCloud
+sampledInput(const Frame &frame, std::size_t k)
+{
+    PointCloud input;
+    const std::size_t stride = frame.cloud.size() / k;
+    for (std::size_t i = 0; i < k; ++i) {
+        input.add(
+            frame.cloud.position(static_cast<PointIndex>(i * stride)));
+    }
+    input.normalizeToUnitCube();
+    return input;
+}
+
+void
+run()
+{
+    bench::banner("ABLATION: SYSTOLIC ARRAY SIZE",
+                  "FCU latency/utilization vs array geometry, per "
+                  "Table I network (paper setup: 16x16)");
+
+    TablePrinter table({"task", "array", "FCU time", "utilization",
+                        "DSU time", "bottleneck"});
+
+    for (const auto &task : DatasetSuite::tableOneSmall()) {
+        const Frame frame = task.rawFrame(0);
+        const PointCloud input = sampledInput(frame, task.inputSize);
+        const PointNet2 net(task.spec);
+
+        // One functional run; retime the same trace per geometry.
+        const InferenceEngine engine;
+        const InferenceResult reference = engine.run(net, input);
+
+        for (const std::size_t dim :
+             {std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+            SimConfig sim = SimConfig::defaults();
+            sim.fpga.systolicRows = dim;
+            sim.fpga.systolicCols = dim;
+            const FcuSim fcu(sim);
+            const FcuResult result =
+                fcu.run(reference.output.trace);
+            const double dsu_sec = reference.dsu.pipelinedSec;
+            table.addRow(
+                {task.dataset,
+                 std::to_string(dim) + "x" + std::to_string(dim),
+                 TablePrinter::fmtTime(result.totalSec()),
+                 TablePrinter::fmt(result.utilization * 100.0, 1) +
+                     "%",
+                 TablePrinter::fmtTime(dsu_sec),
+                 result.totalSec() > dsu_sec ? "FCU" : "DSU"});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

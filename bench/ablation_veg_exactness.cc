@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation: exactness of paper-mode VEG vs the strict mode.
+ *
+ * The paper calls VEG "accurate"; strictly, a far-corner inner-ring
+ * point can lose to a near-face last-ring point. This bench
+ * measures that gap: recall of paper-mode VEG against brute-force
+ * KNN across gathering sizes, plus the extra workload strict mode
+ * pays for provable exactness.
+ */
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "gather/brute_gatherers.h"
+#include "gather/veg_gatherer.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+void
+run()
+{
+    bench::banner("ABLATION: VEG EXACTNESS",
+                  "Recall of paper-mode VEG vs brute KNN, and the "
+                  "cost of the provably exact strict mode");
+
+    PointCloud cloud;
+    Rng rng(7);
+    for (int i = 0; i < 4096; ++i) {
+        cloud.add({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                   rng.uniform(0.0f, 1.0f)});
+    }
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 9;
+    const Octree tree = Octree::build(cloud, tree_cfg);
+
+    std::vector<PointIndex> centrals(512);
+    for (auto &c : centrals)
+        c = static_cast<PointIndex>(rng.below(cloud.size()));
+
+    BruteKnn brute(tree.reorderedCloud());
+
+    TablePrinter table({"K", "paper recall", "paper dist comp",
+                        "strict dist comp", "brute dist comp"});
+
+    for (const std::size_t k :
+         {std::size_t{8}, std::size_t{16}, std::size_t{32},
+          std::size_t{64}}) {
+        const auto truth = brute.gather(centrals, k);
+
+        VegKnn::Config paper_cfg;
+        VegKnn paper(tree, paper_cfg);
+        const auto paper_result = paper.gather(centrals, k);
+
+        VegKnn::Config strict_cfg;
+        strict_cfg.mode = VegMode::Strict;
+        VegKnn strict(tree, strict_cfg);
+        const auto strict_result = strict.gather(centrals, k);
+
+        std::size_t hits = 0;
+        for (std::size_t c = 0; c < centrals.size(); ++c) {
+            const auto t = truth.of(c);
+            const std::set<PointIndex> t_set(t.begin(), t.end());
+            for (PointIndex i : paper_result.of(c))
+                hits += t_set.count(i);
+        }
+        const double recall = static_cast<double>(hits) /
+                              static_cast<double>(centrals.size() * k);
+
+        table.addRow(
+            {std::to_string(k), TablePrinter::fmt(recall, 4),
+             TablePrinter::fmtCount(paper_result.stats.get(
+                 "gather.distance_computations")),
+             TablePrinter::fmtCount(strict_result.stats.get(
+                 "gather.distance_computations")),
+             TablePrinter::fmtCount(
+                 truth.stats.get("gather.distance_computations"))});
+    }
+    table.print();
+    std::printf("\nexpected: paper-mode recall ~0.85-0.95 (rising "
+                "with K); strict mode is exact\nat a small multiple "
+                "of paper-mode work, still far below brute force.\n");
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

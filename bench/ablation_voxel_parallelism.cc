@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: voxel-level parallelism in the Down-sampling Unit.
+ *
+ * Fig. 7(b) deploys eight Sampling Modules, one per child octant.
+ * This bench sweeps the module count (1..16) and reports the
+ * resulting descent latency and the engine total, isolating the
+ * design choice's contribution.
+ */
+
+#include "bench/bench_util.h"
+#include "core/preprocessing_engine.h"
+#include "datasets/modelnet_like.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+void
+run()
+{
+    bench::banner("ABLATION: SAMPLING-MODULE PARALLELISM",
+                  "Down-sampling Unit descent latency vs number of "
+                  "parallel Sampling Modules (paper design: 8)");
+
+    ModelNetLike::Config mn_cfg;
+    mn_cfg.points = 100000;
+    const Frame frame = ModelNetLike::generate("MN.chair", mn_cfg);
+    const std::size_t k = 4096;
+
+    TablePrinter table({"modules", "descent", "leaf scan",
+                        "unit total", "engine total", "vs 1 module"});
+
+    double base_descent = 0.0;
+    for (const std::size_t modules : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8},
+                                      std::size_t{16}}) {
+        PreprocessingEngine::Config cfg;
+        cfg.sim.fpga.samplingModules = modules;
+        const PreprocessingEngine engine(cfg);
+        const auto result = engine.process(frame.cloud, k);
+        if (modules == 1)
+            base_descent = result.dsu.descentSec;
+        table.addRow(
+            {std::to_string(modules),
+             TablePrinter::fmtTime(result.dsu.descentSec),
+             TablePrinter::fmtTime(result.dsu.leafScanSec),
+             TablePrinter::fmtTime(result.dsu.totalSec()),
+             TablePrinter::fmtTime(result.totalSec()),
+             TablePrinter::fmtRatio(
+                 base_descent / result.dsu.descentSec, 1)});
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it prints a header naming the target, the simulated-platform
+ * parameters (so results are auditable) and then the rows/series the
+ * paper reports. EXPERIMENTS.md records paper-vs-measured for each.
+ */
+
+#ifndef HGPCN_BENCH_BENCH_UTIL_H
+#define HGPCN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+namespace bench
+{
+
+/** Print the bench banner with the simulated platform description. */
+inline void
+banner(const std::string &target, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", target.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("platform: %s\n",
+                SimConfig::defaults().describe().c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print a named sub-section line. */
+inline void
+section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+} // namespace bench
+} // namespace hgpcn
+
+#endif // HGPCN_BENCH_BENCH_UTIL_H

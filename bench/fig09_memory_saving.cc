@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 9: memory-access saving from the OIS method.
+ *
+ * For ModelNet-like frames and an average KITTI frame, down-sampled
+ * to 1024 and 4096 points, compares total memory accesses of common
+ * FPS (Algorithm 1: K scans over points + distance array) against
+ * OIS (Algorithm 2: one build pass + one read per picked point).
+ * Paper band: 1700x - 7900x.
+ */
+
+#include "bench/bench_util.h"
+#include "datasets/kitti_like.h"
+#include "datasets/modelnet_like.h"
+#include "sampling/fps_sampler.h"
+#include "sampling/ois_fps_sampler.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+std::uint64_t
+oisAccesses(const SampleResult &result)
+{
+    return result.stats.get("sample.host_reads") +
+           result.stats.get("sample.host_writes") +
+           result.stats.get("octree.host_reads") +
+           result.stats.get("octree.host_writes");
+}
+
+std::uint64_t
+fpsAccesses(const StatSet &stats)
+{
+    return stats.get("sample.host_reads") +
+           stats.get("sample.intermediate_reads") +
+           stats.get("sample.intermediate_writes");
+}
+
+void
+run()
+{
+    bench::banner("Figure 9: MEMORY-ACCESS SAVING FROM OIS",
+                  "FPS accesses / OIS accesses per frame, K = 1024 "
+                  "and 4096 (paper: 1700x-7900x)");
+
+    TablePrinter table({"frame", "raw pts", "K", "FPS accesses",
+                        "OIS accesses", "saving"});
+
+    auto add_frame = [&](const Frame &frame) {
+        for (const std::size_t k : {std::size_t{1024},
+                                    std::size_t{4096}}) {
+            if (frame.cloud.size() < 2 * k)
+                continue;
+            const StatSet fps =
+                FpsSampler::predictStats(frame.cloud.size(), k);
+            OisFpsSampler sampler;
+            const SampleResult ois = sampler.sample(frame.cloud, k);
+            const std::uint64_t fps_acc = fpsAccesses(fps);
+            const std::uint64_t ois_acc = oisAccesses(ois);
+            table.addRow(
+                {frame.name, TablePrinter::fmtCount(frame.cloud.size()),
+                 std::to_string(k), TablePrinter::fmtCount(fps_acc),
+                 TablePrinter::fmtCount(ois_acc),
+                 TablePrinter::fmtRatio(
+                     static_cast<double>(fps_acc) /
+                         static_cast<double>(ois_acc),
+                     0)});
+        }
+    };
+
+    // Object scans differ in size; vary raw counts like real frames.
+    const std::size_t sizes[] = {60000,  80000,  100000, 130000,
+                                 160000, 200000, 90000,  70000};
+    const auto &names = ModelNetLike::objectNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        ModelNetLike::Config mn_cfg;
+        mn_cfg.points = sizes[i % (sizeof(sizes) / sizeof(sizes[0]))];
+        add_frame(ModelNetLike::generate(names[i], mn_cfg));
+    }
+
+    KittiLike::Config kitti_cfg;
+    const KittiLike lidar(kitti_cfg);
+    Frame kitti = lidar.generate(0);
+    kitti.name = "kitti.avg";
+    add_frame(kitti);
+
+    table.print();
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 13: on-chip memory saving from the OIS method.
+ *
+ * For raw frame sizes from 1e5 to 1e6 points, compares the FPGA
+ * on-chip footprint of an FPS engine (points + distance array kept
+ * on chip) against OIS (Octree-Table only). Paper: 12x-22x saving;
+ * FPS overflows the Arria 10's 65 Mb above ~5e5 points while OIS
+ * stays around 10 Mb even at 1e6.
+ */
+
+#include "bench/bench_util.h"
+#include "datasets/modelnet_like.h"
+#include "octree/octree_table.h"
+#include "sim/on_chip_memory.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+void
+run()
+{
+    bench::banner("Figure 13: ON-CHIP MEMORY SAVING FROM OIS",
+                  "FPS vs OIS FPGA footprint per raw frame size "
+                  "(paper: 12x-22x saving, 65 Mb device)");
+
+    const OnChipMemoryModel model(SimConfig::defaults());
+    const std::size_t k = 4096;
+
+    TablePrinter table({"raw pts", "FPS on-chip", "fits?",
+                        "OIS on-chip", "fits?", "saving"});
+
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 12;
+    tree_cfg.leafCapacity = 64;
+
+    for (const std::size_t n :
+         {std::size_t{100000}, std::size_t{200000},
+          std::size_t{400000}, std::size_t{600000},
+          std::size_t{1000000}}) {
+        ModelNetLike::Config cfg;
+        cfg.points = n;
+        const Frame frame = ModelNetLike::generate("MN.chair", cfg);
+        const Octree tree = Octree::build(frame.cloud, tree_cfg);
+        const OctreeTable octree_table = OctreeTable::fromOctree(tree);
+
+        const double fps_bits = model.fpsFootprintBits(n, k);
+        const double ois_bits =
+            model.oisFootprintBits(octree_table.sizeBytes(), k);
+        table.addRow(
+            {TablePrinter::fmtCount(n),
+             TablePrinter::fmtBytes(fps_bits / 8.0),
+             model.fits(fps_bits) ? "yes" : "NO (>65Mb)",
+             TablePrinter::fmtBytes(ois_bits / 8.0),
+             model.fits(ois_bits) ? "yes" : "NO (>65Mb)",
+             TablePrinter::fmtRatio(fps_bits / ois_bits, 1)});
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 16: VEG latency breakdown across the DSU pipeline stages.
+ *
+ * Per Table I task, shows how the Data Structuring Unit's cycles
+ * split across its six stages (FP fetch, LV locate, VE expand,
+ * GP gather, ST sort, BF buffer). The sort of the last ring
+ * dominates, which is what the semi-approximate VEG future-work
+ * variant attacks.
+ */
+
+#include "bench/bench_util.h"
+#include "core/inference_engine.h"
+#include "datasets/dataset_suite.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+PointCloud
+sampledInput(const Frame &frame, std::size_t k)
+{
+    PointCloud input;
+    const std::size_t stride = frame.cloud.size() / k;
+    for (std::size_t i = 0; i < k; ++i) {
+        input.add(
+            frame.cloud.position(static_cast<PointIndex>(i * stride)));
+    }
+    input.normalizeToUnitCube();
+    return input;
+}
+
+void
+run()
+{
+    bench::banner("Figure 16: VEG LATENCY BREAKDOWN (DSU STAGES)",
+                  "Share of DSU cycles per pipeline stage and task");
+
+    const InferenceEngine engine;
+
+    std::vector<std::string> headers = {"task", "K"};
+    for (std::size_t s = 0; s < kStageCount; ++s)
+        headers.push_back(dsuStageName(s));
+    TablePrinter table(std::move(headers));
+
+    for (const auto &task : DatasetSuite::tableOne()) {
+        const Frame frame = task.rawFrame(0);
+        const PointCloud input = sampledInput(frame, task.inputSize);
+        const PointNet2 net(task.spec);
+        const InferenceResult result = engine.run(net, input);
+
+        std::uint64_t total = 0;
+        for (std::size_t s = 0; s < kStageCount; ++s)
+            total += result.dsu.stageCycles[s];
+
+        std::vector<std::string> row = {task.dataset,
+                                        std::to_string(task.inputSize)};
+        for (std::size_t s = 0; s < kStageCount; ++s) {
+            const double share =
+                total ? 100.0 *
+                            static_cast<double>(
+                                result.dsu.stageCycles[s]) /
+                            static_cast<double>(total)
+                      : 0.0;
+            row.push_back(TablePrinter::fmt(share, 1) + "%");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    std::printf("\npaper: the sort stage (ST) contributes most of "
+                "the VEG workload.\n");
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

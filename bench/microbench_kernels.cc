@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core kernels: Morton
+ * encoding, octree construction, OIS sampling, VEG gathering and
+ * the brute-force baselines. These are the software costs behind
+ * Figs. 9-12; wall-clock per-kernel numbers on the build machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gather/brute_gatherers.h"
+#include "gather/veg_gatherer.h"
+#include "sampling/fps_sampler.h"
+#include "sampling/ois_fps_sampler.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+PointCloud
+randomCloud(std::size_t n, std::uint64_t seed = 1)
+{
+    PointCloud cloud;
+    cloud.reserve(n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.add({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                   rng.uniform(0.0f, 1.0f)});
+    }
+    return cloud;
+}
+
+void
+BM_MortonEncode3(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<std::uint32_t> coords(3 * 1024);
+    for (auto &c : coords)
+        c = static_cast<std::uint32_t>(rng.below(1u << 21));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i + 2 < coords.size(); i += 3) {
+            benchmark::DoNotOptimize(morton::encode3(
+                coords[i], coords[i + 1], coords[i + 2], 21));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonEncode3);
+
+void
+BM_OctreeBuild(benchmark::State &state)
+{
+    const PointCloud cloud =
+        randomCloud(static_cast<std::size_t>(state.range(0)));
+    Octree::Config cfg;
+    cfg.maxDepth = 12;
+    cfg.leafCapacity = 64;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Octree::build(cloud, cfg));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OctreeBuild)->Arg(10000)->Arg(100000);
+
+void
+BM_OisSample(benchmark::State &state)
+{
+    const PointCloud cloud =
+        randomCloud(static_cast<std::size_t>(state.range(0)));
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 12;
+    tree_cfg.leafCapacity = 64;
+    Octree tree = Octree::build(cloud, tree_cfg);
+    const OisFpsSampler sampler;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sampleWithTree(tree, 4096));
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_OisSample)->Arg(100000);
+
+void
+BM_FpsSample(benchmark::State &state)
+{
+    const PointCloud cloud =
+        randomCloud(static_cast<std::size_t>(state.range(0)));
+    FpsSampler sampler;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(cloud, 512));
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FpsSample)->Arg(20000);
+
+void
+BM_VegGather(benchmark::State &state)
+{
+    const PointCloud cloud = randomCloud(4096);
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 9;
+    const Octree tree = Octree::build(cloud, tree_cfg);
+    VegKnn veg(tree);
+    std::vector<PointIndex> centrals(512);
+    Rng rng(3);
+    for (auto &c : centrals)
+        c = static_cast<PointIndex>(rng.below(4096));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(veg.gather(centrals, 32));
+    state.SetItemsProcessed(state.iterations() * centrals.size());
+}
+BENCHMARK(BM_VegGather);
+
+void
+BM_BruteKnnGather(benchmark::State &state)
+{
+    const PointCloud cloud = randomCloud(4096);
+    BruteKnn knn(cloud);
+    std::vector<PointIndex> centrals(512);
+    Rng rng(4);
+    for (auto &c : centrals)
+        c = static_cast<PointIndex>(rng.below(4096));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(knn.gather(centrals, 32));
+    state.SetItemsProcessed(state.iterations() * centrals.size());
+}
+BENCHMARK(BM_BruteKnnGather);
+
+} // namespace
+} // namespace hgpcn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table I: the evaluation benchmark suite.
+ *
+ * Regenerates the paper's benchmark table — application, dataset,
+ * PCN input size and model — from the live DatasetSuite, and adds
+ * the measured raw-frame sizes plus network workload (MACs) our
+ * generators and models actually produce.
+ */
+
+#include "bench/bench_util.h"
+#include "datasets/dataset_suite.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+void
+run()
+{
+    bench::banner("Table I: EVALUATION BENCHMARKS",
+                  "Four point-cloud applications with their datasets, "
+                  "PCN input sizes and models");
+
+    TablePrinter table({"Application", "Dataset", "Input Size",
+                        "PCN Model", "raw pts (measured)",
+                        "network MACs"});
+    for (const auto &task : DatasetSuite::tableOne()) {
+        const Frame frame = task.rawFrame(0);
+        const PointNet2 net(task.spec);
+        // Trace the network on its nominal input size (sampled from
+        // the raw frame by index stride for speed; workload depends
+        // only on shape).
+        PointCloud input;
+        const std::size_t stride =
+            frame.cloud.size() / task.inputSize;
+        for (std::size_t i = 0; i < task.inputSize; ++i) {
+            input.add(frame.cloud.position(
+                static_cast<PointIndex>(i * stride)));
+        }
+        input.normalizeToUnitCube();
+        RunOptions opts;
+        opts.ds = DsMethod::Veg;
+        const RunOutput out = net.run(input, opts);
+        table.addRow({task.application, task.dataset,
+                      std::to_string(task.inputSize), task.modelName,
+                      TablePrinter::fmtCount(frame.cloud.size()),
+                      TablePrinter::fmtCount(out.trace.totalMacs())});
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

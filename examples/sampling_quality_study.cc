@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sampling-quality study: how much spatial information does each
+ * down-sampling method preserve?
+ *
+ * The paper orders methods FPS > OIS ~ FPS >> RS on information
+ * retention (Section VII-C). This example quantifies that with
+ * geometric metrics across the Table I datasets: coverage radius
+ * (directed Hausdorff cloud->sample) and minimum sample spacing,
+ * plus each method's memory-access bill — the quality/cost frontier
+ * a deployment has to choose from.
+ *
+ *   ./build/examples/sampling_quality_study
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "datasets/dataset_suite.h"
+#include "sampling/approx_ois_sampler.h"
+#include "sampling/fps_sampler.h"
+#include "sampling/metrics.h"
+#include "sampling/ois_fps_sampler.h"
+#include "sampling/random_sampler.h"
+
+int
+main()
+{
+    using namespace hgpcn;
+
+    TablePrinter table({"dataset", "method", "coverage",
+                        "min spacing", "memory accesses"});
+
+    for (const auto &task : DatasetSuite::tableOneSmall()) {
+        const Frame frame = task.rawFrame(0);
+        // Cap K for the O(N*K) metric computation.
+        const std::size_t k = std::min<std::size_t>(task.inputSize,
+                                                    1024);
+
+        auto add = [&](const std::string &method,
+                       const SampleResult &result) {
+            std::uint64_t accesses = 0;
+            for (const auto &[name, value] : result.stats.all()) {
+                if (name.find("host") != std::string::npos ||
+                    name.find("intermediate") != std::string::npos) {
+                    accesses += value;
+                }
+            }
+            table.addRow(
+                {task.dataset, method,
+                 TablePrinter::fmt(
+                     coverageRadius(frame.cloud, result.indices), 3),
+                 TablePrinter::fmt(
+                     minSampleSpacing(frame.cloud, result.indices), 4),
+                 TablePrinter::fmtCount(accesses)});
+        };
+
+        FpsSampler fps;
+        add("FPS", fps.sample(frame.cloud, k));
+        OisFpsSampler ois;
+        add("OIS", ois.sample(frame.cloud, k));
+        ApproxOisSampler approx;
+        add("OIS-approx", approx.sample(frame.cloud, k));
+        RandomSampler rs;
+        add("RS", rs.sample(frame.cloud, k));
+    }
+    table.print();
+    std::printf("\nlower coverage = better worst-case retention; "
+                "higher spacing = more\nFPS-like spread. OIS pays "
+                "orders of magnitude fewer memory accesses\nfor "
+                "FPS-class quality.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "baselines/mesorasi.h"
+
+#include <map>
+
+#include "sim/fcu_dla.h"
+
+namespace hgpcn
+{
+
+MesorasiResult
+MesorasiSim::run(const ExecutionTrace &trace) const
+{
+    MesorasiResult result;
+
+    // Data structuring runs on the paired GPU.
+    result.dsSec = gpu_model.dsSec(trace);
+
+    // Delayed aggregation: SA-layer MLPs execute once per unique
+    // input point instead of once per grouped row. Scale each SA
+    // GEMM's M from centroids*k down to the layer's input size; the
+    // aggregation itself (a max reduction) is cheap and absorbed in
+    // the systolic model's drain cycles.
+    std::map<std::string, double> scale;
+    for (const GatherOp &op : trace.gathers) {
+        const double grouped = static_cast<double>(op.centroids) *
+                               static_cast<double>(op.k);
+        if (grouped > 0.0 && op.layer.rfind("sa", 0) == 0) {
+            scale[op.layer] =
+                static_cast<double>(op.inputPoints) / grouped;
+        }
+    }
+
+    ExecutionTrace delayed;
+    for (GemmOp op : trace.gemms) {
+        // GEMM names are "<layer>.fcN"; match on the layer prefix.
+        const auto dot = op.layer.find('.');
+        const std::string layer = op.layer.substr(0, dot);
+        const auto it = scale.find(layer);
+        if (it != scale.end()) {
+            const double scaled =
+                static_cast<double>(op.m) * it->second;
+            op.m = scaled < 1.0 ? 1
+                                : static_cast<std::uint64_t>(scaled);
+        }
+        delayed.gemms.push_back(std::move(op));
+    }
+
+    const FcuSim fcu(cfg);
+    result.fcSec = fcu.run(delayed).totalSec();
+    return result;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mesorasi [6] behavioural model.
+ *
+ * Mesorasi performs data structuring on a mobile GPU and feature
+ * computation with *delayed aggregation*: the per-point MLPs run on
+ * the unique input points before neighborhood aggregation, removing
+ * the (centroids*k)/points redundancy of grouped execution. DS and
+ * FC are overlapped, but — as the paper stresses in Section VII-D —
+ * "the inference speed is still largely limited by the latency of
+ * the data structuring step" on the GPU.
+ */
+
+#ifndef HGPCN_BASELINES_MESORASI_H
+#define HGPCN_BASELINES_MESORASI_H
+
+#include "nn/layer_trace.h"
+#include "sim/device_model.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Latency result of a Mesorasi inference pass. */
+struct MesorasiResult
+{
+    double dsSec = 0.0; //!< GPU data structuring
+    double fcSec = 0.0; //!< delayed-aggregation feature computation
+
+    /** @return end-to-end seconds with DS/FC overlap. */
+    double
+    totalSec() const
+    {
+        return dsSec > fcSec ? dsSec : fcSec;
+    }
+};
+
+/** Mesorasi timing model. */
+class MesorasiSim
+{
+  public:
+    /**
+     * @param config FPGA-fabric parameters for the FC side.
+     * @param gpu Device running the DS step. Mesorasi pairs its NPU
+     *            with a TX2-class mobile Pascal GPU — weaker than
+     *            the Xavier NX baseline device.
+     */
+    explicit MesorasiSim(const SimConfig &config,
+                         const DeviceSpec &gpu =
+                             DeviceModel::tx2MobileGpu())
+        : cfg(config), gpu_model(gpu)
+    {}
+
+    /**
+     * Time an inference pass. @p trace must carry brute-force DS
+     * workload (that is what the GPU executes).
+     */
+    MesorasiResult run(const ExecutionTrace &trace) const;
+
+  private:
+    SimConfig cfg;
+    DeviceModel gpu_model;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_BASELINES_MESORASI_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PointACC [16] behavioural model.
+ *
+ * PointACC pairs a 16x16 systolic array with a Mapping Unit that
+ * performs exact data structuring: for every central point it
+ * computes the distance to *every* input point and bitonic-sorts the
+ * full candidate list for the top K (Section VII-D: "the searched
+ * range of PointACC's bitonic sorter is over the entire input point
+ * cloud"). DS and FC are overlapped. The architectural difference to
+ * HgPCN's DSU is therefore exactly the sorter workload — the entire
+ * cloud versus VEG's last ring Nn (Fig. 15).
+ *
+ * The model runs at the same fabric clock and systolic geometry as
+ * HgPCN so that feature computation cancels out of the comparison,
+ * as the paper's setup intends.
+ */
+
+#ifndef HGPCN_BASELINES_POINT_ACC_H
+#define HGPCN_BASELINES_POINT_ACC_H
+
+#include <cstdint>
+
+#include "nn/layer_trace.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Latency result of a PointACC inference pass. */
+struct PointAccResult
+{
+    double mappingSec = 0.0; //!< Mapping Unit (data structuring)
+    double fcSec = 0.0;      //!< systolic feature computation
+    std::uint64_t sortCandidates = 0; //!< elements fed to the sorter
+
+    /** @return end-to-end seconds with DS/FC overlap. */
+    double
+    totalSec() const
+    {
+        return mappingSec > fcSec ? mappingSec : fcSec;
+    }
+};
+
+/** PointACC timing model. */
+class PointAccSim
+{
+  public:
+    explicit PointAccSim(const SimConfig &config) : cfg(config) {}
+
+    /**
+     * Time an inference pass. @p trace must have been produced with
+     * brute-force data structuring (DsMethod::BruteKnn) — that is
+     * the workload PointACC's Mapping Unit executes.
+     */
+    PointAccResult run(const ExecutionTrace &trace) const;
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_BASELINES_POINT_ACC_H

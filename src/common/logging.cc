@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hgpcn
+{
+
+namespace
+{
+bool quiet_flag = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quiet_flag;
+}
+
+void
+logFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+logPanic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+logWarn(const std::string &msg)
+{
+    if (!quiet_flag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+logInform(const std::string &msg)
+{
+    if (!quiet_flag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace hgpcn

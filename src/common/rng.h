@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (dataset synthesis, random
+ * sampling, random weights) draws from this generator so that runs are
+ * bit-reproducible given a seed. The implementation is xoshiro256**,
+ * seeded through SplitMix64 as recommended by its authors.
+ */
+
+#ifndef HGPCN_COMMON_RNG_H
+#define HGPCN_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace hgpcn
+{
+
+/**
+ * Small, fast, deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can be used
+ * with <random> distributions, though the member helpers below are
+ * preferred for reproducibility across standard libraries.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-seed the generator deterministically. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** @return next raw 64-bit draw. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** @return uniform integer in [0, n); n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Lemire-style rejection-free bounded draw (slight bias is
+        // irrelevant for n << 2^64 workload synthesis).
+        return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+    }
+
+    /** @return standard normal draw (Box-Muller, deterministic). */
+    double
+    normal()
+    {
+        if (have_cached) {
+            have_cached = false;
+            return cached;
+        }
+        double u1 = 0.0;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        cached = r * std::sin(theta);
+        have_cached = true;
+        return r * std::cos(theta);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+    double cached = 0.0;
+    bool have_cached = false;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_RNG_H

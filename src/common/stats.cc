@@ -1,0 +1,55 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace hgpcn
+{
+
+void
+StatSet::add(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    counters[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters.find(name) != counters.end();
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+}
+
+void
+StatSet::clear()
+{
+    counters.clear();
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, value] : counters)
+        oss << name << "=" << value << "\n";
+    return oss.str();
+}
+
+} // namespace hgpcn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lightweight named statistic counters.
+ *
+ * Algorithms in this library report their workload (memory accesses,
+ * distances computed, sort candidates, ...) through StatSet so that
+ * benches and simulators consume identical numbers. A StatSet is a
+ * plain value type: copyable, mergeable, and printable.
+ */
+
+#ifndef HGPCN_COMMON_STATS_H
+#define HGPCN_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hgpcn
+{
+
+/**
+ * A collection of named 64-bit counters.
+ *
+ * Keys are created on first use; reading a missing key returns 0.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at 0). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** @return value of counter @p name, 0 when absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** @return true when counter @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge another stat set into this one (counter-wise sum). */
+    void merge(const StatSet &other);
+
+    /** Drop all counters. */
+    void clear();
+
+    /** @return number of distinct counters. */
+    std::size_t size() const { return counters.size(); }
+
+    /** @return all counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+    /** Render as "name=value" lines for logs. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_STATS_H

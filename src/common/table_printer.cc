@@ -1,0 +1,128 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : header_cells(std::move(headers))
+{
+    HGPCN_ASSERT(!header_cells.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    HGPCN_ASSERT(cells.size() == header_cells.size(),
+                 "row width ", cells.size(), " != header width ",
+                 header_cells.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(header_cells.size());
+    for (std::size_t c = 0; c < header_cells.size(); ++c)
+        widths[c] = header_cells[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &oss,
+                        const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << "| " << cells[c]
+                << std::string(widths[c] - cells[c].size() + 1, ' ');
+        }
+        oss << "|\n";
+    };
+
+    std::ostringstream oss;
+    emit_row(oss, header_cells);
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        oss << "|" << std::string(widths[c] + 2, '-');
+    oss << "|\n";
+    for (const auto &row : rows)
+        emit_row(oss, row);
+    return oss.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+TablePrinter::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtRatio(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run == 3) {
+            out.push_back(',');
+            run = 0;
+        }
+        out.push_back(*it);
+        ++run;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TablePrinter::fmtTime(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    else if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtBytes(double bytes)
+{
+    char buf[64];
+    if (bytes < 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+    else if (bytes < 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / 1024.0);
+    else if (bytes < 1024.0 * 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      bytes / (1024.0 * 1024.0 * 1024.0));
+    return buf;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-width text table rendering for bench output.
+ *
+ * Every bench binary reports its paper table/figure as an aligned text
+ * table so the "rows/series the paper reports" are directly readable
+ * from stdout and greppable from bench_output.txt.
+ */
+
+#ifndef HGPCN_COMMON_TABLE_PRINTER_H
+#define HGPCN_COMMON_TABLE_PRINTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hgpcn
+{
+
+/**
+ * Accumulates rows of string cells and renders an aligned table.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** @return the rendered table with a header separator line. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits significant decimals. */
+    static std::string fmt(double value, int digits = 2);
+
+    /** Format a ratio as "N.NNx". */
+    static std::string fmtRatio(double value, int digits = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string fmtCount(std::uint64_t value);
+
+    /** Format seconds with an auto-selected unit (ns/us/ms/s). */
+    static std::string fmtTime(double seconds);
+
+    /** Format bytes with an auto-selected unit (B/KiB/MiB/GiB). */
+    static std::string fmtBytes(double bytes);
+
+  private:
+    std::vector<std::string> header_cells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_TABLE_PRINTER_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock measurement helper for software-baseline experiments
+ * (e.g. the measured OIS-vs-FPS CPU latency of Fig. 10).
+ */
+
+#ifndef HGPCN_COMMON_TIMER_H
+#define HGPCN_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace hgpcn
+{
+
+/** Monotonic stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_time(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_time = Clock::now(); }
+
+    /** @return seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_time)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_time;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_TIMER_H

@@ -1,0 +1,83 @@
+#include "core/hgpcn_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+HgPcnSystem::HgPcnSystem(const Config &config, const PointNet2Spec &spec)
+    : cfg(config), net(std::make_unique<PointNet2>(spec)),
+      preproc(config.preprocess), infer(config.inference)
+{
+    if (spec.inputPoints != 0)
+        cfg.inputPoints = spec.inputPoints;
+}
+
+E2eResult
+HgPcnSystem::processFrame(const PointCloud &raw) const
+{
+    E2eResult result;
+    result.preprocess = preproc.process(raw, cfg.inputPoints);
+
+    // The sampled input is normalized for the network (radius-based
+    // layers assume unit-cube coordinates), then inference reuses
+    // the octree only when coordinates were left untouched — after
+    // normalization a fresh level-0 octree is built inside the
+    // model, still costed in the trace.
+    PointCloud input = result.preprocess.sampled;
+    input.normalizeToUnitCube();
+    result.inference = infer.run(*net, input, nullptr);
+    return result;
+}
+
+StreamReport
+HgPcnSystem::processStream(const std::vector<Frame> &frames) const
+{
+    HGPCN_ASSERT(!frames.empty(), "empty stream");
+    StreamReport report;
+    report.frames = frames.size();
+
+    double total = 0.0;
+    // Two-stage pipeline model: stage A = CPU octree build, stage B
+    // = FPGA down-sampling + inference. Frame i's stage B starts
+    // once both its own build and frame i-1's stage B are done.
+    double cpu_free = 0.0;
+    double fpga_done = 0.0;
+    for (const Frame &frame : frames) {
+        const E2eResult r = processFrame(frame.cloud);
+        const double t = r.totalSec();
+        total += t;
+        report.maxLatencySec = std::max(report.maxLatencySec, t);
+
+        const double build = r.preprocess.octreeBuildSec;
+        const double fpga = r.preprocess.dsu.totalSec() +
+                            r.inference.totalSec();
+        cpu_free += build;
+        fpga_done = std::max(fpga_done, cpu_free) + fpga;
+    }
+    report.meanLatencySec = total / static_cast<double>(frames.size());
+    report.meanFps = report.meanLatencySec > 0.0
+                         ? 1.0 / report.meanLatencySec
+                         : 0.0;
+    report.pipelinedFps =
+        fpga_done > 0.0
+            ? static_cast<double>(frames.size()) / fpga_done
+            : 0.0;
+
+    if (frames.size() >= 2) {
+        const double span =
+            frames.back().timestamp - frames.front().timestamp;
+        if (span > 0.0) {
+            report.generationFps =
+                static_cast<double>(frames.size() - 1) / span;
+        }
+    }
+    report.realTime = report.meanFps >= report.generationFps;
+    report.pipelinedRealTime =
+        report.pipelinedFps >= report.generationFps;
+    return report;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * System-level HgPCN: the complete E2E service of Fig. 1(b)/Fig. 4.
+ *
+ * For every raw frame: Pre-processing Engine (octree build on the
+ * CPU, OIS down-sampling on the FPGA) followed by the Inference
+ * Engine (VEG data structuring + systolic feature computation),
+ * reusing the pre-processing octree for the first SA level.
+ * The real-time criterion of Section VII-E: the achieved frame rate
+ * must meet or exceed the sensor's generation rate.
+ */
+
+#ifndef HGPCN_CORE_HGPCN_SYSTEM_H
+#define HGPCN_CORE_HGPCN_SYSTEM_H
+
+#include <memory>
+
+#include "core/inference_engine.h"
+#include "core/preprocessing_engine.h"
+#include "datasets/frame.h"
+
+namespace hgpcn
+{
+
+/** End-to-end latency breakdown for one frame. */
+struct E2eResult
+{
+    PreprocessResult preprocess;
+    InferenceResult inference;
+
+    /** @return end-to-end seconds for this frame. */
+    double
+    totalSec() const
+    {
+        return preprocess.totalSec() + inference.totalSec();
+    }
+
+    /** @return sustained frames/second at this latency. */
+    double
+    fps() const
+    {
+        const double t = totalSec();
+        return t > 0.0 ? 1.0 / t : 0.0;
+    }
+};
+
+/** Aggregate statistics over a frame stream. */
+struct StreamReport
+{
+    std::size_t frames = 0;
+    double meanLatencySec = 0.0;
+    double maxLatencySec = 0.0;
+    double meanFps = 0.0;       //!< 1 / meanLatencySec
+    double generationFps = 0.0; //!< sensor rate derived from stamps
+    bool realTime = false;      //!< meanFps >= generationFps
+
+    /** Throughput when the CPU's octree build of frame i+1 overlaps
+     * the FPGA's down-sampling + inference of frame i (the two
+     * engines live on different devices, Fig. 4). */
+    double pipelinedFps = 0.0;
+    bool pipelinedRealTime = false;
+};
+
+/** The complete HgPCN platform. */
+class HgPcnSystem
+{
+  public:
+    /** System parameters. */
+    struct Config
+    {
+        PreprocessingEngine::Config preprocess;
+        InferenceEngine::Config inference;
+        /** PCN input size K (points after down-sampling). */
+        std::size_t inputPoints = 4096;
+    };
+
+    /**
+     * @param config System parameters.
+     * @param spec Network to deploy (its inputPoints overrides
+     *             config.inputPoints when nonzero).
+     */
+    HgPcnSystem(const Config &config, const PointNet2Spec &spec);
+
+    /** Process one raw frame end to end. */
+    E2eResult processFrame(const PointCloud &raw) const;
+
+    /**
+     * Process a frame stream and evaluate the real-time criterion
+     * against the generation rate implied by frame timestamps.
+     */
+    StreamReport processStream(const std::vector<Frame> &frames) const;
+
+    /** @return the deployed network. */
+    const PointNet2 &model() const { return *net; }
+
+    /** @return system parameters. */
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    std::unique_ptr<PointNet2> net;
+    PreprocessingEngine preproc;
+    InferenceEngine infer;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_CORE_HGPCN_SYSTEM_H

@@ -1,0 +1,51 @@
+#include "core/inference_engine.h"
+
+namespace hgpcn
+{
+
+InferenceResult
+InferenceEngine::run(const PointNet2 &model, const PointCloud &input,
+                     const Octree *input_octree) const
+{
+    InferenceResult result;
+
+    RunOptions opts;
+    opts.centroid = cfg.centroid;
+    opts.ds = cfg.ds;
+    opts.seed = cfg.seed;
+    opts.inputOctree = input_octree;
+    result.output = model.run(input, opts);
+
+    // DSU: time every gather of the network on the pipeline model.
+    // Brute-force gathers (if configured) produce no VEG traces; for
+    // those the DSU degenerates to a full-range sort, which we
+    // approximate by one trace whose last ring is the whole input.
+    for (const GatherOp &op : result.output.trace.gathers) {
+        DsuPipelineResult part;
+        const DsuPipelineSim dsu(cfg.sim, /*octree_levels=*/
+                                 op.traces.empty() ? 0 : 10);
+        if (!op.traces.empty()) {
+            part = dsu.run(op.traces, op.k);
+        } else {
+            std::vector<VegTrace> synth(
+                op.centroids,
+                VegTrace{0, 0,
+                         static_cast<std::uint32_t>(op.inputPoints),
+                         1});
+            part = dsu.run(synth, op.k);
+        }
+        for (std::size_t s = 0; s < kStageCount; ++s)
+            result.dsu.stageCycles[s] += part.stageCycles[s];
+        result.dsu.pipelinedCycles += part.pipelinedCycles;
+    }
+    result.dsu.pipelinedSec =
+        static_cast<double>(result.dsu.pipelinedCycles) /
+        cfg.sim.fpga.acceleratorClockHz;
+
+    // FCU: all GEMMs on the systolic model.
+    const FcuSim fcu(cfg.sim);
+    result.fcu = fcu.run(result.output.trace);
+    return result;
+}
+
+} // namespace hgpcn

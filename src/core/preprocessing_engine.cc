@@ -1,0 +1,46 @@
+#include "core/preprocessing_engine.h"
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+PreprocessResult
+PreprocessingEngine::process(const PointCloud &raw, std::size_t k) const
+{
+    HGPCN_ASSERT(raw.size() >= k, "frame smaller than K: ", raw.size(),
+                 " < ", k);
+
+    PreprocessResult result;
+
+    // Octree-build Unit (CPU): build + host-memory pre-configuration
+    // in one pass, then serialize the Octree-Table.
+    result.tree = std::make_shared<Octree>(
+        Octree::build(raw, cfg.octree));
+    Octree &tree = *result.tree;
+
+    const OctreeTable table = OctreeTable::fromOctree(tree);
+    result.octreeTableBytes = table.sizeBytes();
+
+    const DeviceModel host(cfg.hostCpu);
+    result.octreeBuildSec = host.octreeBuildSec(tree.buildStats());
+
+    // Down-sampling Unit (FPGA): OIS-FPS over the table.
+    OisFpsSampler::Config sampler_cfg;
+    sampler_cfg.octree = cfg.octree;
+    sampler_cfg.seed = cfg.seed;
+    const OisFpsSampler sampler(sampler_cfg);
+    SampleResult sample = sampler.sampleWithTree(tree, k);
+
+    const DownsamplingUnitSim dsu_sim(cfg.sim);
+    result.dsu = dsu_sim.run(sample.stats, k, result.octreeTableBytes);
+
+    // Materialize the sampled input cloud (pick order preserved).
+    result.sampled = tree.reorderedCloud().gather(sample.spt);
+    result.spt = std::move(sample.spt);
+    result.stats = std::move(sample.stats);
+    result.stats.merge(tree.buildStats());
+    return result;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,102 @@
+#include "datasets/dataset_suite.h"
+
+#include "datasets/kitti_like.h"
+#include "datasets/modelnet_like.h"
+#include "datasets/s3dis_like.h"
+#include "datasets/shapenet_like.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+
+std::vector<BenchmarkTask>
+makeSuite(std::size_t mn_points, std::size_t s3dis_points,
+          std::size_t kitti_azimuth)
+{
+    std::vector<BenchmarkTask> suite;
+
+    {
+        BenchmarkTask task;
+        task.application = "Object Classification";
+        task.dataset = "ModelNet40";
+        task.inputSize = 1024;
+        task.modelName = "Pointnet++(c)";
+        task.spec = PointNet2Spec::classification();
+        task.rawFrame = [mn_points](std::uint64_t variant) {
+            ModelNetLike::Config cfg;
+            cfg.points = mn_points;
+            cfg.seed = 11 + variant;
+            const auto &names = ModelNetLike::objectNames();
+            return ModelNetLike::generate(
+                names[variant % names.size()], cfg);
+        };
+        suite.push_back(std::move(task));
+    }
+    {
+        BenchmarkTask task;
+        task.application = "Part Segmentation";
+        task.dataset = "ShapeNet";
+        task.inputSize = 2048;
+        task.modelName = "Pointnet++(ps)";
+        task.spec = PointNet2Spec::partSegmentation();
+        task.rawFrame = [](std::uint64_t variant) {
+            ShapeNetLike::Config cfg;
+            cfg.seed = 13 + variant;
+            return ShapeNetLike::generate(
+                "SN.object" + std::to_string(variant), cfg);
+        };
+        suite.push_back(std::move(task));
+    }
+    {
+        BenchmarkTask task;
+        task.application = "Indoor Segmentation";
+        task.dataset = "S3DIS";
+        task.inputSize = 4096;
+        task.modelName = "Pointnet++(s)";
+        task.spec = PointNet2Spec::semanticSegmentation();
+        task.rawFrame = [s3dis_points](std::uint64_t variant) {
+            S3disLike::Config cfg;
+            cfg.points = s3dis_points;
+            cfg.seed = 17 + variant;
+            return S3disLike::generate(
+                "S3DIS.room" + std::to_string(variant), cfg);
+        };
+        suite.push_back(std::move(task));
+    }
+    {
+        BenchmarkTask task;
+        task.application = "Outdoor Segmentation";
+        task.dataset = "KITTI";
+        task.inputSize = 16384;
+        task.modelName = "Pointnet++(s)";
+        task.spec = PointNet2Spec::outdoorSegmentation();
+        task.rawFrame = [kitti_azimuth](std::uint64_t variant) {
+            KittiLike::Config cfg;
+            cfg.azimuthSteps = kitti_azimuth;
+            KittiLike lidar(cfg);
+            return lidar.generate(variant);
+        };
+        suite.push_back(std::move(task));
+    }
+    return suite;
+}
+
+} // namespace
+
+std::vector<BenchmarkTask>
+DatasetSuite::tableOne()
+{
+    return makeSuite(/*mn_points=*/100000, /*s3dis_points=*/120000,
+                     /*kitti_azimuth=*/2000);
+}
+
+std::vector<BenchmarkTask>
+DatasetSuite::tableOneSmall()
+{
+    return makeSuite(/*mn_points=*/20000, /*s3dis_points=*/24000,
+                     /*kitti_azimuth=*/500);
+}
+
+} // namespace hgpcn

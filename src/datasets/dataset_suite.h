@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table I) as code.
+ *
+ * Four applications, each pairing a dataset generator with a PCN
+ * input size and PointNet++ variant:
+ *
+ *   Object Classification  ModelNet40  1024   Pointnet++(c)
+ *   Part Segmentation      ShapeNet    2048   Pointnet++(ps)
+ *   Indoor Segmentation    S3DIS       4096   Pointnet++(s)
+ *   Outdoor Segmentation   KITTI       16384  Pointnet++(s)
+ */
+
+#ifndef HGPCN_DATASETS_DATASET_SUITE_H
+#define HGPCN_DATASETS_DATASET_SUITE_H
+
+#include <functional>
+
+#include "datasets/frame.h"
+#include "nn/pointnet2.h"
+
+namespace hgpcn
+{
+
+/** One row of Table I. */
+struct BenchmarkTask
+{
+    std::string application; //!< e.g. "Object Classification"
+    std::string dataset;     //!< e.g. "ModelNet40"
+    std::size_t inputSize;   //!< PCN input points (post-sampling K)
+    std::string modelName;   //!< e.g. "Pointnet++(c)"
+    PointNet2Spec spec;      //!< network architecture
+    /** Generate a representative raw frame (variant for variety). */
+    std::function<Frame(std::uint64_t variant)> rawFrame;
+};
+
+/** Factory for the Table I suite. */
+class DatasetSuite
+{
+  public:
+    /** @return the four benchmark tasks of Table I. */
+    static std::vector<BenchmarkTask> tableOne();
+
+    /** @return a scaled-down suite for fast tests (same structure,
+     * smaller raw frames and networks' input sizes preserved). */
+    static std::vector<BenchmarkTask> tableOneSmall();
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_DATASET_SUITE_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A sensor frame: one raw point cloud plus capture metadata.
+ *
+ * Substitution note (see DESIGN.md §2): the paper evaluates on
+ * ModelNet40, ShapeNet, S3DIS and KITTI. Those datasets are not
+ * available offline, so the generators in this directory synthesize
+ * frames with matched scale, per-point labels and — critically for
+ * the paper's experiments — controllable spatial non-uniformity
+ * (octree depth driver, Fig. 11) and frame-generation timestamps
+ * (real-time criterion, Section VII-E).
+ */
+
+#ifndef HGPCN_DATASETS_FRAME_H
+#define HGPCN_DATASETS_FRAME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point_cloud.h"
+
+namespace hgpcn
+{
+
+/** One captured frame. */
+struct Frame
+{
+    std::string name;        //!< e.g. "MN.piano", "kitti.avg"
+    PointCloud cloud;        //!< raw points
+    std::vector<int> labels; //!< per-point class (empty if unlabeled)
+    double timestamp = 0.0;  //!< generation time, seconds
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_FRAME_H

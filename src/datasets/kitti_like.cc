@@ -1,0 +1,176 @@
+#include "datasets/kitti_like.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+constexpr float kPi = 3.14159265358979323846f;
+constexpr float kDegToRad = kPi / 180.0f;
+} // namespace
+
+KittiLike::KittiLike(const Config &config) : cfg(config)
+{
+    HGPCN_ASSERT(cfg.beams >= 1 && cfg.azimuthSteps >= 8,
+                 "degenerate scanner");
+    Rng rng(cfg.seed);
+
+    // Street canyon: buildings on both sides of a 12 m road along x.
+    for (std::size_t b = 0; b < cfg.buildings; ++b) {
+        const float side = (b % 2 == 0) ? 1.0f : -1.0f;
+        const float x0 = -60.0f + rng.uniform(0.0f, 110.0f);
+        const float depth = rng.uniform(8.0f, 20.0f);
+        const float width = rng.uniform(10.0f, 25.0f);
+        const float height = rng.uniform(6.0f, 20.0f);
+        const float y0 = side * rng.uniform(8.0f, 14.0f);
+        boxes.push_back({{x0, side > 0 ? y0 : y0 - depth, 0.0f},
+                         {x0 + width, side > 0 ? y0 + depth : y0,
+                          height},
+                         kBuilding,
+                         0.0f});
+    }
+    for (std::size_t v = 0; v < cfg.vehicles; ++v) {
+        const float x0 = rng.uniform(-50.0f, 50.0f);
+        const float y0 = rng.uniform(-6.0f, 6.0f);
+        boxes.push_back({{x0, y0, 0.0f},
+                         {x0 + rng.uniform(3.5f, 5.5f),
+                          y0 + rng.uniform(1.6f, 2.2f),
+                          rng.uniform(1.4f, 2.1f)},
+                         kVehicle,
+                         rng.uniform(-8.0f, 8.0f)});
+    }
+    for (std::size_t p = 0; p < cfg.poles; ++p) {
+        const float x0 = rng.uniform(-60.0f, 60.0f);
+        const float y0 =
+            (p % 2 == 0 ? 1.0f : -1.0f) * rng.uniform(6.5f, 7.5f);
+        boxes.push_back(
+            {{x0, y0, 0.0f},
+             {x0 + 0.3f, y0 + 0.3f, rng.uniform(4.0f, 8.0f)},
+             kPole,
+             0.0f});
+    }
+    for (std::size_t p = 0; p < cfg.pedestrians; ++p) {
+        const float x0 = rng.uniform(-30.0f, 30.0f);
+        const float y0 = rng.uniform(-7.0f, 7.0f);
+        boxes.push_back({{x0, y0, 0.0f},
+                         {x0 + 0.5f, y0 + 0.5f,
+                          rng.uniform(1.5f, 1.9f)},
+                         kPedestrian,
+                         rng.uniform(-1.5f, 1.5f)});
+    }
+}
+
+bool
+KittiLike::rayBoxHit(const Vec3 &origin, const Vec3 &dir,
+                     const SceneBox &box, float &t_hit)
+{
+    // Slab method.
+    float t_near = 0.0f;
+    float t_far = std::numeric_limits<float>::max();
+    const float o[3] = {origin.x, origin.y, origin.z};
+    const float d[3] = {dir.x, dir.y, dir.z};
+    const float lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+    const float hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        if (std::fabs(d[axis]) < 1e-9f) {
+            if (o[axis] < lo[axis] || o[axis] > hi[axis])
+                return false;
+            continue;
+        }
+        float t0 = (lo[axis] - o[axis]) / d[axis];
+        float t1 = (hi[axis] - o[axis]) / d[axis];
+        if (t0 > t1)
+            std::swap(t0, t1);
+        t_near = std::max(t_near, t0);
+        t_far = std::min(t_far, t1);
+        if (t_near > t_far)
+            return false;
+    }
+    if (t_near <= 1e-4f)
+        return false;
+    t_hit = t_near;
+    return true;
+}
+
+Frame
+KittiLike::generate(std::size_t index) const
+{
+    Frame frame;
+    frame.name = "kitti." + std::to_string(index);
+    frame.timestamp = static_cast<double>(index) / cfg.frameRateHz;
+
+    // Advance moving objects to this frame's time.
+    std::vector<SceneBox> scene = boxes;
+    const float t = static_cast<float>(frame.timestamp);
+    for (auto &box : scene) {
+        float shift = box.drift * t;
+        // Wrap within the 120 m street so objects stay in view.
+        shift = std::fmod(shift + 60.0f, 120.0f);
+        if (shift < 0.0f)
+            shift += 120.0f;
+        shift -= 60.0f;
+        const float width = box.hi.x - box.lo.x;
+        box.lo.x = shift;
+        box.hi.x = shift + width;
+    }
+
+    Rng rng(cfg.seed ^ (0x9e37u + index * 0x85ebca6bull));
+    const Vec3 origin{0.0f, 0.0f, 1.73f}; // HDL-64E mount height
+
+    // HDL-64E vertical field of view: +2 to -24.8 degrees.
+    const float v_top = 2.0f * kDegToRad;
+    const float v_bottom = -24.8f * kDegToRad;
+
+    PointCloud &cloud = frame.cloud;
+    cloud.reserve(cfg.beams * cfg.azimuthSteps / 2);
+
+    for (std::size_t beam = 0; beam < cfg.beams; ++beam) {
+        const float pitch =
+            v_top + (v_bottom - v_top) * static_cast<float>(beam) /
+                        static_cast<float>(cfg.beams - 1);
+        const float cos_p = std::cos(pitch);
+        const float sin_p = std::sin(pitch);
+        for (std::size_t step = 0; step < cfg.azimuthSteps; ++step) {
+            const float yaw = 2.0f * kPi * static_cast<float>(step) /
+                              static_cast<float>(cfg.azimuthSteps);
+            const Vec3 dir{cos_p * std::cos(yaw),
+                           cos_p * std::sin(yaw), sin_p};
+
+            // Nearest hit among scene boxes and the ground plane.
+            float best_t = std::numeric_limits<float>::max();
+            int label = -1;
+            if (dir.z < -1e-6f) {
+                const float t_ground = -origin.z / dir.z;
+                if (t_ground < best_t) {
+                    best_t = t_ground;
+                    label = kGround;
+                }
+            }
+            for (const auto &box : scene) {
+                float t_hit = 0.0f;
+                if (rayBoxHit(origin, dir, box, t_hit) &&
+                    t_hit < best_t) {
+                    best_t = t_hit;
+                    label = box.label;
+                }
+            }
+            if (label < 0 || best_t > cfg.maxRange)
+                continue; // no return
+            const float noisy_t =
+                best_t +
+                cfg.rangeNoise * static_cast<float>(rng.normal());
+            cloud.add(origin + dir * noisy_t);
+            frame.labels.push_back(label);
+        }
+    }
+    return frame;
+}
+
+} // namespace hgpcn

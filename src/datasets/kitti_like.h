@@ -1,0 +1,97 @@
+/**
+ * @file
+ * KITTI-like spinning-LiDAR frame simulator.
+ *
+ * The paper's outdoor benchmark and its real-time yardstick
+ * (Section VII-E): KITTI frames carry generation timestamps, and
+ * HgPCN must process frames at least as fast as the sensor emits
+ * them (<16 FPS for KITTI). This simulator casts rays from a
+ * HDL-64-style spinning scanner into a synthetic street scene
+ * (ground, buildings, cars, poles, pedestrians), producing frames
+ * whose point count varies with the scene — the raw-size
+ * irregularity the paper highlights — plus 10 Hz timestamps.
+ */
+
+#ifndef HGPCN_DATASETS_KITTI_LIKE_H
+#define HGPCN_DATASETS_KITTI_LIKE_H
+
+#include "datasets/frame.h"
+
+namespace hgpcn
+{
+
+/** Spinning-LiDAR street-scene simulator. */
+class KittiLike
+{
+  public:
+    /** Semantic classes. */
+    enum Labels : int
+    {
+        kGround = 0,
+        kBuilding = 1,
+        kVehicle = 2,
+        kPole = 3,
+        kPedestrian = 4,
+    };
+
+    /** Generation parameters. */
+    struct Config
+    {
+        /** Laser beams (HDL-64E has 64). */
+        std::size_t beams = 64;
+        /** Azimuth steps per revolution (0.18 deg -> 2000). */
+        std::size_t azimuthSteps = 2000;
+        /** Max usable range, meters (no return beyond it). */
+        float maxRange = 80.0f;
+        /** Range noise sigma, meters. */
+        float rangeNoise = 0.02f;
+        /** Sensor frame rate, Hz (KITTI Velodyne spins at 10). */
+        double frameRateHz = 10.0;
+        /** Scene content counts. */
+        std::size_t buildings = 8;
+        std::size_t vehicles = 12;
+        std::size_t poles = 16;
+        std::size_t pedestrians = 6;
+        /** RNG seed. */
+        std::uint64_t seed = 23;
+    };
+
+    /** Create a generator with a fixed street scene. */
+    explicit KittiLike(const Config &config);
+
+    /**
+     * Simulate frame number @p index (vehicles advance between
+     * frames, so point counts vary frame to frame). The frame
+     * timestamp is index / frameRateHz.
+     */
+    Frame generate(std::size_t index) const;
+
+    /** @return configured parameters. */
+    const Config &config() const { return cfg; }
+
+    /**
+     * @return sensor frame generation rate in frames per second;
+     * the real-time requirement is to process at least this fast.
+     */
+    double generationRateFps() const { return cfg.frameRateHz; }
+
+  private:
+    /** One scene object as an axis-aligned box with a label. */
+    struct SceneBox
+    {
+        Vec3 lo;
+        Vec3 hi;
+        int label;
+        float drift; //!< x-velocity (m/s) for moving objects
+    };
+
+    Config cfg;
+    std::vector<SceneBox> boxes;
+
+    static bool rayBoxHit(const Vec3 &origin, const Vec3 &dir,
+                          const SceneBox &box, float &t_hit);
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_KITTI_LIKE_H

@@ -1,0 +1,128 @@
+#include "datasets/modelnet_like.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "datasets/shape_sampler.h"
+
+namespace hgpcn
+{
+
+const std::vector<std::string> &
+ModelNetLike::objectNames()
+{
+    static const std::vector<std::string> names = {
+        "MN.airplane", "MN.chair", "MN.desk",  "MN.guitar",
+        "MN.lamp",     "MN.piano", "MN.plant", "MN.sofa",
+    };
+    return names;
+}
+
+float
+ModelNetLike::defaultNonUniformity(const std::string &object)
+{
+    if (object == "MN.piano")
+        return 0.45f;
+    if (object == "MN.guitar")
+        return 0.35f;
+    if (object == "MN.lamp")
+        return 0.30f;
+    if (object == "MN.chair")
+        return 0.25f;
+    if (object == "MN.desk")
+        return 0.20f;
+    if (object == "MN.airplane")
+        return 0.15f;
+    if (object == "MN.sofa")
+        return 0.10f;
+    if (object == "MN.plant")
+        return 0.05f;
+    return 0.20f;
+}
+
+Frame
+ModelNetLike::generate(const std::string &object, const Config &config)
+{
+    HGPCN_ASSERT(config.points >= 100, "frame too small");
+    const float non_uniformity =
+        config.nonUniformity < 0.0f ? defaultNonUniformity(object)
+                                    : config.nonUniformity;
+    HGPCN_ASSERT(non_uniformity < 1.0f,
+                 "nonUniformity must be below 1");
+
+    Frame frame;
+    frame.name = object;
+
+    const std::uint64_t object_seed =
+        config.seed ^ std::hash<std::string>{}(object);
+    Rng rng(object_seed);
+
+    const auto cluster_points = static_cast<std::size_t>(
+        static_cast<float>(config.points) * non_uniformity);
+    const std::size_t body_points = config.points - cluster_points;
+
+    PointCloud &cloud = frame.cloud;
+    cloud.reserve(config.points);
+
+    // Object body: a deterministic mix of 3-6 primitives arranged
+    // around the origin, different per object name.
+    const std::size_t parts = 3 + rng.below(4);
+    const std::size_t per_part = body_points / parts;
+    std::size_t emitted = 0;
+    for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t n = p + 1 == parts
+                                  ? body_points - emitted
+                                  : per_part;
+        emitted += n;
+        const Vec3 center{rng.uniform(-0.5f, 0.5f),
+                          rng.uniform(-0.5f, 0.5f),
+                          rng.uniform(-0.5f, 0.5f)};
+        switch (rng.below(4)) {
+          case 0:
+            shapes::sphere(cloud, n, center,
+                           rng.uniform(0.15f, 0.45f), rng);
+            break;
+          case 1:
+            shapes::box(cloud, n, center,
+                        {rng.uniform(0.1f, 0.4f),
+                         rng.uniform(0.1f, 0.4f),
+                         rng.uniform(0.1f, 0.4f)},
+                        rng);
+            break;
+          case 2:
+            shapes::cylinder(cloud, n, center,
+                             rng.uniform(0.05f, 0.25f),
+                             rng.uniform(0.3f, 0.9f), rng);
+            break;
+          default:
+            shapes::torus(cloud, n, center, rng.uniform(0.2f, 0.4f),
+                          rng.uniform(0.05f, 0.15f), rng);
+            break;
+        }
+    }
+
+    // Non-uniform density: small, dense Gaussian clusters (piano
+    // keys, plant leaves, ...). More clusters at tighter sigma =
+    // deeper octree.
+    if (cluster_points > 0) {
+        const std::size_t clusters = 4 + rng.below(5);
+        const std::size_t per_cluster = cluster_points / clusters;
+        std::size_t cluster_emitted = 0;
+        for (std::size_t c = 0; c < clusters; ++c) {
+            const std::size_t n = c + 1 == clusters
+                                      ? cluster_points - cluster_emitted
+                                      : per_cluster;
+            cluster_emitted += n;
+            const Vec3 center{rng.uniform(-0.8f, 0.8f),
+                              rng.uniform(-0.8f, 0.8f),
+                              rng.uniform(-0.8f, 0.8f)};
+            shapes::gaussianBlob(cloud, n, center,
+                                 rng.uniform(0.002f, 0.01f), rng);
+        }
+    }
+
+    frame.labels.assign(cloud.size(), 0);
+    return frame;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ModelNet40-like synthetic CAD object frames.
+ *
+ * Reproduces the properties the paper's pre-processing experiments
+ * depend on: frames of ~1e5 raw surface points per object and a
+ * tunable spatial non-uniformity. Fig. 11 contrasts "MN.piano"
+ * (non-uniform, deeper octree) with "MN.plant" (uniform, shallower):
+ * the nonUniformity knob concentrates a fraction of points into
+ * small dense clusters to recreate exactly that effect.
+ */
+
+#ifndef HGPCN_DATASETS_MODELNET_LIKE_H
+#define HGPCN_DATASETS_MODELNET_LIKE_H
+
+#include "datasets/frame.h"
+
+namespace hgpcn
+{
+
+/** Generator for ModelNet40-like object frames. */
+class ModelNetLike
+{
+  public:
+    /** Generation parameters. */
+    struct Config
+    {
+        /** Raw points per frame. */
+        std::size_t points = 100000;
+        /** Fraction of points pushed into dense clusters [0, 1);
+         * negative selects the per-object default (piano dense,
+         * plant uniform, ...). */
+        float nonUniformity = -1.0f;
+        /** RNG seed. */
+        std::uint64_t seed = 11;
+    };
+
+    /**
+     * Generate one object frame.
+     *
+     * @param object One of the named objects below (or any string —
+     *               unknown names hash onto a shape mix).
+     * @param config Generation parameters.
+     */
+    static Frame generate(const std::string &object,
+                          const Config &config);
+
+    /** Canonical object names used across benches (paper Fig. 9-11). */
+    static const std::vector<std::string> &objectNames();
+
+    /**
+     * Per-object default non-uniformity. MN.piano is the most
+     * non-uniform, MN.plant the most uniform (Fig. 11's example
+     * pair); unknown names get a mid value.
+     */
+    static float defaultNonUniformity(const std::string &object);
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_MODELNET_LIKE_H

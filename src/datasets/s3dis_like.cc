@@ -1,0 +1,115 @@
+#include "datasets/s3dis_like.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "datasets/shape_sampler.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+
+// Label ids loosely following the S3DIS class list.
+enum Labels : int
+{
+    kCeiling = 0,
+    kFloor = 1,
+    kWall = 2,
+    kBeam = 3,
+    kColumn = 4,
+    kWindow = 5,
+    kDoor = 6,
+    kTable = 7,
+    kChair = 8,
+    kSofa = 9,
+    kBookcase = 10,
+    kBoard = 11,
+    kClutter = 12,
+};
+
+} // namespace
+
+Frame
+S3disLike::generate(const std::string &room, const Config &config)
+{
+    HGPCN_ASSERT(config.points >= 1000, "room too small");
+
+    Frame frame;
+    frame.name = room;
+    Rng rng(config.seed ^ std::hash<std::string>{}(room));
+
+    PointCloud &cloud = frame.cloud;
+    cloud.reserve(config.points);
+    std::vector<int> &labels = frame.labels;
+
+    const Vec3 &size = config.roomSize;
+    const float hx = size.x * 0.5f;
+    const float hy = size.y * 0.5f;
+
+    // Structural surfaces take ~55% of the points; their share
+    // mirrors scanned rooms (walls densest).
+    const std::size_t total = config.points;
+    const std::size_t floor_n = total * 15 / 100;
+    const std::size_t ceiling_n = total * 10 / 100;
+    const std::size_t wall_n = total * 30 / 100;
+
+    shapes::plane(cloud, floor_n, {0.0f, 0.0f, 0.0f}, hx, hy, rng,
+                  &labels, kFloor);
+    shapes::plane(cloud, ceiling_n, {0.0f, 0.0f, size.z}, hx, hy, rng,
+                  &labels, kCeiling);
+
+    // Four walls as thin boxes.
+    const std::size_t per_wall = wall_n / 4;
+    shapes::box(cloud, per_wall, {0.0f, -hy, size.z * 0.5f},
+                {hx, 0.02f, size.z * 0.5f}, rng, &labels, kWall);
+    shapes::box(cloud, per_wall, {0.0f, hy, size.z * 0.5f},
+                {hx, 0.02f, size.z * 0.5f}, rng, &labels, kWall);
+    shapes::box(cloud, per_wall, {-hx, 0.0f, size.z * 0.5f},
+                {0.02f, hy, size.z * 0.5f}, rng, &labels, kWall);
+    shapes::box(cloud, wall_n - 3 * per_wall, {hx, 0.0f, size.z * 0.5f},
+                {0.02f, hy, size.z * 0.5f}, rng, &labels, kWall);
+
+    // Furniture and clutter share the remainder.
+    const std::size_t remaining = total - cloud.size();
+    const std::size_t items = config.furniture + 1; // + clutter
+    const std::size_t per_item = remaining / items;
+    std::size_t emitted = 0;
+    for (std::size_t f = 0; f < config.furniture; ++f) {
+        const std::size_t n = per_item;
+        emitted += n;
+        const Vec3 base{rng.uniform(-hx + 0.6f, hx - 0.6f),
+                        rng.uniform(-hy + 0.6f, hy - 0.6f), 0.0f};
+        switch (rng.below(5)) {
+          case 0: // table: top + legs
+            shapes::box(cloud, n, {base.x, base.y, 0.75f},
+                        {0.6f, 0.4f, 0.02f}, rng, &labels, kTable);
+            break;
+          case 1: // chair
+            shapes::box(cloud, n, {base.x, base.y, 0.45f},
+                        {0.25f, 0.25f, 0.45f}, rng, &labels, kChair);
+            break;
+          case 2: // sofa
+            shapes::box(cloud, n, {base.x, base.y, 0.4f},
+                        {0.9f, 0.4f, 0.4f}, rng, &labels, kSofa);
+            break;
+          case 3: // bookcase
+            shapes::box(cloud, n, {base.x, base.y, 1.0f},
+                        {0.5f, 0.15f, 1.0f}, rng, &labels, kBookcase);
+            break;
+          default: // column
+            shapes::cylinder(cloud, n, base, 0.15f, size.z, rng,
+                             &labels, kColumn);
+            break;
+        }
+    }
+    shapes::gaussianBlob(cloud, remaining - emitted,
+                         {rng.uniform(-hx, hx), rng.uniform(-hy, hy),
+                          0.5f},
+                         0.3f, rng, &labels, kClutter);
+
+    return frame;
+}
+
+} // namespace hgpcn

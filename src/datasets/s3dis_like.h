@@ -1,0 +1,46 @@
+/**
+ * @file
+ * S3DIS-like indoor-room frames.
+ *
+ * Indoor semantic-segmentation scenes: floor, ceiling, walls and
+ * furniture with 13 semantic classes (matching the S3DIS label set
+ * size), ~1e5 raw points per room like the paper reports
+ * (Section III: "S3DIS contains N~1e5 points").
+ */
+
+#ifndef HGPCN_DATASETS_S3DIS_LIKE_H
+#define HGPCN_DATASETS_S3DIS_LIKE_H
+
+#include "datasets/frame.h"
+
+namespace hgpcn
+{
+
+/** Generator for S3DIS-like indoor rooms. */
+class S3disLike
+{
+  public:
+    /** Semantic classes (S3DIS has 13). */
+    static constexpr int kClasses = 13;
+
+    /** Generation parameters. */
+    struct Config
+    {
+        /** Raw points per room. */
+        std::size_t points = 120000;
+        /** Room extent in meters (x, y, height z). */
+        Vec3 roomSize{8.0f, 6.0f, 3.0f};
+        /** Furniture items to place. */
+        std::size_t furniture = 10;
+        /** RNG seed. */
+        std::uint64_t seed = 17;
+    };
+
+    /** Generate one labelled room frame. */
+    static Frame generate(const std::string &room,
+                          const Config &config);
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_S3DIS_LIKE_H

@@ -1,0 +1,130 @@
+#include "datasets/shape_sampler.h"
+
+#include <cmath>
+
+namespace hgpcn
+{
+namespace shapes
+{
+
+namespace
+{
+
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+void
+push(PointCloud &out, const Vec3 &p, std::vector<int> *labels,
+     int label)
+{
+    out.add(p);
+    if (labels)
+        labels->push_back(label);
+}
+
+} // namespace
+
+void
+sphere(PointCloud &out, std::size_t n, const Vec3 &center, float radius,
+       Rng &rng, std::vector<int> *labels, int label)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        // Uniform direction via normalized Gaussian triple.
+        Vec3 d{static_cast<float>(rng.normal()),
+               static_cast<float>(rng.normal()),
+               static_cast<float>(rng.normal())};
+        const float len = d.norm();
+        if (len < 1e-6f) {
+            d = {1.0f, 0.0f, 0.0f};
+        } else {
+            d = d / len;
+        }
+        push(out, center + d * radius, labels, label);
+    }
+}
+
+void
+box(PointCloud &out, std::size_t n, const Vec3 &center,
+    const Vec3 &half_extent, Rng &rng, std::vector<int> *labels,
+    int label)
+{
+    // Choose a face proportional to its area, then a uniform point
+    // on it.
+    const float ax = half_extent.y * half_extent.z;
+    const float ay = half_extent.x * half_extent.z;
+    const float az = half_extent.x * half_extent.y;
+    const float total = 2.0f * (ax + ay + az);
+    for (std::size_t i = 0; i < n; ++i) {
+        float pick = rng.uniform(0.0f, total);
+        const float sign = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+        Vec3 p;
+        if (pick < 2.0f * ax) {
+            p = {sign * half_extent.x,
+                 rng.uniform(-half_extent.y, half_extent.y),
+                 rng.uniform(-half_extent.z, half_extent.z)};
+        } else if (pick < 2.0f * (ax + ay)) {
+            p = {rng.uniform(-half_extent.x, half_extent.x),
+                 sign * half_extent.y,
+                 rng.uniform(-half_extent.z, half_extent.z)};
+        } else {
+            p = {rng.uniform(-half_extent.x, half_extent.x),
+                 rng.uniform(-half_extent.y, half_extent.y),
+                 sign * half_extent.z};
+        }
+        push(out, center + p, labels, label);
+    }
+}
+
+void
+plane(PointCloud &out, std::size_t n, const Vec3 &center, float half_x,
+      float half_y, Rng &rng, std::vector<int> *labels, int label)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 p{center.x + rng.uniform(-half_x, half_x),
+                     center.y + rng.uniform(-half_y, half_y), center.z};
+        push(out, p, labels, label);
+    }
+}
+
+void
+cylinder(PointCloud &out, std::size_t n, const Vec3 &base, float radius,
+         float height, Rng &rng, std::vector<int> *labels, int label)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float theta = rng.uniform(0.0f, kTwoPi);
+        const float z = rng.uniform(0.0f, height);
+        const Vec3 p{base.x + radius * std::cos(theta),
+                     base.y + radius * std::sin(theta), base.z + z};
+        push(out, p, labels, label);
+    }
+}
+
+void
+torus(PointCloud &out, std::size_t n, const Vec3 &center, float major_r,
+      float minor_r, Rng &rng, std::vector<int> *labels, int label)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float u = rng.uniform(0.0f, kTwoPi);
+        const float v = rng.uniform(0.0f, kTwoPi);
+        const float ring = major_r + minor_r * std::cos(v);
+        const Vec3 p{center.x + ring * std::cos(u),
+                     center.y + ring * std::sin(u),
+                     center.z + minor_r * std::sin(v)};
+        push(out, p, labels, label);
+    }
+}
+
+void
+gaussianBlob(PointCloud &out, std::size_t n, const Vec3 &center,
+             float sigma, Rng &rng, std::vector<int> *labels, int label)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 p{
+            center.x + sigma * static_cast<float>(rng.normal()),
+            center.y + sigma * static_cast<float>(rng.normal()),
+            center.z + sigma * static_cast<float>(rng.normal())};
+        push(out, p, labels, label);
+    }
+}
+
+} // namespace shapes
+} // namespace hgpcn

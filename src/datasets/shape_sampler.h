@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Primitive-surface point samplers.
+ *
+ * Building blocks for the synthetic datasets: uniform point sampling
+ * on spheres, boxes, cylinders, planes and tori, plus Gaussian
+ * clusters for non-uniform density injection.
+ */
+
+#ifndef HGPCN_DATASETS_SHAPE_SAMPLER_H
+#define HGPCN_DATASETS_SHAPE_SAMPLER_H
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "geometry/point_cloud.h"
+
+namespace hgpcn
+{
+
+/** Uniform samplers over primitive surfaces. */
+namespace shapes
+{
+
+/** Append @p n points on a sphere surface. */
+void sphere(PointCloud &out, std::size_t n, const Vec3 &center,
+            float radius, Rng &rng, std::vector<int> *labels = nullptr,
+            int label = 0);
+
+/** Append @p n points on an axis-aligned box surface. */
+void box(PointCloud &out, std::size_t n, const Vec3 &center,
+         const Vec3 &half_extent, Rng &rng,
+         std::vector<int> *labels = nullptr, int label = 0);
+
+/** Append @p n points on a horizontal rectangle (z = height). */
+void plane(PointCloud &out, std::size_t n, const Vec3 &center,
+           float half_x, float half_y, Rng &rng,
+           std::vector<int> *labels = nullptr, int label = 0);
+
+/** Append @p n points on a vertical (z-axis) cylinder surface. */
+void cylinder(PointCloud &out, std::size_t n, const Vec3 &base,
+              float radius, float height, Rng &rng,
+              std::vector<int> *labels = nullptr, int label = 0);
+
+/** Append @p n points on a torus (axis z). */
+void torus(PointCloud &out, std::size_t n, const Vec3 &center,
+           float major_r, float minor_r, Rng &rng,
+           std::vector<int> *labels = nullptr, int label = 0);
+
+/** Append @p n points from an isotropic Gaussian blob. */
+void gaussianBlob(PointCloud &out, std::size_t n, const Vec3 &center,
+                  float sigma, Rng &rng,
+                  std::vector<int> *labels = nullptr, int label = 0);
+
+} // namespace shapes
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_SHAPE_SAMPLER_H

@@ -1,0 +1,63 @@
+#include "datasets/shapenet_like.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "datasets/shape_sampler.h"
+
+namespace hgpcn
+{
+
+Frame
+ShapeNetLike::generate(const std::string &object, const Config &config)
+{
+    HGPCN_ASSERT(config.points >= 64, "frame too small");
+    HGPCN_ASSERT(config.parts >= 1, "need at least one part");
+
+    Frame frame;
+    frame.name = object;
+
+    Rng rng(config.seed ^ std::hash<std::string>{}(object));
+    PointCloud &cloud = frame.cloud;
+    cloud.reserve(config.points);
+
+    // Each part is one primitive stacked along z, labelled by its
+    // part id (wing/fuselage/tail style decomposition).
+    const std::size_t per_part = config.points / config.parts;
+    std::size_t emitted = 0;
+    for (std::size_t part = 0; part < config.parts; ++part) {
+        const std::size_t n = part + 1 == config.parts
+                                  ? config.points - emitted
+                                  : per_part;
+        emitted += n;
+        const float z =
+            -0.5f + static_cast<float>(part) /
+                        static_cast<float>(config.parts);
+        const Vec3 center{rng.uniform(-0.2f, 0.2f),
+                          rng.uniform(-0.2f, 0.2f), z};
+        const int label = static_cast<int>(part);
+        switch (rng.below(3)) {
+          case 0:
+            shapes::sphere(cloud, n, center,
+                           rng.uniform(0.1f, 0.3f), rng, &frame.labels,
+                           label);
+            break;
+          case 1:
+            shapes::box(cloud, n, center,
+                        {rng.uniform(0.1f, 0.35f),
+                         rng.uniform(0.1f, 0.35f),
+                         rng.uniform(0.05f, 0.2f)},
+                        rng, &frame.labels, label);
+            break;
+          default:
+            shapes::cylinder(cloud, n, center,
+                             rng.uniform(0.05f, 0.2f),
+                             rng.uniform(0.2f, 0.4f), rng,
+                             &frame.labels, label);
+            break;
+        }
+    }
+    return frame;
+}
+
+} // namespace hgpcn

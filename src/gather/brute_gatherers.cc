@@ -1,0 +1,86 @@
+#include "gather/brute_gatherers.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+GatherResult
+BruteKnn::gather(std::span<const PointIndex> centrals, std::size_t k)
+{
+    const std::size_t n = points.size();
+    HGPCN_ASSERT(k >= 1 && k <= n, "k=", k, " n=", n);
+
+    GatherResult result;
+    result.k = k;
+    result.neighbors.reserve(centrals.size() * k);
+
+    std::uint64_t dist_computes = 0;
+    std::uint64_t sort_candidates = 0;
+
+    std::vector<std::pair<float, PointIndex>> scored(n);
+    for (PointIndex c : centrals) {
+        const Vec3 anchor = points.position(c);
+        for (std::size_t i = 0; i < n; ++i) {
+            scored[i].first =
+                points.position(static_cast<PointIndex>(i))
+                    .distSq(anchor);
+            scored[i].second = static_cast<PointIndex>(i);
+        }
+        dist_computes += n;
+        sort_candidates += n;
+        std::partial_sort(scored.begin(), scored.begin() + k,
+                          scored.end());
+        for (std::size_t j = 0; j < k; ++j)
+            result.neighbors.push_back(scored[j].second);
+    }
+
+    result.stats.set("gather.distance_computations", dist_computes);
+    result.stats.set("gather.sort_candidates", sort_candidates);
+    return result;
+}
+
+GatherResult
+BruteBallQuery::gather(std::span<const PointIndex> centrals,
+                       std::size_t k)
+{
+    const std::size_t n = points.size();
+    HGPCN_ASSERT(k >= 1, "k=", k);
+
+    GatherResult result;
+    result.k = k;
+    result.neighbors.reserve(centrals.size() * k);
+
+    std::uint64_t dist_computes = 0;
+    const float r_sq = r * r;
+
+    for (PointIndex c : centrals) {
+        const Vec3 anchor = points.position(c);
+        std::size_t found = 0;
+        PointIndex pad = c; // fall back to the centroid itself
+        // The reference kernel computes every distance even after K
+        // hits are collected (the scan is data-independent).
+        for (std::size_t i = 0; i < n; ++i) {
+            const float d =
+                points.position(static_cast<PointIndex>(i))
+                    .distSq(anchor);
+            if (d <= r_sq && found < k) {
+                if (found == 0)
+                    pad = static_cast<PointIndex>(i);
+                result.neighbors.push_back(static_cast<PointIndex>(i));
+                ++found;
+            }
+        }
+        dist_computes += n;
+        for (std::size_t j = found; j < k; ++j)
+            result.neighbors.push_back(pad);
+    }
+
+    result.stats.set("gather.distance_computations", dist_computes);
+    result.stats.set("gather.sort_candidates", 0);
+    return result;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Brute-force data structuring baselines.
+ *
+ * The traditional method (Section II-A): for every central point,
+ * compute the distance to every other point of the input cloud and
+ * rank them. These are the workloads PointACC's Mapping Unit and
+ * Mesorasi's GPU kernels execute, and the reference against which
+ * VEG's reduction (Fig. 15) is measured.
+ */
+
+#ifndef HGPCN_GATHER_BRUTE_GATHERERS_H
+#define HGPCN_GATHER_BRUTE_GATHERERS_H
+
+#include "gather/gatherer.h"
+
+namespace hgpcn
+{
+
+/** Exact K-nearest-neighbors by full scan + partial sort. */
+class BruteKnn : public Gatherer
+{
+  public:
+    /** @param cloud Cloud to gather from; must outlive the gatherer. */
+    explicit BruteKnn(const PointCloud &cloud) : points(cloud) {}
+
+    GatherResult gather(std::span<const PointIndex> centrals,
+                        std::size_t k) override;
+
+    std::string name() const override { return "KNN-brute"; }
+
+  private:
+    const PointCloud &points;
+};
+
+/**
+ * Exact Ball Query by full scan: up to K points within @p radius of
+ * the centroid, padded PointNet++-style by repeating the first hit
+ * (or the centroid itself when nothing is in range).
+ */
+class BruteBallQuery : public Gatherer
+{
+  public:
+    /**
+     * @param cloud Cloud to gather from; must outlive the gatherer.
+     * @param radius Ball radius in cloud units.
+     */
+    BruteBallQuery(const PointCloud &cloud, float radius)
+        : points(cloud), r(radius)
+    {}
+
+    GatherResult gather(std::span<const PointIndex> centrals,
+                        std::size_t k) override;
+
+    std::string name() const override { return "BQ-brute"; }
+
+    /** @return configured ball radius. */
+    float radius() const { return r; }
+
+  private:
+    const PointCloud &points;
+    float r;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_GATHER_BRUTE_GATHERERS_H

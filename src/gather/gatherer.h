@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Data-structuring (neighbor gathering) interface.
+ *
+ * The data structuring step forms the "input feature map" of a PCN by
+ * gathering, for every central point, its K nearest neighbors (KNN)
+ * or up-to-K neighbors within a radius (Ball Query) — Section II-A.
+ * Implementations report workload through shared counters:
+ *
+ *  - "gather.distance_computations" point-to-centroid distances
+ *  - "gather.sort_candidates"       points entering the top-K sorter
+ *  - "gather.table_lookups"         octree-table lookups (VEG)
+ *  - "gather.rings_expanded"        voxel expansions (VEG)
+ *  - "gather.inner_points"          points gathered with no compute
+ */
+
+#ifndef HGPCN_GATHER_GATHERER_H
+#define HGPCN_GATHER_GATHERER_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "geometry/point_cloud.h"
+
+namespace hgpcn
+{
+
+/**
+ * Per-centroid trace of a Voxel-Expanded Gathering run; drives the
+ * DSU pipeline simulator (Fig. 8) and the Fig. 15/16 benches.
+ */
+struct VegTrace
+{
+    std::uint32_t rings = 0;          //!< n: index of the last ring
+    std::uint32_t innerPoints = 0;    //!< N0 + ... + N(n-1)
+    std::uint32_t lastRingPoints = 0; //!< Nn (the only sorted set)
+    std::uint32_t tableLookups = 0;   //!< ring-cell range lookups
+};
+
+/** Output of a gathering pass. */
+struct GatherResult
+{
+    /** Neighbors per centroid, flattened: centroid c's neighbors are
+     * neighbors[c*k .. c*k+k). */
+    std::vector<PointIndex> neighbors;
+
+    /** Neighbors gathered per centroid. */
+    std::size_t k = 0;
+
+    /** Per-centroid VEG traces (empty for brute-force methods). */
+    std::vector<VegTrace> traces;
+
+    /** Workload accounting (see file comment for counter names). */
+    StatSet stats;
+
+    /** @return neighbors of centroid @p c. */
+    std::span<const PointIndex>
+    of(std::size_t c) const
+    {
+        return {neighbors.data() + c * k, k};
+    }
+
+    /** @return number of centroids gathered. */
+    std::size_t
+    centroids() const
+    {
+        return k == 0 ? 0 : neighbors.size() / k;
+    }
+};
+
+/**
+ * Abstract neighbor gatherer over a fixed point cloud.
+ */
+class Gatherer
+{
+  public:
+    virtual ~Gatherer() = default;
+
+    /**
+     * Gather @p k neighbors for every centroid.
+     *
+     * @param centrals Centroid point indices (into the gatherer's
+     *                 cloud).
+     * @param k Neighbors per centroid.
+     */
+    virtual GatherResult gather(std::span<const PointIndex> centrals,
+                                std::size_t k) = 0;
+
+    /** @return short method name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_GATHER_GATHERER_H

@@ -1,0 +1,311 @@
+#include "gather/veg_gatherer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+const char *
+toString(VegMode mode)
+{
+    switch (mode) {
+      case VegMode::Paper:
+        return "VEG";
+      case VegMode::Strict:
+        return "VEG-strict";
+      case VegMode::SemiApprox:
+        return "VEG-semi";
+    }
+    return "VEG-?";
+}
+
+VegKnn::VegKnn(const Octree &tree) : VegKnn(tree, Config{}) {}
+
+VegKnn::VegKnn(const Octree &tree, const Config &config)
+    : octree(tree), cfg(config),
+      grids(static_cast<std::size_t>(tree.config().maxDepth) + 1)
+{
+    HGPCN_ASSERT(cfg.gridLevel <= tree.config().maxDepth,
+                 "gridLevel ", cfg.gridLevel, " exceeds octree depth");
+}
+
+std::string
+VegKnn::name() const
+{
+    return toString(cfg.mode);
+}
+
+const VoxelGrid &
+VegKnn::gridAt(int level) const
+{
+    auto &slot = grids[static_cast<std::size_t>(level)];
+    if (!slot)
+        slot = std::make_unique<VoxelGrid>(octree, level);
+    return *slot;
+}
+
+int
+VegKnn::levelFor(const Vec3 &anchor) const
+{
+    if (cfg.gridLevel >= 0)
+        return cfg.gridLevel;
+    // Locate Central Voxel (LV stage): the octree leaf containing
+    // the centroid sets the expansion granularity, adapting ring
+    // sizes to the local point density.
+    const NodeIndex leaf = octree.findLeaf(anchor);
+    const int level = octree.node(leaf).level;
+    return level < 1 ? 1 : level;
+}
+
+GatherResult
+VegKnn::gather(std::span<const PointIndex> centrals, std::size_t k)
+{
+    const PointCloud &cloud = octree.reorderedCloud();
+    std::vector<Vec3> anchors;
+    anchors.reserve(centrals.size());
+    for (PointIndex c : centrals)
+        anchors.push_back(cloud.position(c));
+    return gatherAt(anchors, k);
+}
+
+GatherResult
+VegKnn::gatherAt(std::span<const Vec3> anchors, std::size_t k)
+{
+    const PointCloud &cloud = octree.reorderedCloud();
+    const std::size_t n = cloud.size();
+    HGPCN_ASSERT(k >= 1 && k <= n, "k=", k, " n=", n);
+
+    GatherResult result;
+    result.k = k;
+    result.neighbors.reserve(anchors.size() * k);
+    result.traces.reserve(anchors.size());
+
+    std::uint64_t dist_computes = 0;
+    std::uint64_t sort_candidates = 0;
+    std::uint64_t table_lookups = 0;
+    std::uint64_t rings_total = 0;
+    std::uint64_t inner_total = 0;
+
+    Rng rng(cfg.seed);
+
+    std::vector<PointIndex> inner;
+    std::vector<PointIndex> last_ring;
+    std::vector<std::pair<float, PointIndex>> scored;
+
+    for (const Vec3 &anchor : anchors) {
+        // Stage 1-2 (FP, LV): fetch the centroid, locate its voxel.
+        const VoxelGrid &grid = gridAt(levelFor(anchor));
+        const GridCell seed_cell = grid.cellOf(anchor);
+        const int max_ring = grid.cellsPerAxis();
+        const float cell =
+            morton::voxelSize(grid.level(), octree.rootBounds());
+
+        VegTrace trace;
+        inner.clear();
+        last_ring.clear();
+
+        if (cfg.mode == VegMode::Strict) {
+            // Expand until no unscanned ring can hold a closer point:
+            // a ring-r point is at least (r-1)*cell away from the
+            // centroid, so once (r-1)*cell exceeds the current K-th
+            // best distance the candidate set is complete.
+            scored.clear();
+            int r = 0;
+            float kth_dist = std::numeric_limits<float>::max();
+            while (r <= max_ring) {
+                last_ring.clear();
+                const std::size_t lookups =
+                    grid.gatherRingPoints(seed_cell, r, last_ring);
+                trace.tableLookups +=
+                    static_cast<std::uint32_t>(lookups);
+                for (PointIndex p : last_ring)
+                    scored.emplace_back(
+                        cloud.position(p).distSq(anchor), p);
+                dist_computes += last_ring.size();
+                if (scored.size() >= k) {
+                    std::nth_element(scored.begin(),
+                                     scored.begin() + (k - 1),
+                                     scored.end());
+                    kth_dist = scored[k - 1].first;
+                    const float ring_min =
+                        static_cast<float>(r) * cell; // next ring
+                    if (ring_min * ring_min > kth_dist)
+                        break;
+                }
+                ++r;
+            }
+            HGPCN_ASSERT(scored.size() >= k,
+                         "strict VEG exhausted the grid below k");
+            trace.rings = static_cast<std::uint32_t>(r);
+            trace.lastRingPoints =
+                static_cast<std::uint32_t>(scored.size());
+            sort_candidates += scored.size();
+            std::partial_sort(scored.begin(), scored.begin() + k,
+                              scored.end());
+            for (std::size_t j = 0; j < k; ++j)
+                result.neighbors.push_back(scored[j].second);
+        } else {
+            // Stage 3 (VE): expand rings until cumulative count >= K.
+            std::size_t total = 0;
+            int r = 0;
+            while (r <= max_ring) {
+                const std::uint32_t ring_count =
+                    grid.ringPointCount(seed_cell, r);
+                // Counting touches each ring cell once.
+                trace.tableLookups += static_cast<std::uint32_t>(
+                    grid.forEachRingCell(seed_cell, r,
+                                         [](const GridCell &) {}));
+                if (total + ring_count >= k) {
+                    // Stage 4 (GP): inner rings gathered blind.
+                    last_ring.clear();
+                    grid.gatherRingPoints(seed_cell, r, last_ring);
+                    break;
+                }
+                total += ring_count;
+                grid.gatherRingPoints(seed_cell, r, inner);
+                ++r;
+            }
+            HGPCN_ASSERT(inner.size() + last_ring.size() >= k,
+                         "VEG expansion exhausted the grid below k");
+            trace.rings = static_cast<std::uint32_t>(r);
+            trace.innerPoints =
+                static_cast<std::uint32_t>(inner.size());
+            trace.lastRingPoints =
+                static_cast<std::uint32_t>(last_ring.size());
+            inner_total += inner.size();
+
+            for (PointIndex p : inner)
+                result.neighbors.push_back(p);
+            const std::size_t need = k - inner.size();
+
+            if (cfg.mode == VegMode::SemiApprox) {
+                // Future-work variant: random picks from the last
+                // ring, no distance computation at all.
+                for (std::size_t j = 0; j < need; ++j) {
+                    const std::size_t pick =
+                        j + static_cast<std::size_t>(
+                                rng.below(last_ring.size() - j));
+                    std::swap(last_ring[j], last_ring[pick]);
+                    result.neighbors.push_back(last_ring[j]);
+                }
+            } else {
+                // Stage 5 (ST): score and sort only the last ring.
+                scored.clear();
+                scored.reserve(last_ring.size());
+                for (PointIndex p : last_ring)
+                    scored.emplace_back(
+                        cloud.position(p).distSq(anchor), p);
+                dist_computes += last_ring.size();
+                sort_candidates += last_ring.size();
+                std::partial_sort(scored.begin(),
+                                  scored.begin() + need, scored.end());
+                for (std::size_t j = 0; j < need; ++j)
+                    result.neighbors.push_back(scored[j].second);
+            }
+        }
+
+        rings_total += trace.rings;
+        table_lookups += trace.tableLookups;
+        result.traces.push_back(trace);
+    }
+
+    result.stats.set("gather.distance_computations", dist_computes);
+    result.stats.set("gather.sort_candidates", sort_candidates);
+    result.stats.set("gather.table_lookups", table_lookups);
+    result.stats.set("gather.rings_expanded", rings_total);
+    result.stats.set("gather.inner_points", inner_total);
+    return result;
+}
+
+namespace
+{
+
+/** Level whose cell edge best matches the query radius. */
+int
+radiusMatchedLevel(const Octree &tree, float radius)
+{
+    const float root_side =
+        morton::voxelSize(0, tree.rootBounds());
+    HGPCN_ASSERT(radius > 0.0f, "radius must be positive");
+    const int level = static_cast<int>(
+        std::floor(std::log2(root_side / radius)));
+    return std::clamp(level, 1, tree.config().maxDepth);
+}
+
+} // namespace
+
+VegBallQuery::VegBallQuery(const Octree &tree, const Config &config)
+    : octree(tree), cfg(config),
+      grid(tree, config.gridLevel >= 0
+                     ? config.gridLevel
+                     : radiusMatchedLevel(tree, config.radius))
+{}
+
+GatherResult
+VegBallQuery::gather(std::span<const PointIndex> centrals, std::size_t k)
+{
+    const PointCloud &cloud = octree.reorderedCloud();
+    HGPCN_ASSERT(k >= 1, "k=", k);
+
+    GatherResult result;
+    result.k = k;
+    result.neighbors.reserve(centrals.size() * k);
+    result.traces.reserve(centrals.size());
+
+    std::uint64_t dist_computes = 0;
+    std::uint64_t table_lookups = 0;
+
+    const float cell = morton::voxelSize(grid.level(),
+                                         octree.rootBounds());
+    const float r_sq = cfg.radius * cfg.radius;
+    // A ring-r point is at least (r-1)*cell from the centroid, so
+    // rings beyond radius/cell + 1 cannot intersect the ball.
+    const int rings_needed =
+        static_cast<int>(std::ceil(cfg.radius / cell)) + 1;
+
+    std::vector<PointIndex> candidates;
+
+    for (PointIndex c : centrals) {
+        const Vec3 anchor = cloud.position(c);
+        const GridCell seed_cell = grid.cellOf(anchor);
+
+        VegTrace trace;
+        candidates.clear();
+        for (int r = 0; r <= rings_needed; ++r) {
+            const std::size_t lookups =
+                grid.gatherRingPoints(seed_cell, r, candidates);
+            trace.tableLookups += static_cast<std::uint32_t>(lookups);
+        }
+        trace.rings = static_cast<std::uint32_t>(rings_needed);
+        trace.lastRingPoints =
+            static_cast<std::uint32_t>(candidates.size());
+
+        std::size_t found = 0;
+        PointIndex pad = c;
+        for (PointIndex p : candidates) {
+            const float d = cloud.position(p).distSq(anchor);
+            if (d <= r_sq && found < k) {
+                if (found == 0)
+                    pad = p;
+                result.neighbors.push_back(p);
+                ++found;
+            }
+        }
+        dist_computes += candidates.size();
+        for (std::size_t j = found; j < k; ++j)
+            result.neighbors.push_back(pad);
+
+        table_lookups += trace.tableLookups;
+        result.traces.push_back(trace);
+    }
+
+    result.stats.set("gather.distance_computations", dist_computes);
+    result.stats.set("gather.table_lookups", table_lookups);
+    return result;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Axis-aligned bounding box.
+ *
+ * The octree's root voxel is the cubified AABB of the input frame
+ * (paper Fig. 5(a): "we put the point cloud into a root-level voxel").
+ */
+
+#ifndef HGPCN_GEOMETRY_AABB_H
+#define HGPCN_GEOMETRY_AABB_H
+
+#include <limits>
+
+#include "geometry/vec3.h"
+
+namespace hgpcn
+{
+
+/** An axis-aligned box described by its min/max corners. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    constexpr Aabb() = default;
+    constexpr Aabb(const Vec3 &lo_, const Vec3 &hi_) : lo(lo_), hi(hi_) {}
+
+    /** @return true when no point has been added yet. */
+    constexpr bool
+    empty() const
+    {
+        return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+    }
+
+    /** Grow to contain @p p. */
+    void
+    expand(const Vec3 &p)
+    {
+        lo = Vec3::min(lo, p);
+        hi = Vec3::max(hi, p);
+    }
+
+    /** Grow to contain @p other. */
+    void
+    expand(const Aabb &other)
+    {
+        lo = Vec3::min(lo, other.lo);
+        hi = Vec3::max(hi, other.hi);
+    }
+
+    /** @return box edge lengths. */
+    constexpr Vec3 extent() const { return hi - lo; }
+
+    /** @return box center. */
+    constexpr Vec3 center() const { return (lo + hi) * 0.5f; }
+
+    /** @return true when @p p lies inside (inclusive). */
+    constexpr bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /**
+     * @return the smallest cube centered like this box that contains
+     * it, slightly inflated so boundary points map strictly inside.
+     * This is the octree root voxel.
+     */
+    Aabb
+    cubified() const
+    {
+        const Vec3 e = extent();
+        float side = e.x;
+        if (e.y > side)
+            side = e.y;
+        if (e.z > side)
+            side = e.z;
+        if (side <= 0.0f)
+            side = 1.0f;
+        side *= 1.0f + 1e-5f;
+        const Vec3 c = center();
+        const Vec3 half{side * 0.5f, side * 0.5f, side * 0.5f};
+        return {c - half, c + half};
+    }
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_GEOMETRY_AABB_H

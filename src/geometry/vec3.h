@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal 3-vector used for point coordinates.
+ */
+
+#ifndef HGPCN_GEOMETRY_VEC3_H
+#define HGPCN_GEOMETRY_VEC3_H
+
+#include <cmath>
+
+namespace hgpcn
+{
+
+/**
+ * A 3-component float vector (point coordinate p_k = (x_k, y_k, z_k)
+ * in the paper's notation).
+ */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    constexpr bool
+    operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    /** Dot product. */
+    constexpr float
+    dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Squared Euclidean norm. */
+    constexpr float normSq() const { return dot(*this); }
+
+    /** Euclidean norm. */
+    float norm() const { return std::sqrt(normSq()); }
+
+    /** Squared distance to @p o (preferred in inner loops). */
+    constexpr float
+    distSq(const Vec3 &o) const
+    {
+        return (*this - o).normSq();
+    }
+
+    /** Euclidean distance to @p o. */
+    float dist(const Vec3 &o) const { return std::sqrt(distSq(o)); }
+
+    /** Component-wise minimum. */
+    static constexpr Vec3
+    min(const Vec3 &a, const Vec3 &b)
+    {
+        return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+                a.z < b.z ? a.z : b.z};
+    }
+
+    /** Component-wise maximum. */
+    static constexpr Vec3
+    max(const Vec3 &a, const Vec3 &b)
+    {
+        return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+                a.z > b.z ? a.z : b.z};
+    }
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_GEOMETRY_VEC3_H

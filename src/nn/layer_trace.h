@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Execution trace of a PCN inference pass.
+ *
+ * The reference (CPU) model execution records every GEMM it performs
+ * plus the data-structuring workload of every layer. The hardware
+ * simulators replay this trace: the FCU/DLA maps GemmOps onto the
+ * systolic array, the DSU maps the gather traces onto its pipeline,
+ * and the GPU/CPU device models convert the same numbers into
+ * baseline latencies. One trace, many timing models — which is what
+ * makes the paper's cross-architecture comparison consistent.
+ */
+
+#ifndef HGPCN_NN_LAYER_TRACE_H
+#define HGPCN_NN_LAYER_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gather/gatherer.h"
+
+namespace hgpcn
+{
+
+/** One dense product: [M,K] x [K,N]. */
+struct GemmOp
+{
+    std::string layer; //!< human-readable layer name
+    std::uint64_t m = 0;
+    std::uint64_t k = 0;
+    std::uint64_t n = 0;
+
+    /** @return multiply-accumulate count. */
+    std::uint64_t macs() const { return m * k * n; }
+};
+
+/** Data-structuring workload of one layer. */
+struct GatherOp
+{
+    std::string layer;      //!< layer name
+    std::string method;     //!< gatherer name ("KNN-brute", "VEG", ..)
+    std::uint64_t centroids = 0;
+    std::uint64_t k = 0;
+    std::uint64_t inputPoints = 0; //!< size of the searched cloud
+    StatSet stats;                 //!< gatherer counters
+    std::vector<VegTrace> traces;  //!< per-centroid VEG traces
+};
+
+/** Full inference trace. */
+struct ExecutionTrace
+{
+    std::vector<GemmOp> gemms;
+    std::vector<GatherOp> gathers;
+
+    /** @return total MACs over all GEMMs. */
+    std::uint64_t
+    totalMacs() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &g : gemms)
+            total += g.macs();
+        return total;
+    }
+
+    /** @return total distance computations over all gathers. */
+    std::uint64_t
+    totalGatherDistances() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &g : gathers)
+            total += g.stats.get("gather.distance_computations");
+        return total;
+    }
+
+    /** @return total candidates entering top-K sorters. */
+    std::uint64_t
+    totalSortCandidates() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &g : gathers)
+            total += g.stats.get("gather.sort_candidates");
+        return total;
+    }
+
+    /** Append another trace (e.g. a sub-module's). */
+    void
+    append(const ExecutionTrace &other)
+    {
+        gemms.insert(gemms.end(), other.gemms.begin(),
+                     other.gemms.end());
+        gathers.insert(gathers.end(), other.gathers.begin(),
+                       other.gathers.end());
+    }
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_NN_LAYER_TRACE_H

@@ -1,0 +1,58 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng)
+    : weight(in, out), bias(out, 0.0f)
+{
+    const float scale =
+        std::sqrt(2.0f / static_cast<float>(in > 0 ? in : 1));
+    weight.randomize(rng, scale);
+    for (auto &b : bias)
+        b = rng.uniform(-0.01f, 0.01f);
+}
+
+Tensor
+Linear::forward(const Tensor &x, const std::string &layer_name,
+                ExecutionTrace &trace) const
+{
+    Tensor out = Tensor::matmul(x, weight);
+    out.addRowBias(bias);
+    trace.gemms.push_back(
+        GemmOp{layer_name, x.rows(), x.cols(), weight.cols()});
+    return out;
+}
+
+Mlp::Mlp(std::size_t in, const std::vector<std::size_t> &widths, Rng &rng,
+         bool final_relu)
+    : out_width(widths.empty() ? in : widths.back()),
+      relu_last(final_relu)
+{
+    HGPCN_ASSERT(!widths.empty(), "MLP needs at least one layer");
+    std::size_t cur = in;
+    for (std::size_t w : widths) {
+        layers.emplace_back(cur, w, rng);
+        cur = w;
+    }
+}
+
+Tensor
+Mlp::forward(const Tensor &x, const std::string &name_prefix,
+             ExecutionTrace &trace) const
+{
+    Tensor cur = x;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        cur = layers[i].forward(
+            cur, name_prefix + ".fc" + std::to_string(i), trace);
+        if (i + 1 < layers.size() || relu_last)
+            cur.reluInPlace();
+    }
+    return cur;
+}
+
+} // namespace hgpcn

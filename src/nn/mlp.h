@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared MLP blocks (per-point 1x1 convolutions).
+ *
+ * PointNet++ applies the same small MLP to every point of every
+ * gathered neighborhood; on hardware this is one batched GEMM per
+ * layer, which is what the trace records.
+ */
+
+#ifndef HGPCN_NN_MLP_H
+#define HGPCN_NN_MLP_H
+
+#include <string>
+#include <vector>
+
+#include "nn/layer_trace.h"
+#include "nn/tensor.h"
+
+namespace hgpcn
+{
+
+/** One fully-connected layer with bias. */
+struct Linear
+{
+    Tensor weight; //!< [in, out]
+    std::vector<float> bias;
+
+    /** Create with He-scaled random weights. */
+    Linear(std::size_t in, std::size_t out, Rng &rng);
+
+    /** @return x * W + b, recording the GEMM into @p trace. */
+    Tensor forward(const Tensor &x, const std::string &layer_name,
+                   ExecutionTrace &trace) const;
+};
+
+/**
+ * A stack of Linear+ReLU layers (ReLU omitted after the final layer
+ * when @p final_relu is false).
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param in Input feature width.
+     * @param widths Output width of each layer.
+     * @param rng Weight initialisation source.
+     * @param final_relu Apply ReLU after the last layer too.
+     */
+    Mlp(std::size_t in, const std::vector<std::size_t> &widths, Rng &rng,
+        bool final_relu = true);
+
+    /** @return network output; GEMMs recorded into @p trace. */
+    Tensor forward(const Tensor &x, const std::string &name_prefix,
+                   ExecutionTrace &trace) const;
+
+    /** @return output feature width. */
+    std::size_t outWidth() const { return out_width; }
+
+  private:
+    std::vector<Linear> layers;
+    std::size_t out_width;
+    bool relu_last;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_NN_MLP_H

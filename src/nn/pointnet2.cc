@@ -1,0 +1,493 @@
+#include "nn/pointnet2.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "gather/brute_gatherers.h"
+#include "gather/veg_gatherer.h"
+#include "sampling/fps_sampler.h"
+
+namespace hgpcn
+{
+
+const char *
+toString(DsMethod method)
+{
+    switch (method) {
+      case DsMethod::BruteKnn:
+        return "KNN-brute";
+      case DsMethod::BruteBq:
+        return "BQ-brute";
+      case DsMethod::Veg:
+        return "VEG";
+      case DsMethod::VegBq:
+        return "VEG-BQ";
+      case DsMethod::VegStrict:
+        return "VEG-strict";
+    }
+    return "?";
+}
+
+PointNet2Spec
+PointNet2Spec::classification(std::size_t num_classes)
+{
+    PointNet2Spec spec;
+    spec.name = "Pointnet++(c)";
+    spec.inputPoints = 1024;
+    spec.numClasses = num_classes;
+    spec.segmentation = false;
+    spec.sa = {
+        {512, 32, 0.2f, {64, 64, 128}},
+        {128, 64, 0.4f, {128, 128, 256}},
+        {0, 0, 0.0f, {256, 512, 1024}},
+    };
+    spec.head = {512, 256};
+    return spec;
+}
+
+PointNet2Spec
+PointNet2Spec::partSegmentation(std::size_t num_parts)
+{
+    PointNet2Spec spec;
+    spec.name = "Pointnet++(ps)";
+    spec.inputPoints = 2048;
+    spec.numClasses = num_parts;
+    spec.segmentation = true;
+    spec.sa = {
+        {512, 32, 0.2f, {64, 64, 128}},
+        {128, 64, 0.4f, {128, 128, 256}},
+        {0, 0, 0.0f, {256, 512, 1024}},
+    };
+    spec.fp = {
+        {{128, 128, 128}}, // level 1 -> 0
+        {{256, 128}},      // level 2 -> 1
+        {{256, 256}},      // level 3 -> 2
+    };
+    spec.head = {128};
+    return spec;
+}
+
+PointNet2Spec
+PointNet2Spec::semanticSegmentation(std::size_t num_classes)
+{
+    PointNet2Spec spec;
+    spec.name = "Pointnet++(s)";
+    spec.inputPoints = 4096;
+    spec.numClasses = num_classes;
+    spec.segmentation = true;
+    spec.sa = {
+        {1024, 32, 0.1f, {32, 32, 64}},
+        {256, 32, 0.2f, {64, 64, 128}},
+        {64, 32, 0.4f, {128, 128, 256}},
+        {16, 32, 0.8f, {256, 256, 512}},
+    };
+    spec.fp = {
+        {{128, 128, 128}}, // level 1 -> 0
+        {{256, 128}},      // level 2 -> 1
+        {{256, 256}},      // level 3 -> 2
+        {{256, 256}},      // level 4 -> 3
+    };
+    spec.head = {128};
+    return spec;
+}
+
+PointNet2Spec
+PointNet2Spec::outdoorSegmentation(std::size_t num_classes)
+{
+    PointNet2Spec spec = semanticSegmentation(num_classes);
+    spec.name = "Pointnet++(s)-kitti";
+    spec.inputPoints = 16384;
+    spec.sa[0].npoint = 4096;
+    spec.sa[1].npoint = 1024;
+    spec.sa[2].npoint = 256;
+    spec.sa[3].npoint = 64;
+    return spec;
+}
+
+PointNet2::PointNet2(const PointNet2Spec &spec, std::uint64_t weight_seed)
+    : arch(spec)
+{
+    HGPCN_ASSERT(!arch.sa.empty(), "network needs at least one SA layer");
+    if (arch.segmentation) {
+        HGPCN_ASSERT(arch.fp.size() == arch.sa.size(),
+                     "segmentation nets need one FP per SA level");
+    }
+
+    Rng rng(weight_seed);
+    const std::size_t levels = arch.sa.size();
+
+    // Feature width entering each level: level 0 is the input cloud.
+    std::vector<std::size_t> width(levels + 1);
+    width[0] = arch.inputFeatureDim;
+    for (std::size_t i = 0; i < levels; ++i) {
+        const std::size_t in = 3 + width[i];
+        sa_mlps.emplace_back(in, arch.sa[i].mlp, rng);
+        width[i + 1] = arch.sa[i].mlp.back();
+    }
+
+    std::size_t head_in = width[levels];
+    if (arch.segmentation) {
+        // FP t fuses the features propagated down from level t+1
+        // (the output of fp[t+1], or of the top SA for t = L-1) with
+        // the skip features of level t. All widths are known from
+        // the spec, so weights are created in forward order.
+        fp_mlps.reserve(levels);
+        for (std::size_t t = 0; t < levels; ++t) {
+            const std::size_t from_above =
+                t + 1 == levels ? width[levels]
+                                : arch.fp[t + 1].mlp.back();
+            fp_mlps.emplace_back(from_above + width[t],
+                                 arch.fp[t].mlp, rng);
+        }
+        head_in = arch.fp[0].mlp.back();
+    }
+
+    std::vector<std::size_t> head_widths = arch.head;
+    head_widths.push_back(arch.numClasses);
+    head_mlp = std::make_unique<Mlp>(head_in, head_widths, rng,
+                                     /*final_relu=*/false);
+}
+
+namespace
+{
+
+/** Pick @p m distinct indices out of @p n uniformly. */
+std::vector<PointIndex>
+randomCentroids(std::size_t n, std::size_t m, Rng &rng)
+{
+    std::vector<PointIndex> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t j = i + rng.below(n - i);
+        std::swap(all[i], all[j]);
+    }
+    all.resize(m);
+    return all;
+}
+
+/** Build a coordinates-only PointCloud from positions. */
+PointCloud
+cloudFromPositions(const std::vector<Vec3> &positions)
+{
+    PointCloud cloud;
+    cloud.reserve(positions.size());
+    for (const Vec3 &p : positions)
+        cloud.add(p);
+    return cloud;
+}
+
+/** Inverse of an index permutation. */
+std::vector<PointIndex>
+invertPermutation(const std::vector<PointIndex> &perm)
+{
+    std::vector<PointIndex> inv(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        inv[perm[i]] = static_cast<PointIndex>(i);
+    return inv;
+}
+
+/**
+ * Brute-force k-NN of arbitrary query coordinates against a cloud
+ * (queries need not be cloud members, unlike BruteKnn). Distance
+ * workload is recorded into @p stats.
+ */
+GatherResult
+bruteNnAt(const PointCloud &cloud, std::span<const Vec3> queries,
+          std::size_t k, StatSet &stats)
+{
+    const std::size_t n = cloud.size();
+    GatherResult result;
+    result.k = k;
+    result.neighbors.reserve(queries.size() * k);
+    std::vector<std::pair<float, PointIndex>> scored(n);
+    for (const Vec3 &q : queries) {
+        for (std::size_t i = 0; i < n; ++i) {
+            scored[i] = {
+                cloud.position(static_cast<PointIndex>(i)).distSq(q),
+                static_cast<PointIndex>(i)};
+        }
+        std::partial_sort(scored.begin(), scored.begin() + k,
+                          scored.end());
+        for (std::size_t j = 0; j < k; ++j)
+            result.neighbors.push_back(scored[j].second);
+    }
+    stats.add("gather.distance_computations", queries.size() * n);
+    stats.add("gather.sort_candidates", queries.size() * n);
+    return result;
+}
+
+} // namespace
+
+PointNet2::Level
+PointNet2::runSaLayer(std::size_t layer, const Level &in,
+                      const RunOptions &opts, Rng &rng,
+                      const Octree *reusable_tree,
+                      ExecutionTrace &trace) const
+{
+    const SaLayerSpec &spec = arch.sa[layer];
+    const std::size_t n = in.positions.size();
+    const std::size_t c_in = in.features.cols();
+    const std::string name = "sa" + std::to_string(layer);
+
+    if (spec.npoint == 0) {
+        // Group-all: one neighborhood holding every point, centered
+        // at the centroid of the level.
+        Vec3 mean{0, 0, 0};
+        for (const Vec3 &p : in.positions)
+            mean += p;
+        mean = mean / static_cast<float>(n);
+        Tensor grouped(n, 3 + c_in);
+        for (std::size_t i = 0; i < n; ++i) {
+            float *row = grouped.row(i);
+            const Vec3 rel = in.positions[i] - mean;
+            row[0] = rel.x;
+            row[1] = rel.y;
+            row[2] = rel.z;
+            for (std::size_t c = 0; c < c_in; ++c)
+                row[3 + c] = in.features.at(i, c);
+        }
+        Tensor out = sa_mlps[layer].forward(grouped, name, trace);
+        Level next;
+        next.positions = {mean};
+        next.features = out.maxPoolGroups(n);
+        return next;
+    }
+
+    HGPCN_ASSERT(spec.npoint <= n, "SA", layer, ": npoint ",
+                 spec.npoint, " exceeds level size ", n);
+    HGPCN_ASSERT(spec.k >= 1 && spec.k <= n, "SA", layer, ": k ",
+                 spec.k, " vs level size ", n);
+
+    // --- Central point selection (Fig. 2, step 1). -------------------
+    std::vector<PointIndex> centroids;
+    if (opts.centroid == CentroidMethod::Random) {
+        centroids = randomCentroids(n, spec.npoint, rng);
+    } else {
+        PointCloud level_cloud = cloudFromPositions(in.positions);
+        FpsSampler fps(opts.seed + layer);
+        centroids = fps.sample(level_cloud, spec.npoint).indices;
+    }
+
+    // --- Data structuring (Fig. 2, step 2). --------------------------
+    GatherOp op;
+    op.layer = name;
+    op.method = toString(opts.ds);
+    op.centroids = spec.npoint;
+    op.k = spec.k;
+    op.inputPoints = n;
+
+    GatherResult gathered;
+    const bool veg = opts.ds == DsMethod::Veg ||
+                     opts.ds == DsMethod::VegBq ||
+                     opts.ds == DsMethod::VegStrict;
+    // Neighbor/centroid indices below are all in the *level* index
+    // space; VEG works in the octree's reordered space, so map on the
+    // way in and out.
+    if (veg) {
+        const Octree *tree = nullptr;
+        Octree local_tree;
+        if (layer == 0 && reusable_tree) {
+            tree = reusable_tree;
+        } else {
+            PointCloud level_cloud = cloudFromPositions(in.positions);
+            Octree::Config tree_cfg;
+            tree_cfg.maxDepth = 12;
+            local_tree = Octree::build(level_cloud, tree_cfg);
+            op.stats.merge(local_tree.buildStats());
+            tree = &local_tree;
+        }
+        const std::vector<PointIndex> &perm = tree->permutation();
+        const std::vector<PointIndex> inv = invertPermutation(perm);
+        std::vector<PointIndex> centrals_reordered(centroids.size());
+        for (std::size_t i = 0; i < centroids.size(); ++i)
+            centrals_reordered[i] = inv[centroids[i]];
+
+        if (opts.ds == DsMethod::VegBq) {
+            VegBallQuery::Config bq_cfg;
+            bq_cfg.radius = spec.radius;
+            VegBallQuery bq(*tree, bq_cfg);
+            gathered = bq.gather(centrals_reordered, spec.k);
+        } else {
+            VegKnn::Config knn_cfg;
+            knn_cfg.mode = opts.ds == DsMethod::VegStrict
+                               ? VegMode::Strict
+                               : VegMode::Paper;
+            knn_cfg.seed = opts.seed;
+            VegKnn knn(*tree, knn_cfg);
+            gathered = knn.gather(centrals_reordered, spec.k);
+        }
+        // Map neighbors back to level index space.
+        for (auto &idx : gathered.neighbors)
+            idx = perm[idx];
+    } else {
+        PointCloud level_cloud = cloudFromPositions(in.positions);
+        if (opts.ds == DsMethod::BruteBq) {
+            BruteBallQuery bq(level_cloud, spec.radius);
+            gathered = bq.gather(centroids, spec.k);
+        } else {
+            BruteKnn knn(level_cloud);
+            gathered = knn.gather(centroids, spec.k);
+        }
+    }
+    op.stats.merge(gathered.stats);
+    op.traces = std::move(gathered.traces);
+    trace.gathers.push_back(std::move(op));
+
+    // --- Feature computation (Fig. 2, step 3). -----------------------
+    Tensor grouped(spec.npoint * spec.k, 3 + c_in);
+    for (std::size_t m = 0; m < spec.npoint; ++m) {
+        const Vec3 center = in.positions[centroids[m]];
+        const auto neigh = gathered.of(m);
+        for (std::size_t j = 0; j < spec.k; ++j) {
+            float *row = grouped.row(m * spec.k + j);
+            const PointIndex pi = neigh[j];
+            const Vec3 rel = in.positions[pi] - center;
+            row[0] = rel.x;
+            row[1] = rel.y;
+            row[2] = rel.z;
+            for (std::size_t c = 0; c < c_in; ++c)
+                row[3 + c] = in.features.at(pi, c);
+        }
+    }
+    Tensor out = sa_mlps[layer].forward(grouped, name, trace);
+
+    Level next;
+    next.positions.reserve(spec.npoint);
+    for (PointIndex ci : centroids)
+        next.positions.push_back(in.positions[ci]);
+    next.features = out.maxPoolGroups(spec.k);
+    return next;
+}
+
+Tensor
+PointNet2::runFpLayer(std::size_t layer, const Level &fine,
+                      const Level &coarse, const RunOptions &opts,
+                      ExecutionTrace &trace) const
+{
+    const std::size_t n_f = fine.positions.size();
+    const std::size_t n_c = coarse.positions.size();
+    const std::size_t c_coarse = coarse.features.cols();
+    const std::size_t c_skip = fine.features.cols();
+    const std::string name = "fp" + std::to_string(layer);
+    const std::size_t k = std::min<std::size_t>(3, n_c);
+
+    // Three-nearest-neighbor interpolation: another data-structuring
+    // workload (accounted like SA gathers; PointACC's Mapping Unit
+    // also serves these lookups).
+    GatherOp op;
+    op.layer = name;
+    op.method = toString(opts.ds);
+    op.centroids = n_f;
+    op.k = k;
+    op.inputPoints = n_c;
+
+    PointCloud coarse_cloud = cloudFromPositions(coarse.positions);
+    GatherResult nn;
+
+    const bool veg = (opts.ds == DsMethod::Veg ||
+                      opts.ds == DsMethod::VegBq ||
+                      opts.ds == DsMethod::VegStrict) &&
+                     n_c > 4 * k;
+    if (veg) {
+        // VEG-strict keeps interpolation exact while the octree
+        // bounds the search locally (the DSU serves FP lookups too).
+        Octree::Config tree_cfg;
+        tree_cfg.maxDepth = 12;
+        Octree tree = Octree::build(coarse_cloud, tree_cfg);
+        op.stats.merge(tree.buildStats());
+        VegKnn::Config knn_cfg;
+        knn_cfg.mode = VegMode::Strict;
+        VegKnn knn(tree, knn_cfg);
+        nn = knn.gatherAt(fine.positions, k);
+        // Back to coarse-level index space.
+        for (auto &idx : nn.neighbors)
+            idx = tree.permutation()[idx];
+        op.stats.merge(nn.stats);
+    } else {
+        nn = bruteNnAt(coarse_cloud, fine.positions, k, op.stats);
+    }
+    op.traces = std::move(nn.traces);
+    trace.gathers.push_back(std::move(op));
+
+    // Inverse-distance-weighted feature interpolation.
+    Tensor fused(n_f, c_coarse + c_skip);
+    for (std::size_t i = 0; i < n_f; ++i) {
+        const auto neigh = nn.of(i);
+        float weights[3] = {0, 0, 0};
+        float total = 0.0f;
+        for (std::size_t j = 0; j < k; ++j) {
+            const float d =
+                coarse.positions[neigh[j]].distSq(fine.positions[i]);
+            weights[j] = 1.0f / (d + 1e-8f);
+            total += weights[j];
+        }
+        float *row = fused.row(i);
+        for (std::size_t c = 0; c < c_coarse; ++c) {
+            float v = 0.0f;
+            for (std::size_t j = 0; j < k; ++j)
+                v += weights[j] / total * coarse.features.at(neigh[j], c);
+            row[c] = v;
+        }
+        for (std::size_t c = 0; c < c_skip; ++c)
+            row[c_coarse + c] = fine.features.at(i, c);
+    }
+    return fp_mlps[layer].forward(fused, name, trace);
+}
+
+RunOutput
+PointNet2::run(const PointCloud &input, const RunOptions &opts) const
+{
+    HGPCN_ASSERT(!input.empty(), "empty input cloud");
+    HGPCN_ASSERT(input.featureDim() == arch.inputFeatureDim,
+                 "input feature width ", input.featureDim(),
+                 " != spec width ", arch.inputFeatureDim);
+    if (opts.inputOctree) {
+        HGPCN_ASSERT(opts.inputOctree->reorderedCloud().size() ==
+                         input.size(),
+                     "input octree does not match the input cloud");
+    }
+
+    RunOutput out;
+    Rng rng(opts.seed);
+
+    std::vector<Level> levels;
+    levels.reserve(arch.sa.size() + 1);
+    {
+        Level l0;
+        l0.positions = input.positions();
+        l0.features = Tensor(input.size(), arch.inputFeatureDim);
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            const auto f = input.feature(static_cast<PointIndex>(i));
+            for (std::size_t c = 0; c < f.size(); ++c)
+                l0.features.at(i, c) = f[c];
+        }
+        levels.push_back(std::move(l0));
+    }
+
+    for (std::size_t i = 0; i < arch.sa.size(); ++i) {
+        levels.push_back(runSaLayer(i, levels.back(), opts, rng,
+                                    opts.inputOctree, out.trace));
+    }
+
+    if (!arch.segmentation) {
+        out.logits = head_mlp->forward(levels.back().features, "head",
+                                       out.trace);
+    } else {
+        Tensor carried = levels.back().features;
+        for (std::size_t t = arch.sa.size(); t-- > 0;) {
+            Level coarse;
+            coarse.positions = levels[t + 1].positions;
+            coarse.features = std::move(carried);
+            carried = runFpLayer(t, levels[t], coarse, opts, out.trace);
+        }
+        out.logits = head_mlp->forward(carried, "head", out.trace);
+    }
+
+    out.labels.resize(out.logits.rows());
+    for (std::size_t r = 0; r < out.logits.rows(); ++r)
+        out.labels[r] = out.logits.argmaxRow(r);
+    return out;
+}
+
+} // namespace hgpcn

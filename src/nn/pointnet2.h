@@ -1,0 +1,171 @@
+/**
+ * @file
+ * PointNet++ [22] reference models.
+ *
+ * The paper's backend PCN for all four tasks (Table I):
+ * Pointnet++(c) for ModelNet40 classification, Pointnet++(ps) for
+ * ShapeNet part segmentation, Pointnet++(s) for S3DIS / KITTI
+ * semantic segmentation. Each Set-Abstraction (SA) layer performs the
+ * three-step loop of Fig. 2 — central point selection, data
+ * structuring (KNN or Ball Query), feature computation (shared MLP +
+ * max pool) — and Feature-Propagation (FP) layers interpolate
+ * features back for segmentation heads.
+ *
+ * Weights are seeded-random: every evaluated quantity in the paper is
+ * latency, and the layer shapes (which drive the FCU) are identical
+ * to a trained network's. Execution is real — outputs are computed,
+ * permutation-invariance holds, and the ExecutionTrace records every
+ * GEMM and gather for the hardware simulators.
+ */
+
+#ifndef HGPCN_NN_POINTNET2_H
+#define HGPCN_NN_POINTNET2_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer_trace.h"
+#include "nn/mlp.h"
+#include "octree/octree.h"
+
+namespace hgpcn
+{
+
+/** How SA layers pick their central points. */
+enum class CentroidMethod
+{
+    Random, //!< random picking (the Mesorasi-compatible mode the
+            //!< paper uses for the Fig. 14 comparison)
+    Fps,    //!< farthest point sampling (standard PointNet++)
+};
+
+/** Which data-structuring method SA/FP layers use. */
+enum class DsMethod
+{
+    BruteKnn,  //!< full-scan KNN (CPU/GPU/PointACC/Mesorasi path)
+    BruteBq,   //!< full-scan Ball Query
+    Veg,       //!< Voxel-Expanded Gathering (HgPCN DSU path)
+    VegBq,     //!< VEG-backed Ball Query
+    VegStrict, //!< provably exact VEG (ablation)
+};
+
+/** @return printable name of a DsMethod. */
+const char *toString(DsMethod method);
+
+/** One Set-Abstraction level. */
+struct SaLayerSpec
+{
+    std::size_t npoint; //!< central points; 0 means group-all
+    std::size_t k;      //!< neighbors per centroid
+    float radius;       //!< ball-query radius (cloud units)
+    std::vector<std::size_t> mlp; //!< shared-MLP widths
+};
+
+/** One Feature-Propagation level. */
+struct FpLayerSpec
+{
+    std::vector<std::size_t> mlp; //!< unit-MLP widths
+};
+
+/** Complete network description. */
+struct PointNet2Spec
+{
+    std::string name;
+    std::size_t inputPoints = 0;
+    std::size_t inputFeatureDim = 0; //!< extra channels beside xyz
+    std::size_t numClasses = 0;
+    bool segmentation = false;
+    std::vector<SaLayerSpec> sa;
+    std::vector<FpLayerSpec> fp; //!< one per non-group-all SA level
+    std::vector<std::size_t> head; //!< hidden widths of the head
+
+    /** Pointnet++(c), ModelNet40-class config (1024 points). */
+    static PointNet2Spec classification(std::size_t num_classes = 40);
+
+    /** Pointnet++(ps), ShapeNet part segmentation (2048 points). */
+    static PointNet2Spec partSegmentation(std::size_t num_parts = 50);
+
+    /** Pointnet++(s), S3DIS semantic segmentation (4096 points). */
+    static PointNet2Spec semanticSegmentation(
+        std::size_t num_classes = 13);
+
+    /** Pointnet++(s) scaled for KITTI outdoor frames (16384). */
+    static PointNet2Spec outdoorSegmentation(
+        std::size_t num_classes = 4);
+};
+
+/** Inference options. */
+struct RunOptions
+{
+    CentroidMethod centroid = CentroidMethod::Random;
+    DsMethod ds = DsMethod::BruteKnn;
+    std::uint64_t seed = 7;
+    /**
+     * Pre-built octree over the input cloud (the Pre-processing
+     * Engine's tree, reused by the DSU per Section VIII "the VEG
+     * method can reuse the built Octree to amortize the overhead").
+     * Only consulted for VEG methods at the first SA level; its
+     * reordered cloud must be the cloud passed to run().
+     */
+    const Octree *inputOctree = nullptr;
+};
+
+/** Inference output. */
+struct RunOutput
+{
+    Tensor logits; //!< [1, classes] or [points, classes]
+    std::vector<std::size_t> labels; //!< argmax per row
+    ExecutionTrace trace;
+};
+
+/**
+ * A PointNet++ network with materialised (seeded-random) weights.
+ */
+class PointNet2
+{
+  public:
+    /**
+     * Build a network for @p spec.
+     * @param weight_seed Seed for the deterministic weights.
+     */
+    explicit PointNet2(const PointNet2Spec &spec,
+                       std::uint64_t weight_seed = 42);
+
+    /** @return the architecture description. */
+    const PointNet2Spec &spec() const { return arch; }
+
+    /**
+     * Run inference over @p input (already down-sampled to
+     * spec().inputPoints; a differing size is allowed and simply
+     * shifts the workload).
+     */
+    RunOutput run(const PointCloud &input,
+                  const RunOptions &opts = {}) const;
+
+  private:
+    PointNet2Spec arch;
+    std::vector<Mlp> sa_mlps;
+    std::vector<Mlp> fp_mlps;
+    std::unique_ptr<Mlp> head_mlp;
+
+    struct Level
+    {
+        std::vector<Vec3> positions;
+        Tensor features; //!< [points, C]; C may be 0
+    };
+
+    Level runSaLayer(std::size_t layer, const Level &in,
+                     const RunOptions &opts, Rng &rng,
+                     const Octree *reusable_tree,
+                     ExecutionTrace &trace) const;
+
+    Tensor runFpLayer(std::size_t layer, const Level &fine,
+                      const Level &coarse, const RunOptions &opts,
+                      ExecutionTrace &trace) const;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_NN_POINTNET2_H

@@ -1,0 +1,89 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+void
+Tensor::randomize(Rng &rng, float scale)
+{
+    for (auto &v : store)
+        v = rng.uniform(-scale, scale);
+}
+
+void
+Tensor::reluInPlace()
+{
+    for (auto &v : store)
+        v = v > 0.0f ? v : 0.0f;
+}
+
+Tensor
+Tensor::matmul(const Tensor &a, const Tensor &b)
+{
+    HGPCN_ASSERT(a.cols() == b.rows(), "matmul shape mismatch: [",
+                 a.rows(), ",", a.cols(), "] x [", b.rows(), ",",
+                 b.cols(), "]");
+    Tensor out(a.rows(), b.cols());
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = b.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        float *out_row = out.row(i);
+        const float *a_row = a.row(i);
+        for (std::size_t k = 0; k < kk; ++k) {
+            const float a_ik = a_row[k];
+            if (a_ik == 0.0f)
+                continue;
+            const float *b_row = b.row(k);
+            for (std::size_t j = 0; j < n; ++j)
+                out_row[j] += a_ik * b_row[j];
+        }
+    }
+    return out;
+}
+
+void
+Tensor::addRowBias(const std::vector<float> &bias)
+{
+    HGPCN_ASSERT(bias.size() == n_cols, "bias width mismatch");
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        float *row_ptr = row(r);
+        for (std::size_t c = 0; c < n_cols; ++c)
+            row_ptr[c] += bias[c];
+    }
+}
+
+Tensor
+Tensor::maxPoolGroups(std::size_t group) const
+{
+    HGPCN_ASSERT(group >= 1 && n_rows % group == 0,
+                 "rows ", n_rows, " not a multiple of group ", group);
+    const std::size_t out_rows = n_rows / group;
+    Tensor out(out_rows, n_cols);
+    for (std::size_t g = 0; g < out_rows; ++g) {
+        float *dst = out.row(g);
+        const float *first = row(g * group);
+        std::copy(first, first + n_cols, dst);
+        for (std::size_t i = 1; i < group; ++i) {
+            const float *src = row(g * group + i);
+            for (std::size_t c = 0; c < n_cols; ++c)
+                dst[c] = std::max(dst[c], src[c]);
+        }
+    }
+    return out;
+}
+
+std::size_t
+Tensor::argmaxRow(std::size_t r) const
+{
+    HGPCN_ASSERT(n_cols > 0, "empty tensor");
+    const float *row_ptr = row(r);
+    return static_cast<std::size_t>(
+        std::max_element(row_ptr, row_ptr + n_cols) - row_ptr);
+}
+
+} // namespace hgpcn

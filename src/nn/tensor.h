@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal dense 2D tensor for PCN feature computation.
+ *
+ * The feature computation step of a PCN decomposes into matrix-vector
+ * and matrix-matrix products (Section II-A), which is exactly what
+ * the FCU/DLA accelerates. This reference implementation runs the
+ * same GEMMs on the CPU so outputs are real numbers and layer shapes
+ * are extracted from actual execution rather than hand-derived.
+ */
+
+#ifndef HGPCN_NN_TENSOR_H
+#define HGPCN_NN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hgpcn
+{
+
+/** A row-major 2D float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Create a zeroed tensor of @p rows x @p cols. */
+    Tensor(std::size_t rows, std::size_t cols)
+        : n_rows(rows), n_cols(cols), store(rows * cols, 0.0f)
+    {}
+
+    /** @return number of rows. */
+    std::size_t rows() const { return n_rows; }
+
+    /** @return number of columns. */
+    std::size_t cols() const { return n_cols; }
+
+    /** @return element (r, c). */
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        return store[r * n_cols + c];
+    }
+
+    /** @return mutable element (r, c). */
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        return store[r * n_cols + c];
+    }
+
+    /** @return pointer to row @p r. */
+    const float *row(std::size_t r) const { return &store[r * n_cols]; }
+
+    /** @return mutable pointer to row @p r. */
+    float *row(std::size_t r) { return &store[r * n_cols]; }
+
+    /** @return underlying storage. */
+    const std::vector<float> &data() const { return store; }
+
+    /** Fill with He-style scaled uniform random weights. */
+    void randomize(Rng &rng, float scale);
+
+    /** Element-wise max(0, x) in place. */
+    void reluInPlace();
+
+    /**
+     * this = a * b (a: [M,K], b: [K,N], this becomes [M,N]).
+     */
+    static Tensor matmul(const Tensor &a, const Tensor &b);
+
+    /** Add a length-cols() bias vector to every row. */
+    void addRowBias(const std::vector<float> &bias);
+
+    /**
+     * Column-wise max over groups of @p group rows: input [G*group,
+     * C] reduces to [G, C]. This is the PointNet max-pool over each
+     * gathered neighborhood.
+     */
+    Tensor maxPoolGroups(std::size_t group) const;
+
+    /** @return index of the maximum element of row @p r. */
+    std::size_t argmaxRow(std::size_t r) const;
+
+  private:
+    std::size_t n_rows = 0;
+    std::size_t n_cols = 0;
+    std::vector<float> store;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_NN_TENSOR_H

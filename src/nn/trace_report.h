@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable rendering of an ExecutionTrace.
+ *
+ * Turns the per-GEMM / per-gather record of a network run into
+ * aligned tables: layer shapes, MAC counts, data-structuring
+ * workload and the totals the hardware models consume. Used by the
+ * examples and handy when porting a new network onto the engine.
+ */
+
+#ifndef HGPCN_NN_TRACE_REPORT_H
+#define HGPCN_NN_TRACE_REPORT_H
+
+#include <string>
+
+#include "nn/layer_trace.h"
+
+namespace hgpcn
+{
+
+/** Render the GEMM schedule of @p trace as a table. */
+std::string renderGemmTable(const ExecutionTrace &trace);
+
+/** Render the data-structuring workload of @p trace as a table. */
+std::string renderGatherTable(const ExecutionTrace &trace);
+
+/** Render one-line totals (MACs, distances, sort candidates). */
+std::string renderTraceTotals(const ExecutionTrace &trace);
+
+} // namespace hgpcn
+
+#endif // HGPCN_NN_TRACE_REPORT_H

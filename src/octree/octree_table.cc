@@ -1,0 +1,24 @@
+#include "octree/octree_table.h"
+
+namespace hgpcn
+{
+
+OctreeTable
+OctreeTable::fromOctree(const Octree &tree)
+{
+    OctreeTable table;
+    table.rows.reserve(tree.nodes().size());
+    for (const OctreeNode &node : tree.nodes()) {
+        OctreeTableEntry row;
+        row.code = node.code;
+        row.pointBegin = node.pointBegin;
+        row.pointEnd = node.pointEnd;
+        row.firstChild = node.firstChild;
+        row.level = node.level;
+        row.childMask = node.childMask;
+        table.rows.push_back(row);
+    }
+    return table;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Flattened Octree-Table image.
+ *
+ * The Octree-build Unit (CPU) serialises the octree into this compact
+ * table and transfers it to the FPGA Down-sampling Unit over MMIO
+ * (Section V). Only this table — never the raw points — has to live
+ * in FPGA on-chip memory, which is the source of the 12x-22x on-chip
+ * memory saving of Fig. 13.
+ */
+
+#ifndef HGPCN_OCTREE_OCTREE_TABLE_H
+#define HGPCN_OCTREE_OCTREE_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "octree/octree.h"
+
+namespace hgpcn
+{
+
+/**
+ * One table row. Mirrors the information an FPGA BRAM word needs to
+ * drive table-lookup sampling: the voxel m-code, the tree linkage and
+ * the host-memory address range of the voxel's points.
+ */
+struct OctreeTableEntry
+{
+    std::uint64_t code;      //!< m-code (3*level significant bits)
+    std::uint32_t pointBegin; //!< host-memory address range (in points)
+    std::uint32_t pointEnd;
+    std::int32_t firstChild; //!< row index of first child; -1 for leaf
+    std::uint16_t level;
+    std::uint8_t childMask;
+};
+
+/**
+ * The serialized octree transferred to the Down-sampling Unit.
+ */
+class OctreeTable
+{
+  public:
+    /** Bytes per table row in the hardware layout (packed fields). */
+    static constexpr std::size_t kEntryBytes = 20;
+
+    /** Serialize @p tree into a table (row i == node i). */
+    static OctreeTable fromOctree(const Octree &tree);
+
+    /** @return number of rows. */
+    std::size_t entryCount() const { return rows.size(); }
+
+    /** @return table footprint in bytes (the MMIO transfer size). */
+    std::size_t sizeBytes() const { return rows.size() * kEntryBytes; }
+
+    /** @return row @p i. */
+    const OctreeTableEntry &entry(std::size_t i) const { return rows[i]; }
+
+    /** @return all rows. */
+    const std::vector<OctreeTableEntry> &entries() const { return rows; }
+
+  private:
+    std::vector<OctreeTableEntry> rows;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_OCTREE_OCTREE_TABLE_H

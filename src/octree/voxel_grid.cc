@@ -1,0 +1,137 @@
+#include "octree/voxel_grid.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+VoxelGrid::VoxelGrid(const Octree &tree, int level)
+    : octree(tree), lvl(level),
+      axis_cells(static_cast<std::int32_t>(1) << level)
+{
+    HGPCN_ASSERT(level >= 0 && level <= tree.config().maxDepth,
+                 "grid level ", level, " outside octree depth ",
+                 tree.config().maxDepth);
+}
+
+GridCell
+VoxelGrid::cellOf(const Vec3 &p) const
+{
+    morton::CellCoord x = 0, y = 0, z = 0;
+    morton::cellOf(p, octree.rootBounds(), lvl, x, y, z);
+    return {static_cast<std::int32_t>(x), static_cast<std::int32_t>(y),
+            static_cast<std::int32_t>(z)};
+}
+
+bool
+VoxelGrid::inGrid(const GridCell &c) const
+{
+    return c.x >= 0 && c.x < axis_cells && c.y >= 0 && c.y < axis_cells &&
+           c.z >= 0 && c.z < axis_cells;
+}
+
+morton::Code
+VoxelGrid::cellCode(const GridCell &c) const
+{
+    HGPCN_ASSERT(inGrid(c), "cell outside grid");
+    if (lvl == 0)
+        return 0; // the single root cell
+    return morton::encode3(static_cast<morton::CellCoord>(c.x),
+                           static_cast<morton::CellCoord>(c.y),
+                           static_cast<morton::CellCoord>(c.z), lvl);
+}
+
+std::pair<PointIndex, PointIndex>
+VoxelGrid::cellRange(const GridCell &c) const
+{
+    if (!inGrid(c))
+        return {0, 0};
+    if (lvl == 0) {
+        return {0,
+                static_cast<PointIndex>(octree.pointCodes().size())};
+    }
+    return octree.voxelRange(cellCode(c), lvl);
+}
+
+std::uint32_t
+VoxelGrid::cellCount(const GridCell &c) const
+{
+    const auto [first, last] = cellRange(c);
+    return last - first;
+}
+
+std::size_t
+VoxelGrid::forEachRingCell(
+    const GridCell &center, int ring,
+    const std::function<void(const GridCell &)> &fn) const
+{
+    HGPCN_ASSERT(ring >= 0, "negative ring");
+    std::size_t visited = 0;
+    if (ring == 0) {
+        if (inGrid(center)) {
+            fn(center);
+            ++visited;
+        }
+        return visited;
+    }
+    // The shell is the set of cells whose Chebyshev distance to the
+    // center is exactly `ring`: at least one axis offset is +/-ring.
+    for (std::int32_t dx = -ring; dx <= ring; ++dx) {
+        for (std::int32_t dy = -ring; dy <= ring; ++dy) {
+            for (std::int32_t dz = -ring; dz <= ring; ++dz) {
+                const bool on_shell = dx == ring || dx == -ring ||
+                                      dy == ring || dy == -ring ||
+                                      dz == ring || dz == -ring;
+                if (!on_shell)
+                    continue;
+                const GridCell c{center.x + dx, center.y + dy,
+                                 center.z + dz};
+                if (!inGrid(c))
+                    continue;
+                fn(c);
+                ++visited;
+            }
+        }
+    }
+    return visited;
+}
+
+std::uint32_t
+VoxelGrid::ringPointCount(const GridCell &center, int ring) const
+{
+    std::uint32_t total = 0;
+    forEachRingCell(center, ring, [&](const GridCell &c) {
+        total += cellCount(c);
+    });
+    return total;
+}
+
+std::size_t
+VoxelGrid::gatherRingPoints(const GridCell &center, int ring,
+                            std::vector<PointIndex> &out) const
+{
+    return forEachRingCell(center, ring, [&](const GridCell &c) {
+        const auto [first, last] = cellRange(c);
+        for (PointIndex i = first; i < last; ++i)
+            out.push_back(i);
+    });
+}
+
+int
+VoxelGrid::autoLevel(std::size_t n_points, int max_level)
+{
+    // Aim for ~1.5 points per occupied voxel so that the 27-cell
+    // ring-0/ring-1 neighborhood covers a typical K of 16-64.
+    int level = 1;
+    double cells = 8.0;
+    while (level < max_level &&
+           static_cast<double>(n_points) / cells > 1.5) {
+        ++level;
+        cells *= 8.0;
+    }
+    return level;
+}
+
+} // namespace hgpcn

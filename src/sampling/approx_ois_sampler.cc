@@ -1,0 +1,96 @@
+#include "sampling/approx_ois_sampler.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+
+/** Pick the @p ordinal-th live point in the node's range. */
+PointIndex
+pickLiveInNode(const Octree &tree, NodeIndex n, std::uint64_t ordinal)
+{
+    const OctreeNode &node = tree.node(n);
+    std::uint64_t seen = 0;
+    for (PointIndex i = node.pointBegin; i < node.pointEnd; ++i) {
+        if (!tree.isLive(i))
+            continue;
+        if (seen == ordinal)
+            return i;
+        ++seen;
+    }
+    panic("node ", n, " ran out of live points");
+}
+
+} // namespace
+
+SampleResult
+ApproxOisSampler::sample(const PointCloud &cloud, std::size_t k)
+{
+    Octree tree = Octree::build(cloud, cfg.octree);
+    SampleResult result = sampleWithTree(tree, k);
+    result.stats.merge(tree.buildStats());
+    return result;
+}
+
+SampleResult
+ApproxOisSampler::sampleWithTree(Octree &tree, std::size_t k) const
+{
+    const std::size_t n = tree.pointCodes().size();
+    HGPCN_ASSERT(k >= 1 && k <= n, "k=", k, " n=", n);
+
+    tree.resetLive();
+    const PointCloud &reordered = tree.reorderedCloud();
+    const std::vector<PointIndex> &perm = tree.permutation();
+
+    SampleResult result;
+    result.indices.reserve(k);
+    result.spt.reserve(k);
+
+    std::uint64_t host_reads = 0;
+    std::uint64_t table_lookups = 0;
+    std::uint64_t levels_total = 0;
+
+    Rng rng(cfg.seed);
+
+    auto record_pick = [&](PointIndex reordered_idx) {
+        tree.consumePoint(reordered_idx);
+        result.spt.push_back(reordered_idx);
+        result.indices.push_back(perm[reordered_idx]);
+        ++host_reads;
+    };
+
+    const PointIndex seed_idx = static_cast<PointIndex>(rng.below(n));
+    record_pick(seed_idx);
+    Vec3 sum = reordered.position(seed_idx);
+
+    for (std::size_t pick = 1; pick < k; ++pick) {
+        const Vec3 summary = sum / static_cast<float>(pick);
+        const morton::Code seed_code = morton::pointCode3(
+            summary, tree.rootBounds(), tree.config().maxDepth);
+
+        int levels = 0;
+        const NodeIndex stop = tree.descendFarthest(
+            seed_code, cfg.metric, cfg.stopCount, &levels);
+        HGPCN_ASSERT(stop != kNoNode, "octree exhausted early");
+        levels_total += static_cast<std::uint64_t>(levels);
+        table_lookups += static_cast<std::uint64_t>(levels) * 8;
+
+        const std::uint64_t ordinal = rng.below(tree.liveCount(stop));
+        const PointIndex chosen = pickLiveInNode(tree, stop, ordinal);
+        record_pick(chosen);
+        sum += reordered.position(chosen);
+    }
+
+    result.stats.set("sample.host_reads", host_reads);
+    result.stats.set("sample.host_writes", k);
+    result.stats.set("sample.table_lookups", table_lookups);
+    result.stats.set("sample.levels_visited", levels_total);
+    return result;
+}
+
+} // namespace hgpcn

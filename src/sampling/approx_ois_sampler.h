@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Approximate OIS-based FPS (paper Section VIII, future directions).
+ *
+ * "Instead of finding the accurate farthest point, we can randomly
+ * pick a point contained by the current accessed node once the Octree
+ * search is near leaf level. Because the randomly picked point
+ * belongs to the same node as the actual farthest point, it is
+ * spatially adjacent to [it] and can serve as an approximate
+ * substitute."
+ *
+ * The descent stops as soon as the current node holds at most
+ * Config::stopCount live points; one of them is picked uniformly.
+ * This trades descent levels (and intra-leaf compares) for a bounded
+ * spatial error of one stop-node diagonal.
+ */
+
+#ifndef HGPCN_SAMPLING_APPROX_OIS_SAMPLER_H
+#define HGPCN_SAMPLING_APPROX_OIS_SAMPLER_H
+
+#include "common/rng.h"
+#include "octree/octree.h"
+#include "sampling/sampler.h"
+
+namespace hgpcn
+{
+
+/** Approximate OIS-based farthest-point sampling. */
+class ApproxOisSampler : public Sampler
+{
+  public:
+    /** Sampler parameters. */
+    struct Config
+    {
+        /** Octree build parameters. */
+        Octree::Config octree;
+        /** Farthest-voxel scoring rule (see DescentMetric). */
+        DescentMetric metric = DescentMetric::Balanced;
+        /** Stop descending once a node holds at most this many
+         * live points, then pick one of them at random. */
+        std::uint32_t stopCount = 32;
+        /** RNG seed. */
+        std::uint64_t seed = 1;
+    };
+
+    /** Create with default configuration. */
+    ApproxOisSampler() = default;
+
+    explicit ApproxOisSampler(const Config &config) : cfg(config) {}
+
+    SampleResult sample(const PointCloud &cloud, std::size_t k) override;
+
+    /** Sample over a pre-built octree (resets its live state). */
+    SampleResult sampleWithTree(Octree &tree, std::size_t k) const;
+
+    std::string name() const override { return "OIS-approx"; }
+
+    /** @return configured parameters. */
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg{};
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SAMPLING_APPROX_OIS_SAMPLER_H

@@ -1,0 +1,70 @@
+#include "sampling/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+
+float
+nearestSampleDistSq(const PointCloud &cloud,
+                    std::span<const PointIndex> sample, const Vec3 &p)
+{
+    float best = std::numeric_limits<float>::max();
+    for (PointIndex s : sample)
+        best = std::min(best, cloud.position(s).distSq(p));
+    return best;
+}
+
+} // namespace
+
+double
+coverageRadius(const PointCloud &cloud,
+               std::span<const PointIndex> sample)
+{
+    HGPCN_ASSERT(!sample.empty(), "empty sample");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        worst = std::max(
+            worst, nearestSampleDistSq(
+                       cloud, sample,
+                       cloud.position(static_cast<PointIndex>(i))));
+    }
+    return std::sqrt(static_cast<double>(worst));
+}
+
+double
+meanNearestSampleDistance(const PointCloud &cloud,
+                          std::span<const PointIndex> sample)
+{
+    HGPCN_ASSERT(!sample.empty(), "empty sample");
+    double total = 0.0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        total += std::sqrt(static_cast<double>(nearestSampleDistSq(
+            cloud, sample, cloud.position(static_cast<PointIndex>(i)))));
+    }
+    return total / static_cast<double>(cloud.size());
+}
+
+double
+minSampleSpacing(const PointCloud &cloud,
+                 std::span<const PointIndex> sample)
+{
+    HGPCN_ASSERT(sample.size() >= 2, "need at least two samples");
+    float best = std::numeric_limits<float>::max();
+    for (std::size_t a = 0; a < sample.size(); ++a) {
+        for (std::size_t b = a + 1; b < sample.size(); ++b) {
+            best = std::min(best, cloud.position(sample[a])
+                                      .distSq(cloud.position(sample[b])));
+        }
+    }
+    return std::sqrt(static_cast<double>(best));
+}
+
+} // namespace hgpcn

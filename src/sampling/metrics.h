@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Sampling-quality metrics.
+ *
+ * The paper orders methods by information loss: FPS least, RS most,
+ * with OIS matching FPS ("it can achieve the same accuracy as the FPS
+ * method", Section VII-C). These geometric metrics let tests and
+ * ablations quantify that ordering without trained networks: a
+ * sample that covers the cloud tightly (small coverage radius) loses
+ * the least spatial information.
+ */
+
+#ifndef HGPCN_SAMPLING_METRICS_H
+#define HGPCN_SAMPLING_METRICS_H
+
+#include <span>
+
+#include "geometry/point_cloud.h"
+
+namespace hgpcn
+{
+
+/**
+ * Coverage radius: the largest distance from any cloud point to its
+ * nearest sampled point (directed Hausdorff distance cloud→sample).
+ * FPS greedily minimises this quantity.
+ */
+double coverageRadius(const PointCloud &cloud,
+                      std::span<const PointIndex> sample);
+
+/** Mean distance from cloud points to their nearest sampled point. */
+double meanNearestSampleDistance(const PointCloud &cloud,
+                                 std::span<const PointIndex> sample);
+
+/**
+ * Minimum pairwise distance within the sample. FPS keeps samples
+ * spread out, so a higher value indicates FPS-like behaviour.
+ */
+double minSampleSpacing(const PointCloud &cloud,
+                        std::span<const PointIndex> sample);
+
+} // namespace hgpcn
+
+#endif // HGPCN_SAMPLING_METRICS_H

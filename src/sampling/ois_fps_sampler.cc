@@ -1,0 +1,84 @@
+#include "sampling/ois_fps_sampler.h"
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+SampleResult
+OisFpsSampler::sample(const PointCloud &cloud, std::size_t k)
+{
+    Octree tree = Octree::build(cloud, cfg.octree);
+    SampleResult result = sampleWithTree(tree, k);
+    result.stats.merge(tree.buildStats());
+    return result;
+}
+
+SampleResult
+OisFpsSampler::sampleWithTree(Octree &tree, std::size_t k) const
+{
+    const std::size_t n = tree.pointCodes().size();
+    HGPCN_ASSERT(k >= 1 && k <= n, "k=", k, " n=", n);
+
+    tree.resetLive();
+    const PointCloud &reordered = tree.reorderedCloud();
+    const std::vector<PointIndex> &perm = tree.permutation();
+
+    SampleResult result;
+    result.indices.reserve(k);
+    result.spt.reserve(k);
+
+    std::uint64_t host_reads = 0;
+    std::uint64_t spt_writes = 0;
+    std::uint64_t table_lookups = 0;
+    std::uint64_t levels_total = 0;
+    std::uint64_t leaf_candidates = 0;
+
+    auto record_pick = [&](PointIndex reordered_idx) {
+        tree.consumePoint(reordered_idx);
+        result.spt.push_back(reordered_idx);
+        result.indices.push_back(perm[reordered_idx]);
+        ++spt_writes;
+        // One host-memory access fetches the picked point through its
+        // SPT address.
+        ++host_reads;
+    };
+
+    // Seed: a random live point (as in standard FPS).
+    Rng rng(cfg.seed);
+    const PointIndex seed_idx = static_cast<PointIndex>(rng.below(n));
+    record_pick(seed_idx);
+
+    // Running coordinate sum for the ||S||2 virtual summary point.
+    Vec3 sum = reordered.position(seed_idx);
+
+    for (std::size_t pick = 1; pick < k; ++pick) {
+        const Vec3 summary = sum / static_cast<float>(pick);
+        const morton::Code seed_code = morton::pointCode3(
+            summary, tree.rootBounds(), tree.config().maxDepth);
+
+        int levels = 0;
+        const NodeIndex leaf =
+            tree.descendFarthest(seed_code, cfg.metric, 0, &levels);
+        HGPCN_ASSERT(leaf != kNoNode, "octree exhausted early");
+        levels_total += static_cast<std::uint64_t>(levels);
+        // Each level compares up to eight sibling m-codes in the
+        // table (the eight parallel Sampling Modules of Fig. 7).
+        table_lookups += static_cast<std::uint64_t>(levels) * 8;
+
+        const PointIndex chosen =
+            tree.farthestLivePointInLeaf(leaf, seed_code);
+        leaf_candidates += tree.node(leaf).count();
+        record_pick(chosen);
+        sum += reordered.position(chosen);
+    }
+
+    result.stats.set("sample.host_reads", host_reads);
+    result.stats.set("sample.host_writes", spt_writes);
+    result.stats.set("sample.table_lookups", table_lookups);
+    result.stats.set("sample.levels_visited", levels_total);
+    result.stats.set("sample.leaf_candidates", leaf_candidates);
+    return result;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Octree-Indexed-Sampling FPS (paper Fig. 6, Algorithm 2).
+ *
+ * The core pre-processing contribution of HgPCN. Instead of scanning
+ * all raw points per pick, the sampler walks the Octree-Table: at
+ * every level the live child whose m-code maximises the Hamming
+ * distance to the seed voxel's code is selected (the Sampling
+ * Modules' XOR+popcount of Fig. 7), so finding the next point costs
+ * at most `depth` table lookups instead of N distance computations.
+ * Host memory is touched exactly once per picked point, to read its
+ * coordinates through the Sampled-Points-Table address.
+ *
+ * Following Section V-B, once the picked set S holds more than one
+ * point the descent seed is the virtual summary point ||S||2,
+ * implemented as the centroid of S.
+ */
+
+#ifndef HGPCN_SAMPLING_OIS_FPS_SAMPLER_H
+#define HGPCN_SAMPLING_OIS_FPS_SAMPLER_H
+
+#include "common/rng.h"
+#include "octree/octree.h"
+#include "sampling/sampler.h"
+
+namespace hgpcn
+{
+
+/**
+ * Exact OIS-based farthest-point sampling.
+ */
+class OisFpsSampler : public Sampler
+{
+  public:
+    /** Sampler parameters. */
+    struct Config
+    {
+        /** Octree build parameters (depth drives lookup cost). */
+        Octree::Config octree;
+        /** Farthest-voxel scoring rule (see DescentMetric). */
+        DescentMetric metric = DescentMetric::Balanced;
+        /** RNG seed for the initial point pick. */
+        std::uint64_t seed = 1;
+    };
+
+    /** Create with default configuration. */
+    OisFpsSampler() = default;
+
+    explicit OisFpsSampler(const Config &config) : cfg(config) {}
+
+    /**
+     * Build the octree (accounted in the result's stats) and sample.
+     * Indices in the result refer to @p cloud's original order; the
+     * result's spt holds the reordered-memory addresses.
+     */
+    SampleResult sample(const PointCloud &cloud, std::size_t k) override;
+
+    /**
+     * Sample over an already-built octree (the HgPCN engine path,
+     * where the Octree-build Unit ran on the CPU beforehand). Resets
+     * and consumes @p tree's live-point state. Build stats are NOT
+     * merged into the result.
+     */
+    SampleResult sampleWithTree(Octree &tree, std::size_t k) const;
+
+    std::string name() const override { return "OIS"; }
+
+    /** @return configured parameters. */
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg{};
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SAMPLING_OIS_FPS_SAMPLER_H

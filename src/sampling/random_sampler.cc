@@ -1,0 +1,45 @@
+#include "sampling/random_sampler.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+SampleResult
+RandomSampler::sample(const PointCloud &cloud, std::size_t k)
+{
+    const std::size_t n = cloud.size();
+    HGPCN_ASSERT(k >= 1 && k <= n, "k=", k, " n=", n);
+
+    SampleResult result;
+    result.indices.resize(n);
+    std::iota(result.indices.begin(), result.indices.end(), 0u);
+
+    // Partial Fisher-Yates: the first k slots become the sample.
+    Rng rng(rng_seed);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + rng.below(n - i);
+        std::swap(result.indices[i], result.indices[j]);
+    }
+    result.indices.resize(k);
+
+    result.stats.set("sample.host_reads", k);
+    result.stats.set("sample.host_writes", k);
+    return result;
+}
+
+SampleResult
+ReinforcedRandomSampler::sample(const PointCloud &cloud, std::size_t k)
+{
+    SampleResult result = inner.sample(cloud, k);
+    // The reinforcement encoder reads every raw point once and runs a
+    // small per-point MLP.
+    result.stats.add("sample.host_reads", cloud.size());
+    result.stats.set("sample.encoder_macs",
+                     cloud.size() * kEncoderMacsPerPoint);
+    return result;
+}
+
+} // namespace hgpcn

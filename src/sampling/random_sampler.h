@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Random down-sampling (RS) and its reinforced variant.
+ *
+ * RS is the only traditional method fast enough for real time on
+ * general-purpose hardware, at the price of unreliable accuracy
+ * (Section II-A). RandLA-Net-style pipelines bolt a learned encoder
+ * onto RS to win some robustness back ("RS+reinforce" in Fig. 12); we
+ * model that encoder as a fixed per-point MAC cost since only its
+ * latency enters the paper's comparison.
+ */
+
+#ifndef HGPCN_SAMPLING_RANDOM_SAMPLER_H
+#define HGPCN_SAMPLING_RANDOM_SAMPLER_H
+
+#include "common/rng.h"
+#include "sampling/sampler.h"
+
+namespace hgpcn
+{
+
+/** Uniform random down-sampling without replacement. */
+class RandomSampler : public Sampler
+{
+  public:
+    explicit RandomSampler(std::uint64_t seed = 1) : rng_seed(seed) {}
+
+    SampleResult sample(const PointCloud &cloud, std::size_t k) override;
+
+    std::string name() const override { return "RS"; }
+
+  private:
+    std::uint64_t rng_seed;
+};
+
+/**
+ * Random sampling followed by a reinforcement encoder pass
+ * (RandLA-Net [10] style). The encoder itself is not reproduced —
+ * only its workload: kEncoderMacsPerPoint MACs for every raw point,
+ * reported as "sample.encoder_macs" for the device models.
+ */
+class ReinforcedRandomSampler : public Sampler
+{
+  public:
+    /** Per-raw-point MAC cost of the reinforcement encoder. */
+    static constexpr std::uint64_t kEncoderMacsPerPoint = 64;
+
+    explicit ReinforcedRandomSampler(std::uint64_t seed = 1)
+        : inner(seed)
+    {}
+
+    SampleResult sample(const PointCloud &cloud, std::size_t k) override;
+
+    std::string name() const override { return "RS+reinforce"; }
+
+  private:
+    RandomSampler inner;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SAMPLING_RANDOM_SAMPLER_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Down-sampling interface.
+ *
+ * Pre-processing decimates a raw frame of N (1e5..1e6+) points into a
+ * fixed K (e.g. 4096) for the PCN input layer (Section II). Samplers
+ * report their workload through StatSet counters; the counter names
+ * below are shared across implementations so benches and simulators
+ * can compare them directly.
+ *
+ * Common counters:
+ *  - "sample.host_reads"          point reads from host memory
+ *  - "sample.host_writes"         point/intermediate writes to host
+ *  - "sample.intermediate_reads"  distance-array reads (FPS only)
+ *  - "sample.intermediate_writes" distance-array writes (FPS only)
+ *  - "sample.distance_computations"
+ *  - "sample.table_lookups"       on-chip octree-table lookups (OIS)
+ *  - "sample.levels_visited"      octree levels walked (OIS)
+ */
+
+#ifndef HGPCN_SAMPLING_SAMPLER_H
+#define HGPCN_SAMPLING_SAMPLER_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "geometry/point_cloud.h"
+
+namespace hgpcn
+{
+
+/** Output of a down-sampling pass. */
+struct SampleResult
+{
+    /** Selected points, as indices into the cloud that was sampled. */
+    std::vector<PointIndex> indices;
+
+    /**
+     * Sampled-Points-Table: host-memory addresses (positions in the
+     * SFC-reordered array) of the selected points. Only filled by
+     * octree-indexed samplers; empty otherwise.
+     */
+    std::vector<PointIndex> spt;
+
+    /** Workload accounting (see file comment for counter names). */
+    StatSet stats;
+};
+
+/**
+ * Abstract down-sampler: pick @p k points from a cloud.
+ */
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+
+    /**
+     * Select @p k points of @p cloud.
+     *
+     * @param cloud Input frame; must contain at least @p k points.
+     * @param k Number of points to keep.
+     */
+    virtual SampleResult sample(const PointCloud &cloud,
+                                std::size_t k) = 0;
+
+    /** @return short method name for reports ("FPS", "OIS", ...). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SAMPLING_SAMPLER_H

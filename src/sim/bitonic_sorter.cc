@@ -1,0 +1,57 @@
+#include "sim/bitonic_sorter.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+
+/** Round up to a power of two (min 2). */
+std::uint64_t
+padPow2(std::uint64_t n)
+{
+    if (n <= 2)
+        return 2;
+    return std::bit_ceil(n);
+}
+
+} // namespace
+
+std::uint64_t
+BitonicSorterSim::sortCycles(std::uint64_t n) const
+{
+    if (n <= 1)
+        return 1;
+    const std::uint64_t p = padPow2(n);
+    const std::uint64_t log_p =
+        static_cast<std::uint64_t>(std::bit_width(p) - 1);
+    const std::uint64_t stages = log_p * (log_p + 1) / 2;
+    const std::uint64_t pairs = p / 2;
+    const std::uint64_t cycles_per_stage =
+        (pairs + n_lanes - 1) / n_lanes;
+    return stages * cycles_per_stage;
+}
+
+std::uint64_t
+BitonicSorterSim::topKCycles(std::uint64_t n, std::uint64_t k) const
+{
+    HGPCN_ASSERT(k >= 1, "k must be positive");
+    if (n <= k)
+        return sortCycles(n);
+    // Maintain a sorted k-buffer; each incoming k-sized batch is
+    // bitonic-sorted and merged (one extra stage set of log2(2k)).
+    const std::uint64_t batches = (n + k - 1) / k;
+    const std::uint64_t batch_sort = sortCycles(k);
+    const std::uint64_t p2 = padPow2(2 * k);
+    const std::uint64_t merge_stages =
+        static_cast<std::uint64_t>(std::bit_width(p2) - 1);
+    const std::uint64_t merge =
+        merge_stages * ((p2 / 2 + n_lanes - 1) / n_lanes);
+    return batches * (batch_sort + merge);
+}
+
+} // namespace hgpcn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bitonic sorter hardware model.
+ *
+ * Both HgPCN's DSU and PointACC's Mapping Unit select top-K
+ * neighbors with a bitonic sorting network (Section VII-D); the
+ * architectural difference the paper highlights is *how many
+ * elements* each feeds the sorter (the entire input cloud for
+ * PointACC vs only the last expansion ring Nn for HgPCN). This model
+ * turns an element count into cycles so that difference is the only
+ * variable.
+ */
+
+#ifndef HGPCN_SIM_BITONIC_SORTER_H
+#define HGPCN_SIM_BITONIC_SORTER_H
+
+#include <cstdint>
+
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Cycle model of a fixed-width bitonic sorting network. */
+class BitonicSorterSim
+{
+  public:
+    /** @param lanes Elements ingested per cycle per stage. */
+    explicit BitonicSorterSim(std::size_t lanes) : n_lanes(lanes) {}
+
+    /**
+     * @return cycles to fully sort @p n elements: a bitonic network
+     * over the padded size p = 2^ceil(log2 n) has
+     * log2(p)*(log2(p)+1)/2 compare-exchange stages, each passing
+     * p/2 element pairs through `lanes` comparators.
+     */
+    std::uint64_t sortCycles(std::uint64_t n) const;
+
+    /**
+     * @return cycles to select the top @p k of @p n elements.
+     * Hardware top-K keeps a sorted k-buffer and merges input
+     * batches: model as sorting k-sized chunks plus a merge pass per
+     * batch.
+     */
+    std::uint64_t topKCycles(std::uint64_t n, std::uint64_t k) const;
+
+  private:
+    std::size_t n_lanes;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_BITONIC_SORTER_H

@@ -1,0 +1,158 @@
+#include "sim/device_model.h"
+
+#include <algorithm>
+
+namespace hgpcn
+{
+
+// ----------------------------------------------------------------------
+// Calibration notes
+//
+// The effective rates below were chosen to land the models on
+// published measurements of the same workloads:
+//  * PointNet++ SSG classification inference: ~35-120 ms on Jetson
+//    Xavier NX (TensorRT to PyTorch), ~10 ms on a 4060Ti-class
+//    desktop GPU, ~30 ms on a 10-core AVX-512 Xeon. With the ~8.4e8
+//    MACs our trace records for Pointnet++(c), those imply ~25, ~90
+//    and ~30 GMAC/s effective GEMM rates — small, gather-heavy
+//    layers run far below peak on every device.
+//  * Data structuring on GPUs pays a per-centroid serialization cost
+//    (grouping kernels launch/synchronize at neighborhood
+//    granularity); on CPUs that cost is a function-call-scale
+//    constant.
+//  * FPS of 1e5 -> 4e3 points: hundreds of ms on CPU (the paper's
+//    Fig. 10 baseline), dominated by the K*N re-scan traffic.
+//  * The paper (Section I) quotes >200 s to FPS-sample 10% of 1e6
+//    points on a GPU — reproduced by per-iteration kernel-launch
+//    serialization at K ~ 1e5 plus the re-scan traffic.
+// ----------------------------------------------------------------------
+
+DeviceSpec
+DeviceModel::xeonW2255()
+{
+    return DeviceSpec{
+        .name = "Xeon W-2255",
+        .fpsBytesPerSec = 28e9,
+        .dsMacsPerSec = 12e9,
+        .gemmMacsPerSec = 30e9,
+        .perIterationSec = 0.0,
+        .perOpSec = 2e-6,
+        .perCentroidSec = 0.3e-6,
+        .octreeOpsPerSec = 220e6,
+    };
+}
+
+DeviceSpec
+DeviceModel::jetsonXavierNx()
+{
+    return DeviceSpec{
+        .name = "Jetson Xavier NX",
+        .fpsBytesPerSec = 12e9,
+        .dsMacsPerSec = 12e9,
+        .gemmMacsPerSec = 25e9,
+        .perIterationSec = 12e-6,
+        .perOpSec = 30e-6,
+        .perCentroidSec = 3e-6,
+        .octreeOpsPerSec = 60e6,
+    };
+}
+
+DeviceSpec
+DeviceModel::rtx4060Ti()
+{
+    return DeviceSpec{
+        .name = "RTX 4060Ti",
+        .fpsBytesPerSec = 120e9,
+        .dsMacsPerSec = 35e9,
+        .gemmMacsPerSec = 90e9,
+        .perIterationSec = 5e-6,
+        .perOpSec = 10e-6,
+        .perCentroidSec = 1e-6,
+        .octreeOpsPerSec = 0.0, // octree build stays on the CPU
+    };
+}
+
+DeviceSpec
+DeviceModel::tx2MobileGpu()
+{
+    return DeviceSpec{
+        .name = "TX2-class mobile GPU",
+        .fpsBytesPerSec = 8e9,
+        .dsMacsPerSec = 4e9,
+        .gemmMacsPerSec = 10e9,
+        .perIterationSec = 15e-6,
+        .perOpSec = 50e-6,
+        .perCentroidSec = 10e-6,
+        .octreeOpsPerSec = 0.0,
+    };
+}
+
+double
+DeviceModel::samplingSec(const StatSet &stats,
+                         std::uint64_t iterations) const
+{
+    // Memory traffic of the sampling loop: 12 B per point read, 4 B
+    // per intermediate (distance array) access.
+    const double bytes =
+        static_cast<double>(stats.get("sample.host_reads")) * 12.0 +
+        static_cast<double>(stats.get("sample.intermediate_reads") +
+                            stats.get("sample.intermediate_writes")) *
+            4.0 +
+        static_cast<double>(stats.get("sample.host_writes")) * 12.0;
+    const double mem_sec = bytes / dev.fpsBytesPerSec;
+
+    // Compute side: one distance = ~8 fused ops; encoder MACs for
+    // RS+reinforce.
+    const double macs =
+        static_cast<double>(stats.get("sample.distance_computations")) *
+            8.0 +
+        static_cast<double>(stats.get("sample.encoder_macs"));
+    const double compute_sec = macs / dev.dsMacsPerSec;
+
+    const double serial_sec =
+        static_cast<double>(iterations) * dev.perIterationSec;
+    return std::max(mem_sec, compute_sec) + serial_sec;
+}
+
+double
+DeviceModel::octreeBuildSec(const StatSet &build_stats) const
+{
+    if (dev.octreeOpsPerSec <= 0.0)
+        return 0.0;
+    const double ops =
+        static_cast<double>(build_stats.get("octree.code_computations")) +
+        static_cast<double>(build_stats.get("octree.sort_ops")) +
+        static_cast<double>(build_stats.get("octree.host_writes"));
+    return ops / dev.octreeOpsPerSec;
+}
+
+double
+DeviceModel::dsSec(const ExecutionTrace &trace) const
+{
+    double total = 0.0;
+    for (const GatherOp &op : trace.gathers) {
+        const double distances = static_cast<double>(
+            op.stats.get("gather.distance_computations"));
+        const double sort_cands = static_cast<double>(
+            op.stats.get("gather.sort_candidates"));
+        // Distance = ~8 ops, ranking a candidate = ~4 ops.
+        const double macs = distances * 8.0 + sort_cands * 4.0;
+        total += macs / dev.dsMacsPerSec + dev.perOpSec +
+                 static_cast<double>(op.centroids) *
+                     dev.perCentroidSec;
+    }
+    return total;
+}
+
+double
+DeviceModel::fcSec(const ExecutionTrace &trace) const
+{
+    double total = 0.0;
+    for (const GemmOp &op : trace.gemms) {
+        total += static_cast<double>(op.macs()) / dev.gemmMacsPerSec +
+                 dev.perOpSec;
+    }
+    return total;
+}
+
+} // namespace hgpcn

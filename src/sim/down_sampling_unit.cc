@@ -1,0 +1,73 @@
+#include "sim/down_sampling_unit.h"
+
+#include "sim/dram_model.h"
+
+namespace hgpcn
+{
+
+DownsamplingUnitResult
+DownsamplingUnitSim::run(const StatSet &sample_stats, std::uint64_t k,
+                         std::uint64_t octree_table_bytes) const
+{
+    const double cycle = 1.0 / cfg.fpga.clockHz;
+    DownsamplingUnitResult result;
+
+    // Octree-Table transfer (CPU -> FPGA over MMIO).
+    result.mmioSec =
+        cfg.mmio.latencySec + static_cast<double>(octree_table_bytes) /
+                                  cfg.mmio.bandwidthBytesPerSec;
+
+    // Descent: per visited level all live children are evaluated in
+    // parallel by the Sampling Modules (one XOR+popcount cycle) and
+    // reduced by a comparator tree (3 levels for 8 inputs). With
+    // fewer than 8 modules the children are processed in passes.
+    const std::uint64_t levels =
+        sample_stats.get("sample.levels_visited");
+    const std::uint64_t passes =
+        (8 + cfg.fpga.samplingModules - 1) / cfg.fpga.samplingModules;
+    const std::uint64_t descent_cycles = levels * (passes + 3);
+
+    // Intra-leaf farthest pick: the Sampling Modules compare leaf
+    // candidates in parallel.
+    const std::uint64_t leaf_candidates =
+        sample_stats.get("sample.leaf_candidates");
+    const std::uint64_t leaf_cycles =
+        (leaf_candidates + cfg.fpga.samplingModules - 1) /
+        cfg.fpga.samplingModules;
+
+    // SPT append: one on-chip write per pick.
+    const std::uint64_t spt_cycles = k;
+
+    result.descentSec = static_cast<double>(descent_cycles) * cycle;
+    result.leafScanSec = static_cast<double>(leaf_cycles) * cycle;
+    result.sptWriteSec = static_cast<double>(spt_cycles) * cycle;
+    result.cycles = descent_cycles + leaf_cycles + spt_cycles;
+
+    // Host reads of the K picked points (random addresses).
+    const DramModel dram(cfg.memory);
+    result.hostReadSec = dram.randomSec(k, cfg.memory.pointBytes);
+    return result;
+}
+
+double
+DownsamplingUnitSim::cpuUnitSec(const StatSet &sample_stats,
+                                std::uint64_t k,
+                                double cpu_effective_hz) const
+{
+    // A scalar core walks the same table serially. Per level it
+    // loads up to eight child entries (4 ops each), XOR/popcount/
+    // compares them (3 ops each) and eats ~2 dependent-load stalls
+    // (~15 ops-equivalent each at the 1 GHz effective rate); leaf
+    // candidates cost a load+xor+compare+branch each, picks a
+    // store+bookkeeping. This is the software Down-sampling Unit of
+    // Fig. 12's inset comparison.
+    const std::uint64_t levels =
+        sample_stats.get("sample.levels_visited");
+    const std::uint64_t leaf =
+        sample_stats.get("sample.leaf_candidates");
+    const std::uint64_t ops =
+        levels * (8 * 4 + 8 * 3 + 2 * 15) + leaf * 5 + k * 6;
+    return static_cast<double>(ops) / cpu_effective_hz;
+}
+
+} // namespace hgpcn

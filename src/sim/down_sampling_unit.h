@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Down-sampling Unit (FPGA) cycle model.
+ *
+ * The hardware half of the Pre-processing Engine (Section V-B).
+ * After the CPU transfers the Octree-Table over MMIO, each pick of
+ * OIS-FPS descends the table: at every level the eight Sampling
+ * Modules XOR+popcount the candidate children's m-codes against the
+ * seed voxel in parallel (Fig. 7) and a small comparator tree picks
+ * the farthest; reaching a leaf, the point's host-memory address is
+ * resolved, the point is fetched, and its address appended to the
+ * Sampled-Points-Table.
+ */
+
+#ifndef HGPCN_SIM_DOWN_SAMPLING_UNIT_H
+#define HGPCN_SIM_DOWN_SAMPLING_UNIT_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Latency result of one down-sampling run. */
+struct DownsamplingUnitResult
+{
+    double mmioSec = 0.0;      //!< Octree-Table transfer
+    double descentSec = 0.0;   //!< table-lookup walks
+    double leafScanSec = 0.0;  //!< intra-leaf farthest-point picks
+    double hostReadSec = 0.0;  //!< fetches of the K picked points
+    double sptWriteSec = 0.0;  //!< Sampled-Points-Table appends
+    std::uint64_t cycles = 0;  //!< total FPGA cycles (excl. memory)
+
+    /** @return end-to-end seconds. */
+    double
+    totalSec() const
+    {
+        return mmioSec + descentSec + leafScanSec + hostReadSec +
+               sptWriteSec;
+    }
+};
+
+/** Cycle model of the Down-sampling Unit. */
+class DownsamplingUnitSim
+{
+  public:
+    explicit DownsamplingUnitSim(const SimConfig &config)
+        : cfg(config)
+    {}
+
+    /**
+     * Time an OIS run from its workload counters.
+     *
+     * @param sample_stats Counters produced by OisFpsSampler
+     *        ("sample.levels_visited", "sample.leaf_candidates", ...).
+     * @param k Points sampled.
+     * @param octree_table_bytes MMIO transfer size.
+     */
+    DownsamplingUnitResult run(const StatSet &sample_stats,
+                               std::uint64_t k,
+                               std::uint64_t octree_table_bytes) const;
+
+    /**
+     * Speedup of the hardware unit over a scalar-CPU execution of
+     * the same descent workload (the Fig. 12 "5.95x-6.24x vs
+     * CPU-implemented Down-sampling Unit" comparison): the CPU
+     * examines the eight children serially and runs at its own
+     * clock.
+     */
+    double cpuUnitSec(const StatSet &sample_stats, std::uint64_t k,
+                      double cpu_effective_hz = 1.0e9) const;
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_DOWN_SAMPLING_UNIT_H

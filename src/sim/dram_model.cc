@@ -1,0 +1,4 @@
+#include "sim/dram_model.h"
+
+// DramModel is header-only; this translation unit anchors the
+// library target.

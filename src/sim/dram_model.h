@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Host (shared) memory timing model.
+ *
+ * Both engines of HgPCN read the shared Host Memory (Fig. 4). The
+ * model distinguishes sequential bursts — what the octree's
+ * pre-configured layout turns voxel reads into — from dependent
+ * random accesses, which is what brute-force FPS issues.
+ */
+
+#ifndef HGPCN_SIM_DRAM_MODEL_H
+#define HGPCN_SIM_DRAM_MODEL_H
+
+#include <cstdint>
+
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Bandwidth/latency model of the shared host memory. */
+class DramModel
+{
+  public:
+    explicit DramModel(const MemoryParams &params) : prm(params) {}
+
+    /** @return seconds to stream @p bytes sequentially. */
+    double
+    sequentialSec(std::uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / prm.bandwidthBytesPerSec;
+    }
+
+    /**
+     * @return seconds for @p count independent random accesses of
+     * @p bytes_each, modeled as one burst each with the access
+     * latency partially pipelined (4 outstanding requests).
+     */
+    double
+    randomSec(std::uint64_t count, std::uint64_t bytes_each) const
+    {
+        const double lat = prm.randomAccessSec / 4.0;
+        const std::uint64_t burst =
+            bytes_each < prm.burstBytes ? prm.burstBytes : bytes_each;
+        return static_cast<double>(count) *
+               (lat + static_cast<double>(burst) /
+                          prm.bandwidthBytesPerSec);
+    }
+
+    /** @return seconds to read @p n points sequentially. */
+    double
+    pointStreamSec(std::uint64_t n) const
+    {
+        return sequentialSec(n * prm.pointBytes);
+    }
+
+    /** @return configured parameters. */
+    const MemoryParams &params() const { return prm; }
+
+  private:
+    MemoryParams prm;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_DRAM_MODEL_H

@@ -1,0 +1,75 @@
+#include "sim/dsu_pipeline.h"
+
+#include <algorithm>
+
+#include "sim/bitonic_sorter.h"
+
+namespace hgpcn
+{
+
+const char *
+dsuStageName(std::size_t stage)
+{
+    static const char *names[kStageCount] = {"FP", "LV", "VE",
+                                             "GP", "ST", "BF"};
+    return stage < kStageCount ? names[stage] : "??";
+}
+
+DsuPipelineResult
+DsuPipelineSim::run(std::span<const VegTrace> traces,
+                    std::size_t k) const
+{
+    DsuPipelineResult result;
+    const BitonicSorterSim sorter(cfg.fpga.bitonicLanes);
+    const std::size_t ports = cfg.fpga.dsuLookupPorts;
+
+    for (const VegTrace &trace : traces) {
+        std::array<std::uint64_t, kStageCount> c{};
+
+        // FP: read the centroid's coordinates + m-code from the
+        // input buffer.
+        c[kStageFp] = 1;
+
+        // LV: walk the octree table down to the gathering level.
+        c[kStageLv] = static_cast<std::uint64_t>(lv_levels);
+
+        // VE: every ring cell costs one table range-lookup; `ports`
+        // lookups proceed per cycle.
+        c[kStageVe] =
+            (trace.tableLookups + ports - 1) / ports;
+
+        // GP: inner points stream from the (SFC-contiguous) host
+        // ranges into the gather buffer, two per cycle.
+        c[kStageGp] = (trace.innerPoints + 1) / 2;
+
+        // ST: score the last ring (distance units process 4 points
+        // per cycle) then bitonic top-(K - inner).
+        const std::uint64_t need =
+            k > trace.innerPoints ? k - trace.innerPoints : 0;
+        c[kStageSt] = (trace.lastRingPoints + 3) / 4;
+        if (need > 0 && trace.lastRingPoints > 0)
+            c[kStageSt] +=
+                sorter.topKCycles(trace.lastRingPoints, need);
+
+        // BF: emit K neighbors to the FCU buffer, two per cycle.
+        c[kStageBf] = (k + 1) / 2;
+
+        for (std::size_t s = 0; s < kStageCount; ++s)
+            result.stageCycles[s] += c[s];
+
+        // Pipelined: a centroid occupies the pipe for the duration
+        // of its slowest stage once the pipe is full.
+        result.pipelinedCycles +=
+            *std::max_element(c.begin(), c.end());
+    }
+
+    // Pipe fill for the first centroid (other five stages).
+    if (!traces.empty())
+        result.pipelinedCycles += kStageCount - 1;
+
+    result.pipelinedSec =
+        static_cast<double>(result.pipelinedCycles) / cfg.fpga.acceleratorClockHz;
+    return result;
+}
+
+} // namespace hgpcn

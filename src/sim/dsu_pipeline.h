@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Data Structuring Unit pipeline model (paper Fig. 8).
+ *
+ * Six stages, pipelined across central points:
+ *
+ *   1. FP  Fetch Central Point (coordinates + m-code)
+ *   2. LV  Locate Central Voxel
+ *   3. VE  Voxel Expansion (ring cell lookups until >= K points)
+ *   4. GP  Gather Points (inner rings, no distance computation)
+ *   5. ST  Sort (bitonic top-(K - inner) over the last ring Nn)
+ *   6. BF  Buffering (emit K neighbors to the FCU input buffer)
+ *
+ * Per-centroid stage costs come from the recorded VegTrace, so the
+ * breakdown of Fig. 16 and the VEG-vs-PointACC sort-workload gap of
+ * Fig. 15 fall out of the same numbers the functional gatherer
+ * measured.
+ */
+
+#ifndef HGPCN_SIM_DSU_PIPELINE_H
+#define HGPCN_SIM_DSU_PIPELINE_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "gather/gatherer.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Pipeline stage ids (indices into breakdowns). */
+enum DsuStage : std::size_t
+{
+    kStageFp = 0,
+    kStageLv = 1,
+    kStageVe = 2,
+    kStageGp = 3,
+    kStageSt = 4,
+    kStageBf = 5,
+    kStageCount = 6,
+};
+
+/** @return printable stage mnemonic. */
+const char *dsuStageName(std::size_t stage);
+
+/** Latency result of one DSU run. */
+struct DsuPipelineResult
+{
+    /** Total cycles of each stage summed over all centroids. */
+    std::array<std::uint64_t, kStageCount> stageCycles{};
+
+    /** Pipelined execution cycles (bottleneck-stage model). */
+    std::uint64_t pipelinedCycles = 0;
+
+    /** Seconds at the FPGA clock. */
+    double pipelinedSec = 0.0;
+
+    /** @return sum of per-stage cycles (unpipelined). */
+    std::uint64_t
+    serialCycles() const
+    {
+        std::uint64_t total = 0;
+        for (auto c : stageCycles)
+            total += c;
+        return total;
+    }
+};
+
+/** Cycle model of the Data Structuring Unit. */
+class DsuPipelineSim
+{
+  public:
+    /**
+     * @param config Platform parameters.
+     * @param octree_levels Levels the LV stage walks (tree depth).
+     */
+    DsuPipelineSim(const SimConfig &config, int octree_levels)
+        : cfg(config), lv_levels(octree_levels)
+    {}
+
+    /**
+     * Time a gathering pass.
+     *
+     * @param traces Per-centroid VEG traces.
+     * @param k Neighbors gathered per centroid.
+     */
+    DsuPipelineResult run(std::span<const VegTrace> traces,
+                          std::size_t k) const;
+
+  private:
+    SimConfig cfg;
+    int lv_levels;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_DSU_PIPELINE_H

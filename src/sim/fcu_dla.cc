@@ -1,0 +1,37 @@
+#include "sim/fcu_dla.h"
+
+#include "sim/dram_model.h"
+#include "sim/systolic_array.h"
+
+namespace hgpcn
+{
+
+FcuResult
+FcuSim::run(const ExecutionTrace &trace) const
+{
+    const SystolicArraySim array(cfg.fpga.systolicRows,
+                                 cfg.fpga.systolicCols);
+    const DramModel dram(cfg.memory);
+
+    FcuResult result;
+    std::uint64_t traffic_bytes = 0;
+    for (const GemmOp &op : trace.gemms) {
+        result.computeCycles += array.gemmCycles(op.m, op.k, op.n);
+        result.macs += op.macs();
+        // Weights fetched once per layer, activations in and out.
+        traffic_bytes += (op.k * op.n + op.m * op.k + op.m * op.n) * 4;
+    }
+    result.computeSec =
+        static_cast<double>(result.computeCycles) / cfg.fpga.acceleratorClockHz;
+    result.memorySec = dram.sequentialSec(traffic_bytes);
+
+    const double peak =
+        static_cast<double>(array.peakMacsPerCycle()) * cfg.fpga.acceleratorClockHz;
+    const double total = result.totalSec();
+    result.utilization =
+        total > 0.0 ? static_cast<double>(result.macs) / (peak * total)
+                    : 0.0;
+    return result;
+}
+
+} // namespace hgpcn

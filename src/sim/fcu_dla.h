@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Feature Computation Unit (commercial-style DLA) model.
+ *
+ * The FCU consumes the input feature maps the DSU buffers and runs
+ * the PCN's GEMMs on a weight-stationary systolic array (Section VI).
+ * Activation/weight streaming from host memory is overlapped with
+ * compute; the model charges whichever is larger per layer.
+ */
+
+#ifndef HGPCN_SIM_FCU_DLA_H
+#define HGPCN_SIM_FCU_DLA_H
+
+#include <cstdint>
+
+#include "nn/layer_trace.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Latency result of an FCU inference pass. */
+struct FcuResult
+{
+    std::uint64_t computeCycles = 0; //!< systolic cycles
+    double computeSec = 0.0;
+    double memorySec = 0.0; //!< non-overlapped weight/activation IO
+    std::uint64_t macs = 0;
+
+    /** @return end-to-end seconds (compute/memory overlapped). */
+    double
+    totalSec() const
+    {
+        return computeSec > memorySec ? computeSec : memorySec;
+    }
+
+    /** @return achieved fraction of peak MACs. */
+    double utilization = 0.0;
+};
+
+/** DLA timing model. */
+class FcuSim
+{
+  public:
+    explicit FcuSim(const SimConfig &config) : cfg(config) {}
+
+    /** Time every GEMM of @p trace. */
+    FcuResult run(const ExecutionTrace &trace) const;
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_FCU_DLA_H

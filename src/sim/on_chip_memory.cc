@@ -1,0 +1,29 @@
+#include "sim/on_chip_memory.h"
+
+namespace hgpcn
+{
+
+double
+OnChipMemoryModel::fpsFootprintBits(std::uint64_t n,
+                                    std::uint64_t k) const
+{
+    // Raw points (12 B) + float min-distance (4 B) per point, plus
+    // the K-entry output buffer.
+    const double bytes = static_cast<double>(n) *
+                             (cfg.memory.pointBytes + 4.0) +
+                         static_cast<double>(k) * 16.0;
+    return bytes * 8.0;
+}
+
+double
+OnChipMemoryModel::oisFootprintBits(std::uint64_t octree_table_bytes,
+                                    std::uint64_t k) const
+{
+    // Octree-Table + 4-byte SPT entries + 64 KiB of pipeline/working
+    // buffers (seed registers, comparator state, burst FIFOs).
+    const double bytes = static_cast<double>(octree_table_bytes) +
+                         static_cast<double>(k) * 4.0 + 64.0 * 1024.0;
+    return bytes * 8.0;
+}
+
+} // namespace hgpcn

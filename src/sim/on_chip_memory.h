@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FPGA on-chip memory footprint model (paper Fig. 13).
+ *
+ * An FPS-style pre-processing engine must keep the raw frame and its
+ * intermediate distance array on chip; beyond ~5e5 points that
+ * exceeds the Arria 10's 65 Mb and leaves no room for the Inference
+ * Engine (Section VII-C). OIS stores only the Octree-Table plus a
+ * small working set (~10 Mb even at 1e6 points).
+ */
+
+#ifndef HGPCN_SIM_ON_CHIP_MEMORY_H
+#define HGPCN_SIM_ON_CHIP_MEMORY_H
+
+#include <cstdint>
+
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** On-chip footprint calculator. */
+class OnChipMemoryModel
+{
+  public:
+    explicit OnChipMemoryModel(const SimConfig &config) : cfg(config) {}
+
+    /**
+     * @return bits an on-FPGA FPS engine needs for an @p n-point
+     * frame: the points themselves, the per-point minimum-distance
+     * array and a @p k-entry result buffer.
+     */
+    double fpsFootprintBits(std::uint64_t n, std::uint64_t k) const;
+
+    /**
+     * @return bits the OIS engine needs: the Octree-Table image, the
+     * Sampled-Points-Table and fixed pipeline buffers.
+     */
+    double oisFootprintBits(std::uint64_t octree_table_bytes,
+                            std::uint64_t k) const;
+
+    /** @return true when @p bits fit the device. */
+    bool
+    fits(double bits) const
+    {
+        return bits <= cfg.fpga.onChipBits;
+    }
+
+    /** @return device capacity in bits. */
+    double capacityBits() const { return cfg.fpga.onChipBits; }
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_ON_CHIP_MEMORY_H

@@ -1,0 +1,23 @@
+#include "sim/sim_config.h"
+
+#include <sstream>
+
+namespace hgpcn
+{
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "FPGA " << fpga.clockHz / 1e6 << " MHz, "
+        << fpga.samplingModules << " sampling modules, "
+        << fpga.systolicRows << "x" << fpga.systolicCols
+        << " systolic FCU, " << fpga.onChipBits / 1e6
+        << " Mb on-chip RAM; DRAM " << memory.bandwidthBytesPerSec / 1e9
+        << " GB/s, " << memory.randomAccessSec * 1e9
+        << " ns random access; MMIO "
+        << mmio.bandwidthBytesPerSec / 1e9 << " GB/s";
+    return oss.str();
+}
+
+} // namespace hgpcn

@@ -1,0 +1,27 @@
+#include "sim/systolic_array.h"
+
+namespace hgpcn
+{
+
+std::uint64_t
+SystolicArraySim::gemmCycles(std::uint64_t m, std::uint64_t k,
+                             std::uint64_t n) const
+{
+    if (m == 0 || k == 0 || n == 0)
+        return 0;
+    const std::uint64_t k_tiles = (k + n_rows - 1) / n_rows;
+    const std::uint64_t n_tiles = (n + n_cols - 1) / n_cols;
+    const std::uint64_t per_tile = n_rows + m + n_cols;
+    return k_tiles * n_tiles * per_tile;
+}
+
+std::uint64_t
+SystolicArraySim::traceCycles(const ExecutionTrace &trace) const
+{
+    std::uint64_t total = 0;
+    for (const GemmOp &op : trace.gemms)
+        total += gemmCycles(op.m, op.k, op.n);
+    return total;
+}
+
+} // namespace hgpcn

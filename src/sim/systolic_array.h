@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Systolic-array (FCU / DLA) cycle model.
+ *
+ * The Feature Computation Unit is a commercial-style DLA built
+ * around a classic weight-stationary systolic array (Section VI);
+ * the paper configures 16x16 for HgPCN, PointACC and Mesorasi alike
+ * so the feature-computation time cancels out of the comparison and
+ * the data-structuring difference dominates.
+ */
+
+#ifndef HGPCN_SIM_SYSTOLIC_ARRAY_H
+#define HGPCN_SIM_SYSTOLIC_ARRAY_H
+
+#include <cstdint>
+
+#include "nn/layer_trace.h"
+#include "sim/sim_config.h"
+
+namespace hgpcn
+{
+
+/** Weight-stationary systolic array model. */
+class SystolicArraySim
+{
+  public:
+    /**
+     * @param rows PE rows (reduction/K dimension).
+     * @param cols PE columns (output/N dimension).
+     */
+    SystolicArraySim(std::size_t rows, std::size_t cols)
+        : n_rows(rows), n_cols(cols)
+    {}
+
+    /**
+     * @return cycles for one [M,K]x[K,N] GEMM: the weight matrix is
+     * tiled into ceil(K/rows) x ceil(N/cols) tiles; each tile loads
+     * its weights (rows cycles), streams the M activations and
+     * drains the pipeline (rows + cols cycles).
+     */
+    std::uint64_t gemmCycles(std::uint64_t m, std::uint64_t k,
+                             std::uint64_t n) const;
+
+    /** @return cycles to execute every GEMM of @p trace. */
+    std::uint64_t traceCycles(const ExecutionTrace &trace) const;
+
+    /** @return peak MACs per cycle (rows * cols). */
+    std::uint64_t
+    peakMacsPerCycle() const
+    {
+        return static_cast<std::uint64_t>(n_rows) * n_cols;
+    }
+
+  private:
+    std::size_t n_rows;
+    std::size_t n_cols;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SIM_SYSTOLIC_ARRAY_H

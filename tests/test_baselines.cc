@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the PointACC and Mesorasi baseline accelerator models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mesorasi.h"
+#include "baselines/point_acc.h"
+#include "sim/fcu_dla.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+ExecutionTrace
+bruteTrace(std::uint64_t centroids, std::uint64_t k,
+           std::uint64_t input_points)
+{
+    ExecutionTrace trace;
+    GatherOp op;
+    op.layer = "sa0";
+    op.method = "KNN-brute";
+    op.centroids = centroids;
+    op.k = k;
+    op.inputPoints = input_points;
+    op.stats.set("gather.distance_computations",
+                 centroids * input_points);
+    op.stats.set("gather.sort_candidates", centroids * input_points);
+    trace.gathers.push_back(op);
+    trace.gemms.push_back(
+        {"sa0.fc0", centroids * k, 3 + 64, 64});
+    return trace;
+}
+
+// -------------------------------------------------------- PointACC
+
+TEST(PointAcc, MappingScalesWithInputSize)
+{
+    const PointAccSim sim(SimConfig::defaults());
+    const auto small = sim.run(bruteTrace(512, 32, 1024));
+    const auto large = sim.run(bruteTrace(512, 32, 16384));
+    EXPECT_GT(large.mappingSec, small.mappingSec);
+}
+
+TEST(PointAcc, SortCandidatesAreFullRange)
+{
+    const PointAccSim sim(SimConfig::defaults());
+    const auto result = sim.run(bruteTrace(512, 32, 4096));
+    EXPECT_EQ(result.sortCandidates, 512u * 4096u);
+}
+
+TEST(PointAcc, TotalIsOverlapMax)
+{
+    const PointAccSim sim(SimConfig::defaults());
+    const auto result = sim.run(bruteTrace(512, 32, 4096));
+    EXPECT_DOUBLE_EQ(result.totalSec(),
+                     std::max(result.mappingSec, result.fcSec));
+}
+
+TEST(PointAcc, FcMatchesSharedFcuModel)
+{
+    const SimConfig cfg = SimConfig::defaults();
+    const PointAccSim sim(cfg);
+    const auto trace = bruteTrace(256, 16, 2048);
+    const auto result = sim.run(trace);
+    EXPECT_DOUBLE_EQ(result.fcSec, FcuSim(cfg).run(trace).totalSec());
+}
+
+// -------------------------------------------------------- Mesorasi
+
+TEST(Mesorasi, DsRunsOnGpuModel)
+{
+    const MesorasiSim sim(SimConfig::defaults());
+    const auto trace = bruteTrace(512, 32, 4096);
+    const auto result = sim.run(trace);
+    const DeviceModel gpu(DeviceModel::tx2MobileGpu());
+    EXPECT_DOUBLE_EQ(result.dsSec, gpu.dsSec(trace));
+}
+
+TEST(Mesorasi, DelayedAggregationShrinksFc)
+{
+    const SimConfig cfg = SimConfig::defaults();
+    const MesorasiSim sim(cfg);
+    const auto trace = bruteTrace(512, 32, 1024);
+    const auto result = sim.run(trace);
+    // Grouped rows = 512*32 = 16k but unique inputs = 1024: the
+    // delayed-aggregation FC must be far below the grouped FC.
+    const double grouped_fc = FcuSim(cfg).run(trace).totalSec();
+    EXPECT_LT(result.fcSec, grouped_fc);
+}
+
+TEST(Mesorasi, DsDominatesTotal)
+{
+    // Paper Section VII-D: "the inference speed is still largely
+    // limited by the latency of the data structuring step".
+    const MesorasiSim sim(SimConfig::defaults());
+    const auto result = sim.run(bruteTrace(1024, 32, 4096));
+    EXPECT_DOUBLE_EQ(result.totalSec(), result.dsSec);
+    EXPECT_GT(result.dsSec, result.fcSec);
+}
+
+TEST(Mesorasi, NonSaLayersNotScaled)
+{
+    const SimConfig cfg = SimConfig::defaults();
+    const MesorasiSim sim(cfg);
+    ExecutionTrace trace;
+    trace.gemms.push_back({"head.fc0", 1024, 128, 64});
+    const auto result = sim.run(trace);
+    EXPECT_DOUBLE_EQ(result.fcSec, FcuSim(cfg).run(trace).totalSec());
+}
+
+} // namespace
+} // namespace hgpcn

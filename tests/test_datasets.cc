@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators: sizes, determinism,
+ * labels, non-uniformity control and the Table I suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/dataset_suite.h"
+#include "datasets/kitti_like.h"
+#include "datasets/modelnet_like.h"
+#include "datasets/s3dis_like.h"
+#include "datasets/shape_sampler.h"
+#include "datasets/shapenet_like.h"
+#include "octree/octree.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+// -------------------------------------------------------- primitives
+
+TEST(ShapeSampler, SpherePointsOnSurface)
+{
+    PointCloud cloud;
+    Rng rng(1);
+    shapes::sphere(cloud, 200, {1, 2, 3}, 0.5f, rng);
+    ASSERT_EQ(cloud.size(), 200u);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const float r = cloud.position(static_cast<PointIndex>(i))
+                            .dist({1, 2, 3});
+        EXPECT_NEAR(r, 0.5f, 1e-4f);
+    }
+}
+
+TEST(ShapeSampler, BoxPointsOnSurface)
+{
+    PointCloud cloud;
+    Rng rng(2);
+    const Vec3 half{1.0f, 0.5f, 0.25f};
+    shapes::box(cloud, 300, {0, 0, 0}, half, rng);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3 &p = cloud.position(static_cast<PointIndex>(i));
+        const bool on_face = std::abs(std::abs(p.x) - half.x) < 1e-5f ||
+                             std::abs(std::abs(p.y) - half.y) < 1e-5f ||
+                             std::abs(std::abs(p.z) - half.z) < 1e-5f;
+        EXPECT_TRUE(on_face);
+        EXPECT_LE(std::abs(p.x), half.x + 1e-5f);
+        EXPECT_LE(std::abs(p.y), half.y + 1e-5f);
+        EXPECT_LE(std::abs(p.z), half.z + 1e-5f);
+    }
+}
+
+TEST(ShapeSampler, CylinderRadiusAndHeight)
+{
+    PointCloud cloud;
+    Rng rng(3);
+    shapes::cylinder(cloud, 200, {0, 0, 1}, 0.3f, 2.0f, rng);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3 &p = cloud.position(static_cast<PointIndex>(i));
+        EXPECT_NEAR(std::sqrt(p.x * p.x + p.y * p.y), 0.3f, 1e-4f);
+        EXPECT_GE(p.z, 1.0f);
+        EXPECT_LE(p.z, 3.0f + 1e-5f);
+    }
+}
+
+TEST(ShapeSampler, LabelsAppendedWhenRequested)
+{
+    PointCloud cloud;
+    std::vector<int> labels;
+    Rng rng(4);
+    shapes::plane(cloud, 50, {0, 0, 0}, 1, 1, rng, &labels, 7);
+    ASSERT_EQ(labels.size(), 50u);
+    for (int l : labels)
+        EXPECT_EQ(l, 7);
+}
+
+// ------------------------------------------------------ ModelNetLike
+
+TEST(ModelNetLike, FrameSizeMatchesConfig)
+{
+    ModelNetLike::Config cfg;
+    cfg.points = 5000;
+    const Frame frame = ModelNetLike::generate("MN.chair", cfg);
+    EXPECT_EQ(frame.cloud.size(), 5000u);
+    EXPECT_EQ(frame.labels.size(), 5000u);
+    EXPECT_EQ(frame.name, "MN.chair");
+}
+
+TEST(ModelNetLike, DeterministicPerNameAndSeed)
+{
+    ModelNetLike::Config cfg;
+    cfg.points = 1000;
+    const Frame a = ModelNetLike::generate("MN.piano", cfg);
+    const Frame b = ModelNetLike::generate("MN.piano", cfg);
+    ASSERT_EQ(a.cloud.size(), b.cloud.size());
+    for (std::size_t i = 0; i < a.cloud.size(); ++i) {
+        EXPECT_EQ(a.cloud.position(static_cast<PointIndex>(i)),
+                  b.cloud.position(static_cast<PointIndex>(i)));
+    }
+}
+
+TEST(ModelNetLike, DifferentObjectsDiffer)
+{
+    ModelNetLike::Config cfg;
+    cfg.points = 1000;
+    const Frame a = ModelNetLike::generate("MN.piano", cfg);
+    const Frame b = ModelNetLike::generate("MN.plant", cfg);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.cloud.size() && !differs; ++i) {
+        differs = !(a.cloud.position(static_cast<PointIndex>(i)) ==
+                    b.cloud.position(static_cast<PointIndex>(i)));
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ModelNetLike, PianoDeeperOctreeThanPlant)
+{
+    // The Fig. 11 effect: more non-uniform objects build deeper
+    // octrees at the same point count.
+    ModelNetLike::Config cfg;
+    cfg.points = 20000;
+    const Frame piano = ModelNetLike::generate("MN.piano", cfg);
+    const Frame plant = ModelNetLike::generate("MN.plant", cfg);
+
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 16;
+    tree_cfg.leafCapacity = 8;
+    const Octree t_piano = Octree::build(piano.cloud, tree_cfg);
+    const Octree t_plant = Octree::build(plant.cloud, tree_cfg);
+    EXPECT_GT(t_piano.depth(), t_plant.depth());
+}
+
+TEST(ModelNetLike, NonUniformityKnobOverridesDefault)
+{
+    ModelNetLike::Config uniform_cfg;
+    uniform_cfg.points = 10000;
+    uniform_cfg.nonUniformity = 0.0f;
+    ModelNetLike::Config cluster_cfg = uniform_cfg;
+    cluster_cfg.nonUniformity = 0.6f;
+
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 16;
+    tree_cfg.leafCapacity = 8;
+    const Octree t_uniform = Octree::build(
+        ModelNetLike::generate("MN.sofa", uniform_cfg).cloud, tree_cfg);
+    const Octree t_cluster = Octree::build(
+        ModelNetLike::generate("MN.sofa", cluster_cfg).cloud, tree_cfg);
+    EXPECT_GT(t_cluster.depth(), t_uniform.depth());
+}
+
+TEST(ModelNetLike, ObjectNameListNonEmptyAndOrdered)
+{
+    const auto &names = ModelNetLike::objectNames();
+    EXPECT_GE(names.size(), 4u);
+    EXPECT_NE(std::find(names.begin(), names.end(), "MN.piano"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "MN.plant"),
+              names.end());
+}
+
+// ------------------------------------------------------ ShapeNetLike
+
+TEST(ShapeNetLike, SmallFramesWithPartLabels)
+{
+    ShapeNetLike::Config cfg;
+    cfg.points = 2500;
+    cfg.parts = 4;
+    const Frame frame = ShapeNetLike::generate("SN.table", cfg);
+    EXPECT_EQ(frame.cloud.size(), 2500u);
+    EXPECT_LT(frame.cloud.size(), 4096u); // paper: raw < 4096
+    ASSERT_EQ(frame.labels.size(), 2500u);
+    std::set<int> parts(frame.labels.begin(), frame.labels.end());
+    EXPECT_EQ(parts.size(), 4u);
+    for (int l : frame.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 4);
+    }
+}
+
+TEST(ShapeNetLike, Deterministic)
+{
+    ShapeNetLike::Config cfg;
+    const Frame a = ShapeNetLike::generate("SN.x", cfg);
+    const Frame b = ShapeNetLike::generate("SN.x", cfg);
+    ASSERT_EQ(a.cloud.size(), b.cloud.size());
+    EXPECT_EQ(a.cloud.position(17), b.cloud.position(17));
+}
+
+// -------------------------------------------------------- S3disLike
+
+TEST(S3disLike, RoomSizeAndLabels)
+{
+    S3disLike::Config cfg;
+    cfg.points = 30000;
+    const Frame frame = S3disLike::generate("room0", cfg);
+    EXPECT_EQ(frame.cloud.size(), 30000u);
+    ASSERT_EQ(frame.labels.size(), 30000u);
+    for (int l : frame.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, S3disLike::kClasses);
+    }
+}
+
+TEST(S3disLike, PointsWithinRoomBounds)
+{
+    S3disLike::Config cfg;
+    cfg.points = 20000;
+    const Frame frame = S3disLike::generate("room1", cfg);
+    const Aabb box = frame.cloud.bounds();
+    EXPECT_LE(box.extent().x, cfg.roomSize.x + 2.5f);
+    EXPECT_LE(box.extent().y, cfg.roomSize.y + 2.5f);
+    EXPECT_LE(box.extent().z, cfg.roomSize.z + 2.5f);
+}
+
+TEST(S3disLike, ContainsStructuralClasses)
+{
+    S3disLike::Config cfg;
+    cfg.points = 20000;
+    const Frame frame = S3disLike::generate("room2", cfg);
+    std::set<int> classes(frame.labels.begin(), frame.labels.end());
+    EXPECT_TRUE(classes.count(0)); // ceiling
+    EXPECT_TRUE(classes.count(1)); // floor
+    EXPECT_TRUE(classes.count(2)); // wall
+}
+
+// -------------------------------------------------------- KittiLike
+
+TEST(KittiLike, FrameHasTimestampAndLabels)
+{
+    KittiLike::Config cfg;
+    cfg.azimuthSteps = 300;
+    const KittiLike lidar(cfg);
+    const Frame frame = lidar.generate(3);
+    EXPECT_DOUBLE_EQ(frame.timestamp, 0.3);
+    EXPECT_GT(frame.cloud.size(), 1000u);
+    EXPECT_EQ(frame.labels.size(), frame.cloud.size());
+}
+
+TEST(KittiLike, PointCountVariesAcrossFrames)
+{
+    // Paper Section II-A: "the number of points varies widely
+    // between frames" — moving objects change the return count.
+    KittiLike::Config cfg;
+    cfg.azimuthSteps = 400;
+    const KittiLike lidar(cfg);
+    std::set<std::size_t> counts;
+    for (std::size_t f = 0; f < 6; ++f)
+        counts.insert(lidar.generate(f).cloud.size());
+    EXPECT_GT(counts.size(), 1u);
+}
+
+TEST(KittiLike, RangeBounded)
+{
+    KittiLike::Config cfg;
+    cfg.azimuthSteps = 300;
+    const KittiLike lidar(cfg);
+    const Frame frame = lidar.generate(0);
+    for (std::size_t i = 0; i < frame.cloud.size(); ++i) {
+        const Vec3 &p = frame.cloud.position(static_cast<PointIndex>(i));
+        const float range = (p - Vec3{0, 0, 1.73f}).norm();
+        EXPECT_LE(range, cfg.maxRange * 1.05f);
+    }
+}
+
+TEST(KittiLike, GroundPointsNearZeroHeight)
+{
+    KittiLike::Config cfg;
+    cfg.azimuthSteps = 300;
+    cfg.rangeNoise = 0.0f;
+    const KittiLike lidar(cfg);
+    const Frame frame = lidar.generate(0);
+    for (std::size_t i = 0; i < frame.cloud.size(); ++i) {
+        if (frame.labels[i] == KittiLike::kGround) {
+            EXPECT_NEAR(
+                frame.cloud.position(static_cast<PointIndex>(i)).z,
+                0.0f, 0.05f);
+        }
+    }
+}
+
+TEST(KittiLike, ContainsMultipleClasses)
+{
+    KittiLike::Config cfg;
+    cfg.azimuthSteps = 600;
+    const KittiLike lidar(cfg);
+    const Frame frame = lidar.generate(0);
+    std::set<int> classes(frame.labels.begin(), frame.labels.end());
+    EXPECT_GE(classes.size(), 3u);
+    EXPECT_TRUE(classes.count(KittiLike::kGround));
+}
+
+TEST(KittiLike, GenerationRateMatchesConfig)
+{
+    KittiLike::Config cfg;
+    cfg.frameRateHz = 10.0;
+    const KittiLike lidar(cfg);
+    EXPECT_DOUBLE_EQ(lidar.generationRateFps(), 10.0);
+    EXPECT_NEAR(lidar.generate(10).timestamp - lidar.generate(9).timestamp,
+                0.1, 1e-9);
+}
+
+TEST(KittiLike, Deterministic)
+{
+    KittiLike::Config cfg;
+    cfg.azimuthSteps = 300;
+    const KittiLike a(cfg), b(cfg);
+    const Frame fa = a.generate(2), fb = b.generate(2);
+    ASSERT_EQ(fa.cloud.size(), fb.cloud.size());
+    EXPECT_EQ(fa.cloud.position(11), fb.cloud.position(11));
+}
+
+// ----------------------------------------------------- DatasetSuite
+
+TEST(DatasetSuite, TableOneHasFourTasks)
+{
+    const auto suite = DatasetSuite::tableOneSmall();
+    ASSERT_EQ(suite.size(), 4u);
+    EXPECT_EQ(suite[0].dataset, "ModelNet40");
+    EXPECT_EQ(suite[0].inputSize, 1024u);
+    EXPECT_EQ(suite[1].dataset, "ShapeNet");
+    EXPECT_EQ(suite[1].inputSize, 2048u);
+    EXPECT_EQ(suite[2].dataset, "S3DIS");
+    EXPECT_EQ(suite[2].inputSize, 4096u);
+    EXPECT_EQ(suite[3].dataset, "KITTI");
+    EXPECT_EQ(suite[3].inputSize, 16384u);
+}
+
+TEST(DatasetSuite, SpecsMatchInputSizes)
+{
+    for (const auto &task : DatasetSuite::tableOneSmall())
+        EXPECT_EQ(task.spec.inputPoints, task.inputSize);
+}
+
+TEST(DatasetSuite, RawFramesGenerateAndExceedInputSize)
+{
+    for (const auto &task : DatasetSuite::tableOneSmall()) {
+        const Frame frame = task.rawFrame(0);
+        EXPECT_GT(frame.cloud.size(), task.inputSize)
+            << task.dataset << " raw frame must need down-sampling";
+    }
+}
+
+TEST(DatasetSuite, VariantsProduceDifferentFrames)
+{
+    const auto suite = DatasetSuite::tableOneSmall();
+    const Frame a = suite[0].rawFrame(0);
+    const Frame b = suite[0].rawFrame(1);
+    EXPECT_NE(a.name, b.name);
+}
+
+} // namespace
+} // namespace hgpcn

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Tests for the neural substrate: tensor ops, MLP blocks and the
+ * PointNet++ reference models (shapes, determinism, permutation
+ * invariance, trace bookkeeping).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/pointnet2.h"
+#include "nn/tensor.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+PointCloud
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    PointCloud cloud;
+    cloud.reserve(n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.add({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                   rng.uniform(0.0f, 1.0f)});
+    }
+    return cloud;
+}
+
+// --------------------------------------------------------------- Tensor
+
+TEST(Tensor, MatmulKnownValues)
+{
+    Tensor a(2, 2), b(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    const Tensor c = Tensor::matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Tensor, MatmulIdentity)
+{
+    Rng rng(1);
+    Tensor a(3, 3);
+    a.randomize(rng, 1.0f);
+    Tensor eye(3, 3);
+    for (int i = 0; i < 3; ++i)
+        eye.at(i, i) = 1.0f;
+    const Tensor c = Tensor::matmul(a, eye);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_FLOAT_EQ(c.at(i, j), a.at(i, j));
+}
+
+TEST(Tensor, ReluClampsNegatives)
+{
+    Tensor t(1, 3);
+    t.at(0, 0) = -1.0f;
+    t.at(0, 1) = 0.0f;
+    t.at(0, 2) = 2.0f;
+    t.reluInPlace();
+    EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 2), 2.0f);
+}
+
+TEST(Tensor, AddRowBias)
+{
+    Tensor t(2, 2);
+    t.addRowBias({1.0f, -2.0f});
+    EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 1), -2.0f);
+}
+
+TEST(Tensor, MaxPoolGroupsTakesColumnwiseMax)
+{
+    Tensor t(4, 2);
+    t.at(0, 0) = 1;
+    t.at(1, 0) = 5;
+    t.at(2, 0) = 3;
+    t.at(3, 0) = 2;
+    t.at(0, 1) = -1;
+    t.at(1, 1) = -5;
+    t.at(2, 1) = -3;
+    t.at(3, 1) = -2;
+    const Tensor pooled = t.maxPoolGroups(2);
+    ASSERT_EQ(pooled.rows(), 2u);
+    EXPECT_FLOAT_EQ(pooled.at(0, 0), 5);
+    EXPECT_FLOAT_EQ(pooled.at(0, 1), -1);
+    EXPECT_FLOAT_EQ(pooled.at(1, 0), 3);
+    EXPECT_FLOAT_EQ(pooled.at(1, 1), -2);
+}
+
+TEST(Tensor, ArgmaxRow)
+{
+    Tensor t(1, 4);
+    t.at(0, 2) = 9.0f;
+    EXPECT_EQ(t.argmaxRow(0), 2u);
+}
+
+// ------------------------------------------------------------------ Mlp
+
+TEST(Mlp, OutputShapeFollowsWidths)
+{
+    Rng rng(2);
+    const Mlp mlp(8, {16, 32}, rng);
+    ExecutionTrace trace;
+    Tensor x(5, 8);
+    x.randomize(rng, 1.0f);
+    const Tensor y = mlp.forward(x, "t", trace);
+    EXPECT_EQ(y.rows(), 5u);
+    EXPECT_EQ(y.cols(), 32u);
+    EXPECT_EQ(mlp.outWidth(), 32u);
+}
+
+TEST(Mlp, TraceRecordsEveryGemm)
+{
+    Rng rng(3);
+    const Mlp mlp(4, {8, 8, 2}, rng);
+    ExecutionTrace trace;
+    Tensor x(10, 4);
+    mlp.forward(x, "net", trace);
+    ASSERT_EQ(trace.gemms.size(), 3u);
+    EXPECT_EQ(trace.gemms[0].m, 10u);
+    EXPECT_EQ(trace.gemms[0].k, 4u);
+    EXPECT_EQ(trace.gemms[0].n, 8u);
+    EXPECT_EQ(trace.gemms[2].n, 2u);
+    EXPECT_EQ(trace.gemms[0].layer, "net.fc0");
+}
+
+TEST(Mlp, FinalReluOptional)
+{
+    Rng rng(4);
+    // Without final ReLU some outputs should be negative.
+    const Mlp mlp(4, {8, 8}, rng, /*final_relu=*/false);
+    ExecutionTrace trace;
+    Tensor x(20, 4);
+    x.randomize(rng, 2.0f);
+    const Tensor y = mlp.forward(x, "t", trace);
+    bool has_negative = false;
+    for (std::size_t r = 0; r < y.rows(); ++r)
+        for (std::size_t c = 0; c < y.cols(); ++c)
+            has_negative |= y.at(r, c) < 0.0f;
+    EXPECT_TRUE(has_negative);
+}
+
+TEST(Mlp, DeterministicGivenSeed)
+{
+    Rng rng_a(5), rng_b(5);
+    const Mlp a(4, {8}, rng_a), b(4, {8}, rng_b);
+    ExecutionTrace ta, tb;
+    Tensor x(3, 4);
+    x.at(0, 0) = 1.0f;
+    const Tensor ya = a.forward(x, "t", ta);
+    const Tensor yb = b.forward(x, "t", tb);
+    for (std::size_t c = 0; c < ya.cols(); ++c)
+        EXPECT_FLOAT_EQ(ya.at(0, c), yb.at(0, c));
+}
+
+// ----------------------------------------------------------- GemmOp
+
+TEST(GemmOp, MacsIsProduct)
+{
+    const GemmOp op{"x", 10, 20, 30};
+    EXPECT_EQ(op.macs(), 6000u);
+}
+
+TEST(ExecutionTrace, TotalsAggregate)
+{
+    ExecutionTrace trace;
+    trace.gemms.push_back({"a", 2, 3, 4});
+    trace.gemms.push_back({"b", 1, 1, 1});
+    EXPECT_EQ(trace.totalMacs(), 25u);
+
+    GatherOp op;
+    op.stats.set("gather.distance_computations", 7);
+    op.stats.set("gather.sort_candidates", 9);
+    trace.gathers.push_back(op);
+    EXPECT_EQ(trace.totalGatherDistances(), 7u);
+    EXPECT_EQ(trace.totalSortCandidates(), 9u);
+}
+
+// ------------------------------------------------------- model specs
+
+TEST(PointNet2Spec, TableOneConfigurations)
+{
+    const auto cls = PointNet2Spec::classification();
+    EXPECT_EQ(cls.inputPoints, 1024u);
+    EXPECT_EQ(cls.numClasses, 40u);
+    EXPECT_FALSE(cls.segmentation);
+    EXPECT_EQ(cls.sa.size(), 3u);
+    EXPECT_EQ(cls.sa.back().npoint, 0u); // group-all
+
+    const auto ps = PointNet2Spec::partSegmentation();
+    EXPECT_EQ(ps.inputPoints, 2048u);
+    EXPECT_TRUE(ps.segmentation);
+    EXPECT_EQ(ps.fp.size(), ps.sa.size());
+
+    const auto seg = PointNet2Spec::semanticSegmentation();
+    EXPECT_EQ(seg.inputPoints, 4096u);
+    EXPECT_EQ(seg.sa.size(), 4u);
+
+    const auto kitti = PointNet2Spec::outdoorSegmentation();
+    EXPECT_EQ(kitti.inputPoints, 16384u);
+    EXPECT_EQ(kitti.sa[0].npoint, 4096u);
+}
+
+// --------------------------------------------------- classification
+
+TEST(PointNet2, ClassificationShapes)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(10);
+    spec.inputPoints = 256;
+    spec.sa[0].npoint = 64;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 16;
+    spec.sa[1].k = 8;
+    const PointNet2 net(spec, 42);
+    const PointCloud cloud = randomCloud(256, 7);
+    const RunOutput out = net.run(cloud);
+    EXPECT_EQ(out.logits.rows(), 1u);
+    EXPECT_EQ(out.logits.cols(), 10u);
+    EXPECT_EQ(out.labels.size(), 1u);
+    EXPECT_LT(out.labels[0], 10u);
+}
+
+TEST(PointNet2, DeterministicAcrossRuns)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(5);
+    spec.sa[0].npoint = 32;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 8;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    const PointCloud cloud = randomCloud(128, 8);
+    RunOptions opts;
+    opts.seed = 3;
+    const RunOutput a = net.run(cloud, opts);
+    const RunOutput b = net.run(cloud, opts);
+    for (std::size_t c = 0; c < a.logits.cols(); ++c)
+        EXPECT_FLOAT_EQ(a.logits.at(0, c), b.logits.at(0, c));
+}
+
+TEST(PointNet2, GroupAllPermutationInvariant)
+{
+    // The PointNet symmetric-function property: with group-all only
+    // (no sampling randomness), shuffling input points must not
+    // change the logits.
+    PointNet2Spec spec;
+    spec.name = "tiny";
+    spec.inputPoints = 64;
+    spec.numClasses = 4;
+    spec.sa = {{0, 0, 0.0f, {16, 32}}};
+    spec.head = {16};
+    const PointNet2 net(spec, 42);
+
+    const PointCloud cloud = randomCloud(64, 9);
+    std::vector<PointIndex> perm(64);
+    std::iota(perm.begin(), perm.end(), 0u);
+    Rng rng(10);
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        std::swap(perm[i], perm[i + rng.below(perm.size() - i)]);
+    const PointCloud shuffled = cloud.reordered(perm);
+
+    const RunOutput a = net.run(cloud);
+    const RunOutput b = net.run(shuffled);
+    for (std::size_t c = 0; c < a.logits.cols(); ++c)
+        EXPECT_NEAR(a.logits.at(0, c), b.logits.at(0, c), 1e-3f);
+}
+
+TEST(PointNet2, TraceCoversAllSaLayersAndHead)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(10);
+    spec.sa[0].npoint = 32;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 8;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    const RunOutput out = net.run(randomCloud(128, 11));
+    // 3 SA layers x 3 MLP layers + head (2 hidden + logits).
+    EXPECT_EQ(out.trace.gemms.size(), 9u + 3u);
+    // Two gathering SA layers (group-all gathers nothing).
+    EXPECT_EQ(out.trace.gathers.size(), 2u);
+    EXPECT_GT(out.trace.totalMacs(), 0u);
+}
+
+TEST(PointNet2, FpsCentroidsSupported)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(4);
+    spec.sa[0].npoint = 16;
+    spec.sa[0].k = 4;
+    spec.sa[1].npoint = 4;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    RunOptions opts;
+    opts.centroid = CentroidMethod::Fps;
+    const RunOutput out = net.run(randomCloud(64, 12), opts);
+    EXPECT_EQ(out.logits.cols(), 4u);
+}
+
+// ------------------------------------------------------ segmentation
+
+TEST(PointNet2, SegmentationPerPointOutputs)
+{
+    PointNet2Spec spec = PointNet2Spec::semanticSegmentation(6);
+    spec.inputPoints = 256;
+    spec.sa[0].npoint = 64;
+    spec.sa[1].npoint = 32;
+    spec.sa[2].npoint = 16;
+    spec.sa[3].npoint = 8;
+    for (auto &sa : spec.sa)
+        sa.k = 8;
+    const PointNet2 net(spec, 42);
+    const PointCloud cloud = randomCloud(256, 13);
+    const RunOutput out = net.run(cloud);
+    EXPECT_EQ(out.logits.rows(), 256u);
+    EXPECT_EQ(out.logits.cols(), 6u);
+    EXPECT_EQ(out.labels.size(), 256u);
+    for (std::size_t label : out.labels)
+        EXPECT_LT(label, 6u);
+}
+
+TEST(PointNet2, SegmentationTraceHasFpGathers)
+{
+    PointNet2Spec spec = PointNet2Spec::partSegmentation(8);
+    spec.inputPoints = 128;
+    spec.sa[0].npoint = 32;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 8;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    const RunOutput out = net.run(randomCloud(128, 14));
+    // 2 SA gathers + 3 FP 3-NN gathers.
+    EXPECT_EQ(out.trace.gathers.size(), 5u);
+}
+
+// -------------------------------------------------------- DS methods
+
+class DsMethodTest : public ::testing::TestWithParam<DsMethod>
+{
+};
+
+TEST_P(DsMethodTest, AllMethodsProduceValidLogits)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(5);
+    spec.sa[0].npoint = 32;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 8;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    RunOptions opts;
+    opts.ds = GetParam();
+    const RunOutput out = net.run(randomCloud(256, 15), opts);
+    EXPECT_EQ(out.logits.cols(), 5u);
+    for (std::size_t c = 0; c < 5; ++c)
+        EXPECT_TRUE(std::isfinite(out.logits.at(0, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DsMethodTest,
+                         ::testing::Values(DsMethod::BruteKnn,
+                                           DsMethod::BruteBq,
+                                           DsMethod::Veg,
+                                           DsMethod::VegBq,
+                                           DsMethod::VegStrict));
+
+TEST(PointNet2, VegAndBruteAgreeWithStrictGathering)
+{
+    // With identical centroids (same seed) and exact gathering,
+    // VEG-strict and brute KNN must produce identical logits.
+    PointNet2Spec spec = PointNet2Spec::classification(4);
+    spec.sa[0].npoint = 16;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 4;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    const PointCloud cloud = randomCloud(128, 16);
+
+    RunOptions brute_opts;
+    brute_opts.ds = DsMethod::BruteKnn;
+    brute_opts.seed = 5;
+    RunOptions veg_opts;
+    veg_opts.ds = DsMethod::VegStrict;
+    veg_opts.seed = 5;
+
+    const RunOutput a = net.run(cloud, brute_opts);
+    const RunOutput b = net.run(cloud, veg_opts);
+    for (std::size_t c = 0; c < a.logits.cols(); ++c)
+        EXPECT_NEAR(a.logits.at(0, c), b.logits.at(0, c), 1e-3f);
+}
+
+TEST(PointNet2, VegWorkloadBelowBrute)
+{
+    PointNet2Spec spec = PointNet2Spec::semanticSegmentation(4);
+    spec.inputPoints = 512;
+    spec.sa[0].npoint = 128;
+    spec.sa[1].npoint = 64;
+    spec.sa[2].npoint = 32;
+    spec.sa[3].npoint = 8;
+    for (auto &sa : spec.sa)
+        sa.k = 8;
+    const PointNet2 net(spec, 42);
+    const PointCloud cloud = randomCloud(512, 17);
+
+    RunOptions brute_opts;
+    brute_opts.ds = DsMethod::BruteKnn;
+    RunOptions veg_opts;
+    veg_opts.ds = DsMethod::Veg;
+
+    const RunOutput brute = net.run(cloud, brute_opts);
+    const RunOutput veg = net.run(cloud, veg_opts);
+    EXPECT_LT(veg.trace.totalSortCandidates() * 2,
+              brute.trace.totalSortCandidates());
+}
+
+TEST(PointNet2, InputOctreeReusedForFirstLayer)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(4);
+    spec.sa[0].npoint = 16;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 4;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    const PointCloud cloud = randomCloud(128, 18);
+
+    Octree::Config tree_cfg;
+    tree_cfg.maxDepth = 8;
+    Octree tree = Octree::build(cloud, tree_cfg);
+
+    RunOptions opts;
+    opts.ds = DsMethod::Veg;
+    opts.inputOctree = &tree;
+    // Reuse requires the reordered cloud as input.
+    const RunOutput out = net.run(tree.reorderedCloud(), opts);
+    EXPECT_EQ(out.logits.cols(), 4u);
+    // First SA gather must not have paid an octree build.
+    ASSERT_FALSE(out.trace.gathers.empty());
+    EXPECT_EQ(out.trace.gathers[0].stats.get("octree.host_reads"), 0u);
+}
+
+TEST(PointNet2, FeatureCloudSupported)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(3);
+    spec.inputFeatureDim = 2;
+    spec.sa[0].npoint = 8;
+    spec.sa[0].k = 4;
+    spec.sa[1].npoint = 4;
+    spec.sa[1].k = 2;
+    const PointNet2 net(spec, 42);
+    PointCloud cloud(2);
+    Rng rng(19);
+    for (int i = 0; i < 64; ++i) {
+        const float f[] = {rng.uniform(0.0f, 1.0f),
+                           rng.uniform(0.0f, 1.0f)};
+        cloud.add({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                   rng.uniform(0.0f, 1.0f)},
+                  f);
+    }
+    const RunOutput out = net.run(cloud);
+    EXPECT_EQ(out.logits.cols(), 3u);
+}
+
+} // namespace
+} // namespace hgpcn

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Cross-module property sweeps (parameterized gtest suites).
+ *
+ * Each suite states one invariant and drives it across a grid of
+ * configurations: sampler kinds x K, cloud distributions x octree
+ * configs, VEG modes x gathering sizes. These are the regression
+ * nets behind the paper's claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "gather/brute_gatherers.h"
+#include "gather/veg_gatherer.h"
+#include "sampling/approx_ois_sampler.h"
+#include "sampling/fps_sampler.h"
+#include "sampling/ois_fps_sampler.h"
+#include "sampling/random_sampler.h"
+#include "sim/bitonic_sorter.h"
+#include "sim/systolic_array.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+// ------------------------------------------------ cloud generators
+
+/** Synthetic distribution families exercising different octrees. */
+enum class CloudKind
+{
+    Uniform,
+    Clustered,
+    Planar,
+    Diagonal,
+    WithDuplicates,
+};
+
+const char *
+toString(CloudKind kind)
+{
+    switch (kind) {
+      case CloudKind::Uniform:
+        return "Uniform";
+      case CloudKind::Clustered:
+        return "Clustered";
+      case CloudKind::Planar:
+        return "Planar";
+      case CloudKind::Diagonal:
+        return "Diagonal";
+      case CloudKind::WithDuplicates:
+        return "WithDuplicates";
+    }
+    return "?";
+}
+
+PointCloud
+makeCloud(CloudKind kind, std::size_t n, std::uint64_t seed)
+{
+    PointCloud cloud;
+    cloud.reserve(n);
+    Rng rng(seed);
+    switch (kind) {
+      case CloudKind::Uniform:
+        for (std::size_t i = 0; i < n; ++i) {
+            cloud.add({rng.uniform(0.0f, 1.0f),
+                       rng.uniform(0.0f, 1.0f),
+                       rng.uniform(0.0f, 1.0f)});
+        }
+        break;
+      case CloudKind::Clustered:
+        for (std::size_t i = 0; i < n; ++i) {
+            const float cx = (i % 4) * 0.25f + 0.1f;
+            const float cy = ((i / 4) % 4) * 0.25f + 0.1f;
+            cloud.add(
+                {cx + 0.01f * static_cast<float>(rng.normal()),
+                 cy + 0.01f * static_cast<float>(rng.normal()),
+                 0.5f + 0.01f * static_cast<float>(rng.normal())});
+        }
+        break;
+      case CloudKind::Planar:
+        for (std::size_t i = 0; i < n; ++i) {
+            cloud.add({rng.uniform(0.0f, 1.0f),
+                       rng.uniform(0.0f, 1.0f),
+                       0.3f + rng.uniform(0.0f, 0.002f)});
+        }
+        break;
+      case CloudKind::Diagonal:
+        for (std::size_t i = 0; i < n; ++i) {
+            const float t = rng.uniform(0.0f, 1.0f);
+            cloud.add({t + rng.uniform(0.0f, 0.01f),
+                       t + rng.uniform(0.0f, 0.01f),
+                       t + rng.uniform(0.0f, 0.01f)});
+        }
+        break;
+      case CloudKind::WithDuplicates:
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i % 3 == 0) {
+                cloud.add({0.5f, 0.5f, 0.5f});
+            } else {
+                cloud.add({rng.uniform(0.0f, 1.0f),
+                           rng.uniform(0.0f, 1.0f),
+                           rng.uniform(0.0f, 1.0f)});
+            }
+        }
+        break;
+    }
+    return cloud;
+}
+
+// -------------------------------------------- sampler x K invariants
+
+/** Factory of every sampler implementation. */
+std::unique_ptr<Sampler>
+makeSampler(const std::string &kind)
+{
+    if (kind == "FPS")
+        return std::make_unique<FpsSampler>(3);
+    if (kind == "FPS-naive")
+        return std::make_unique<NaiveFpsSampler>(3);
+    if (kind == "RS")
+        return std::make_unique<RandomSampler>(3);
+    if (kind == "RS+reinforce")
+        return std::make_unique<ReinforcedRandomSampler>(3);
+    if (kind == "OIS")
+        return std::make_unique<OisFpsSampler>();
+    if (kind == "OIS-approx")
+        return std::make_unique<ApproxOisSampler>();
+    return nullptr;
+}
+
+class SamplerSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::size_t>>
+{
+};
+
+TEST_P(SamplerSweep, ReturnsKDistinctValidIndices)
+{
+    const auto [kind, k] = GetParam();
+    const PointCloud cloud = makeCloud(CloudKind::Uniform, 600, 11);
+    auto sampler = makeSampler(kind);
+    ASSERT_NE(sampler, nullptr);
+    const SampleResult result = sampler->sample(cloud, k);
+    ASSERT_EQ(result.indices.size(), k);
+    std::set<PointIndex> unique(result.indices.begin(),
+                                result.indices.end());
+    EXPECT_EQ(unique.size(), k);
+    for (PointIndex i : result.indices)
+        EXPECT_LT(i, cloud.size());
+}
+
+TEST_P(SamplerSweep, DeterministicAcrossRuns)
+{
+    const auto [kind, k] = GetParam();
+    const PointCloud cloud = makeCloud(CloudKind::Clustered, 600, 13);
+    auto a = makeSampler(kind);
+    auto b = makeSampler(kind);
+    EXPECT_EQ(a->sample(cloud, k).indices,
+              b->sample(cloud, k).indices);
+}
+
+TEST_P(SamplerSweep, HandlesClusteredAndDuplicateClouds)
+{
+    const auto [kind, k] = GetParam();
+    for (const CloudKind cloud_kind :
+         {CloudKind::Clustered, CloudKind::WithDuplicates,
+          CloudKind::Planar}) {
+        const PointCloud cloud = makeCloud(cloud_kind, 500, 17);
+        auto sampler = makeSampler(kind);
+        const SampleResult result = sampler->sample(cloud, k);
+        std::set<PointIndex> unique(result.indices.begin(),
+                                    result.indices.end());
+        EXPECT_EQ(unique.size(), k) << toString(cloud_kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplerSweep,
+    ::testing::Combine(::testing::Values("FPS", "FPS-naive", "RS",
+                                         "RS+reinforce", "OIS",
+                                         "OIS-approx"),
+                       ::testing::Values(std::size_t{1},
+                                         std::size_t{16},
+                                         std::size_t{128})),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &c : name)
+            if (c == '+' || c == '-')
+                c = '_';
+        return name + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------- octree x distribution sweep
+
+class OctreeDistributionSweep
+    : public ::testing::TestWithParam<CloudKind>
+{
+};
+
+TEST_P(OctreeDistributionSweep, BuildInvariantsHold)
+{
+    const PointCloud cloud = makeCloud(GetParam(), 1500, 19);
+    Octree::Config cfg;
+    cfg.maxDepth = 10;
+    cfg.leafCapacity = 8;
+    const Octree tree = Octree::build(cloud, cfg);
+    EXPECT_GT(tree.validate(), 0u);
+
+    // Codes sorted, permutation valid, leaves partition the range.
+    const auto &codes = tree.pointCodes();
+    for (std::size_t i = 1; i < codes.size(); ++i)
+        EXPECT_LE(codes[i - 1], codes[i]);
+    std::set<PointIndex> perm(tree.permutation().begin(),
+                              tree.permutation().end());
+    EXPECT_EQ(perm.size(), cloud.size());
+
+    std::size_t leaf_points = 0;
+    for (const OctreeNode &node : tree.nodes())
+        if (node.isLeaf())
+            leaf_points += node.count();
+    EXPECT_EQ(leaf_points, cloud.size());
+}
+
+TEST_P(OctreeDistributionSweep, OisSamplesAllDistributions)
+{
+    const PointCloud cloud = makeCloud(GetParam(), 1200, 23);
+    OisFpsSampler sampler;
+    const SampleResult result = sampler.sample(cloud, 200);
+    std::set<PointIndex> unique(result.indices.begin(),
+                                result.indices.end());
+    EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST_P(OctreeDistributionSweep, FindLeafConsistentWithVoxelRange)
+{
+    const PointCloud cloud = makeCloud(GetParam(), 800, 29);
+    Octree::Config cfg;
+    cfg.maxDepth = 9;
+    const Octree tree = Octree::build(cloud, cfg);
+    for (PointIndex i = 0; i < 50; ++i) {
+        const Vec3 &p = tree.reorderedCloud().position(
+            (i * 13) % static_cast<PointIndex>(cloud.size()));
+        const NodeIndex leaf = tree.findLeaf(p);
+        const auto [first, last] = tree.voxelRange(
+            tree.node(leaf).code, tree.node(leaf).level);
+        EXPECT_EQ(first, tree.node(leaf).pointBegin);
+        EXPECT_EQ(last, tree.node(leaf).pointEnd);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, OctreeDistributionSweep,
+    ::testing::Values(CloudKind::Uniform, CloudKind::Clustered,
+                      CloudKind::Planar, CloudKind::Diagonal,
+                      CloudKind::WithDuplicates),
+    [](const auto &info) { return toString(info.param); });
+
+// ----------------------------------------- VEG mode x K sweep
+
+class VegSweep : public ::testing::TestWithParam<
+                     std::tuple<VegMode, std::size_t>>
+{
+};
+
+TEST_P(VegSweep, KUniqueNeighborsOnEveryDistribution)
+{
+    const auto [mode, k] = GetParam();
+    for (const CloudKind kind :
+         {CloudKind::Uniform, CloudKind::Clustered,
+          CloudKind::Planar}) {
+        const PointCloud cloud = makeCloud(kind, 1200, 31);
+        Octree::Config cfg;
+        cfg.maxDepth = 10;
+        const Octree tree = Octree::build(cloud, cfg);
+        VegKnn::Config veg_cfg;
+        veg_cfg.mode = mode;
+        VegKnn veg(tree, veg_cfg);
+        std::vector<PointIndex> centrals;
+        for (PointIndex c = 0; c < 16; ++c)
+            centrals.push_back(c * 70);
+        const GatherResult result = veg.gather(centrals, k);
+        for (std::size_t c = 0; c < centrals.size(); ++c) {
+            const auto neigh = result.of(c);
+            std::set<PointIndex> unique(neigh.begin(), neigh.end());
+            EXPECT_EQ(unique.size(), k)
+                << toString(kind) << " centroid " << c;
+        }
+    }
+}
+
+TEST_P(VegSweep, TracesAccountForK)
+{
+    const auto [mode, k] = GetParam();
+    const PointCloud cloud = makeCloud(CloudKind::Uniform, 1500, 37);
+    Octree::Config cfg;
+    cfg.maxDepth = 10;
+    const Octree tree = Octree::build(cloud, cfg);
+    VegKnn::Config veg_cfg;
+    veg_cfg.mode = mode;
+    VegKnn veg(tree, veg_cfg);
+    std::vector<PointIndex> centrals = {10, 500, 999};
+    const GatherResult result = veg.gather(centrals, k);
+    for (const VegTrace &trace : result.traces) {
+        EXPECT_GE(trace.innerPoints + trace.lastRingPoints, k);
+        EXPECT_GT(trace.tableLookups, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VegSweep,
+    ::testing::Combine(::testing::Values(VegMode::Paper,
+                                         VegMode::Strict,
+                                         VegMode::SemiApprox),
+                       ::testing::Values(std::size_t{4},
+                                         std::size_t{16},
+                                         std::size_t{64})),
+    [](const auto &info) {
+        std::string mode = toString(std::get<0>(info.param));
+        for (auto &c : mode)
+            if (c == '-')
+                c = '_';
+        return mode + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------- strict == brute (sweep)
+
+class StrictExactSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(StrictExactSweep, StrictVegMatchesBruteDistances)
+{
+    const std::size_t k = GetParam();
+    const PointCloud cloud = makeCloud(CloudKind::Clustered, 900, 41);
+    Octree::Config cfg;
+    cfg.maxDepth = 10;
+    const Octree tree = Octree::build(cloud, cfg);
+    VegKnn::Config veg_cfg;
+    veg_cfg.mode = VegMode::Strict;
+    VegKnn veg(tree, veg_cfg);
+    BruteKnn brute(tree.reorderedCloud());
+    std::vector<PointIndex> centrals = {5, 250, 777};
+    const auto rv = veg.gather(centrals, k);
+    const auto rb = brute.gather(centrals, k);
+    for (std::size_t c = 0; c < centrals.size(); ++c) {
+        const Vec3 anchor =
+            tree.reorderedCloud().position(centrals[c]);
+        float worst_v = 0.0f, worst_b = 0.0f;
+        for (PointIndex i : rv.of(c)) {
+            worst_v = std::max(
+                worst_v,
+                tree.reorderedCloud().position(i).distSq(anchor));
+        }
+        for (PointIndex i : rb.of(c)) {
+            worst_b = std::max(
+                worst_b,
+                tree.reorderedCloud().position(i).distSq(anchor));
+        }
+        EXPECT_FLOAT_EQ(worst_v, worst_b);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, StrictExactSweep,
+                         ::testing::Values(std::size_t{2},
+                                           std::size_t{8},
+                                           std::size_t{32},
+                                           std::size_t{96}));
+
+// ------------------------------------------- hardware-model sweeps
+
+class BitonicSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BitonicSweep, TopKNeverExceedsTwiceFullSortPlusMerges)
+{
+    const std::size_t lanes = GetParam();
+    const BitonicSorterSim sorter(lanes);
+    for (std::uint64_t n = 4; n <= (1u << 14); n *= 4) {
+        EXPECT_GT(sorter.topKCycles(n, 16), 0u);
+        EXPECT_GE(sorter.sortCycles(2 * n), sorter.sortCycles(n));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, BitonicSweep,
+                         ::testing::Values(std::size_t{8},
+                                           std::size_t{64},
+                                           std::size_t{256}));
+
+class SystolicSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 std::size_t>>
+{
+};
+
+TEST_P(SystolicSweep, SplittingMNeverPaysLessThanFused)
+{
+    const auto [rows, cols] = GetParam();
+    const SystolicArraySim array(rows, cols);
+    // Fill/drain amortizes over M: one big GEMM is never slower
+    // than two half-size ones.
+    const std::uint64_t fused = array.gemmCycles(1000, 64, 64);
+    const std::uint64_t split = array.gemmCycles(500, 64, 64) +
+                                array.gemmCycles(500, 64, 64);
+    EXPECT_LE(fused, split);
+}
+
+TEST_P(SystolicSweep, CyclesScaleWithTiles)
+{
+    const auto [rows, cols] = GetParam();
+    const SystolicArraySim array(rows, cols);
+    const std::uint64_t base = array.gemmCycles(128, rows, cols);
+    EXPECT_EQ(array.gemmCycles(128, rows * 2, cols), 2 * base);
+    EXPECT_EQ(array.gemmCycles(128, rows, cols * 2), 2 * base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SystolicSweep,
+    ::testing::Combine(::testing::Values(std::size_t{8},
+                                         std::size_t{16},
+                                         std::size_t{32}),
+                       ::testing::Values(std::size_t{8},
+                                         std::size_t{16})));
+
+} // namespace
+} // namespace hgpcn

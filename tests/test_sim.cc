@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the hardware simulators: bitonic sorter, systolic array,
+ * DRAM model, Down-sampling Unit, DSU pipeline, FCU and the on-chip
+ * memory / device models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bitonic_sorter.h"
+#include "sim/device_model.h"
+#include "sim/down_sampling_unit.h"
+#include "sim/dram_model.h"
+#include "sim/dsu_pipeline.h"
+#include "sim/fcu_dla.h"
+#include "sim/on_chip_memory.h"
+#include "sim/systolic_array.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+// ------------------------------------------------------ bitonic sorter
+
+TEST(BitonicSorter, TrivialSizes)
+{
+    const BitonicSorterSim sorter(64);
+    EXPECT_EQ(sorter.sortCycles(0), 1u);
+    EXPECT_EQ(sorter.sortCycles(1), 1u);
+    EXPECT_GE(sorter.sortCycles(2), 1u);
+}
+
+TEST(BitonicSorter, CyclesMonotonicInN)
+{
+    const BitonicSorterSim sorter(64);
+    std::uint64_t prev = 0;
+    for (std::uint64_t n = 2; n <= 1u << 14; n *= 2) {
+        const std::uint64_t c = sorter.sortCycles(n);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(BitonicSorter, StageFormulaAtExactPowers)
+{
+    // n = 1024, lanes = 512 pairs fit exactly in one pass of
+    // 64 lanes -> pairs/lanes cycles per stage.
+    const BitonicSorterSim sorter(64);
+    const std::uint64_t log_p = 10;
+    const std::uint64_t stages = log_p * (log_p + 1) / 2;
+    EXPECT_EQ(sorter.sortCycles(1024), stages * (512 / 64));
+}
+
+TEST(BitonicSorter, MoreLanesFewerCycles)
+{
+    const BitonicSorterSim narrow(16), wide(256);
+    EXPECT_GT(narrow.sortCycles(4096), wide.sortCycles(4096));
+}
+
+TEST(BitonicSorter, TopKCheaperThanFullSortForLargeN)
+{
+    const BitonicSorterSim sorter(64);
+    EXPECT_LT(sorter.topKCycles(1 << 14, 32),
+              sorter.sortCycles(1 << 14) * 4);
+    EXPECT_EQ(sorter.topKCycles(16, 32), sorter.sortCycles(16));
+}
+
+TEST(BitonicSorter, TopKScalesWithBatches)
+{
+    const BitonicSorterSim sorter(64);
+    const std::uint64_t one = sorter.topKCycles(1024, 32);
+    const std::uint64_t two = sorter.topKCycles(2048, 32);
+    EXPECT_NEAR(static_cast<double>(two) / static_cast<double>(one),
+                2.0, 0.2);
+}
+
+// ------------------------------------------------------ systolic array
+
+TEST(SystolicArray, PerfectTileGemm)
+{
+    const SystolicArraySim array(16, 16);
+    // K=16, N=16: one tile; cycles = rows + M + cols.
+    EXPECT_EQ(array.gemmCycles(100, 16, 16), 16u + 100u + 16u);
+}
+
+TEST(SystolicArray, TilesMultiply)
+{
+    const SystolicArraySim array(16, 16);
+    const std::uint64_t one_tile = array.gemmCycles(64, 16, 16);
+    EXPECT_EQ(array.gemmCycles(64, 32, 16), 2 * one_tile);
+    EXPECT_EQ(array.gemmCycles(64, 32, 32), 4 * one_tile);
+}
+
+TEST(SystolicArray, ZeroDimsCostNothing)
+{
+    const SystolicArraySim array(16, 16);
+    EXPECT_EQ(array.gemmCycles(0, 16, 16), 0u);
+    EXPECT_EQ(array.gemmCycles(16, 0, 16), 0u);
+}
+
+TEST(SystolicArray, UtilizationApproachesPeakForLargeM)
+{
+    const SystolicArraySim array(16, 16);
+    const std::uint64_t m = 100000;
+    const std::uint64_t cycles = array.gemmCycles(m, 16, 16);
+    const double macs_per_cycle =
+        static_cast<double>(m * 16 * 16) / static_cast<double>(cycles);
+    EXPECT_GT(macs_per_cycle, 0.99 * 256.0);
+}
+
+TEST(SystolicArray, TraceCyclesSumsOps)
+{
+    const SystolicArraySim array(16, 16);
+    ExecutionTrace trace;
+    trace.gemms.push_back({"a", 10, 16, 16});
+    trace.gemms.push_back({"b", 20, 16, 16});
+    EXPECT_EQ(array.traceCycles(trace),
+              array.gemmCycles(10, 16, 16) +
+                  array.gemmCycles(20, 16, 16));
+}
+
+// ----------------------------------------------------------- DRAM
+
+TEST(Dram, SequentialScalesWithBytes)
+{
+    const DramModel dram(MemoryParams{});
+    EXPECT_DOUBLE_EQ(dram.sequentialSec(0), 0.0);
+    EXPECT_NEAR(dram.sequentialSec(16'000'000'000ull), 1.0, 1e-9);
+}
+
+TEST(Dram, RandomSlowerThanSequentialPerByte)
+{
+    const DramModel dram(MemoryParams{});
+    const std::uint64_t n = 10000;
+    EXPECT_GT(dram.randomSec(n, 12), dram.sequentialSec(n * 12));
+}
+
+TEST(Dram, PointStreamUsesPointBytes)
+{
+    MemoryParams prm;
+    prm.pointBytes = 12;
+    const DramModel dram(prm);
+    EXPECT_DOUBLE_EQ(dram.pointStreamSec(100),
+                     dram.sequentialSec(1200));
+}
+
+// ------------------------------------------------ DownsamplingUnitSim
+
+TEST(DownsamplingUnit, BreakdownSumsToTotal)
+{
+    const DownsamplingUnitSim sim(SimConfig::defaults());
+    StatSet stats;
+    stats.set("sample.levels_visited", 4096 * 8);
+    stats.set("sample.leaf_candidates", 4096 * 16);
+    const auto result = sim.run(stats, 4096, 100000);
+    EXPECT_NEAR(result.totalSec(),
+                result.mmioSec + result.descentSec +
+                    result.leafScanSec + result.hostReadSec +
+                    result.sptWriteSec,
+                1e-12);
+    EXPECT_GT(result.totalSec(), 0.0);
+}
+
+TEST(DownsamplingUnit, FewerModulesSlowerDescent)
+{
+    SimConfig one = SimConfig::defaults();
+    one.fpga.samplingModules = 1;
+    SimConfig eight = SimConfig::defaults();
+    eight.fpga.samplingModules = 8;
+    StatSet stats;
+    stats.set("sample.levels_visited", 100000);
+    const auto slow = DownsamplingUnitSim(one).run(stats, 1024, 1000);
+    const auto fast = DownsamplingUnitSim(eight).run(stats, 1024, 1000);
+    EXPECT_GT(slow.descentSec, fast.descentSec);
+}
+
+TEST(DownsamplingUnit, MmioScalesWithTableSize)
+{
+    const DownsamplingUnitSim sim(SimConfig::defaults());
+    StatSet stats;
+    const auto small = sim.run(stats, 16, 1000);
+    const auto large = sim.run(stats, 16, 1000000);
+    EXPECT_GT(large.mmioSec, small.mmioSec);
+}
+
+TEST(DownsamplingUnit, HardwareFasterThanScalarCpuUnit)
+{
+    // The Fig. 12 inset: the FPGA unit beats a CPU running the same
+    // descent serially (paper: 5.95x-6.24x).
+    const DownsamplingUnitSim sim(SimConfig::defaults());
+    StatSet stats;
+    stats.set("sample.levels_visited", 4096 * 10);
+    stats.set("sample.leaf_candidates", 4096 * 20);
+    const auto hw = sim.run(stats, 4096, 50000);
+    const double hw_unit_sec =
+        hw.descentSec + hw.leafScanSec + hw.sptWriteSec;
+    const double cpu_sec = sim.cpuUnitSec(stats, 4096);
+    EXPECT_GT(cpu_sec / hw_unit_sec, 2.0);
+    EXPECT_LT(cpu_sec / hw_unit_sec, 20.0);
+}
+
+// -------------------------------------------------------- DSU pipeline
+
+std::vector<VegTrace>
+uniformTraces(std::size_t n, std::uint32_t inner, std::uint32_t last,
+              std::uint32_t lookups)
+{
+    std::vector<VegTrace> traces(n);
+    for (auto &t : traces) {
+        t.rings = 2;
+        t.innerPoints = inner;
+        t.lastRingPoints = last;
+        t.tableLookups = lookups;
+    }
+    return traces;
+}
+
+TEST(DsuPipeline, StageCyclesAllPopulated)
+{
+    const DsuPipelineSim sim(SimConfig::defaults(), 8);
+    const auto traces = uniformTraces(100, 16, 40, 33);
+    const auto result = sim.run(traces, 32);
+    for (std::size_t s = 0; s < kStageCount; ++s)
+        EXPECT_GT(result.stageCycles[s], 0u)
+            << "stage " << dsuStageName(s);
+}
+
+TEST(DsuPipeline, PipelinedFasterThanSerial)
+{
+    const DsuPipelineSim sim(SimConfig::defaults(), 8);
+    const auto traces = uniformTraces(200, 16, 40, 33);
+    const auto result = sim.run(traces, 32);
+    EXPECT_LT(result.pipelinedCycles, result.serialCycles());
+}
+
+TEST(DsuPipeline, SortDominatesForHugeLastRing)
+{
+    const DsuPipelineSim sim(SimConfig::defaults(), 8);
+    const auto traces = uniformTraces(50, 4, 4000, 33);
+    const auto result = sim.run(traces, 32);
+    std::uint64_t max_stage = 0;
+    std::size_t argmax = 0;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+        if (result.stageCycles[s] > max_stage) {
+            max_stage = result.stageCycles[s];
+            argmax = s;
+        }
+    }
+    EXPECT_EQ(argmax, static_cast<std::size_t>(kStageSt));
+}
+
+TEST(DsuPipeline, EmptyTraceListCostsNothing)
+{
+    const DsuPipelineSim sim(SimConfig::defaults(), 8);
+    const auto result = sim.run({}, 32);
+    EXPECT_EQ(result.pipelinedCycles, 0u);
+}
+
+TEST(DsuPipeline, StageNamesStable)
+{
+    EXPECT_STREQ(dsuStageName(kStageFp), "FP");
+    EXPECT_STREQ(dsuStageName(kStageLv), "LV");
+    EXPECT_STREQ(dsuStageName(kStageVe), "VE");
+    EXPECT_STREQ(dsuStageName(kStageGp), "GP");
+    EXPECT_STREQ(dsuStageName(kStageSt), "ST");
+    EXPECT_STREQ(dsuStageName(kStageBf), "BF");
+}
+
+// ------------------------------------------------------------- FCU
+
+TEST(Fcu, ComputeMatchesSystolicModel)
+{
+    const SimConfig cfg = SimConfig::defaults();
+    const FcuSim fcu(cfg);
+    ExecutionTrace trace;
+    trace.gemms.push_back({"a", 1000, 64, 64});
+    const auto result = fcu.run(trace);
+    const SystolicArraySim array(cfg.fpga.systolicRows,
+                                 cfg.fpga.systolicCols);
+    EXPECT_EQ(result.computeCycles, array.traceCycles(trace));
+    EXPECT_EQ(result.macs, 1000u * 64u * 64u);
+    EXPECT_GT(result.utilization, 0.0);
+    EXPECT_LE(result.utilization, 1.0);
+}
+
+TEST(Fcu, TotalIsMaxOfComputeAndMemory)
+{
+    const FcuSim fcu(SimConfig::defaults());
+    ExecutionTrace trace;
+    trace.gemms.push_back({"a", 64, 64, 64});
+    const auto result = fcu.run(trace);
+    EXPECT_DOUBLE_EQ(result.totalSec(),
+                     std::max(result.computeSec, result.memorySec));
+}
+
+// -------------------------------------------------- on-chip memory
+
+TEST(OnChip, FpsExceedsDeviceAroundHalfMillionPoints)
+{
+    // Paper Section VII-C: frames above ~5e5 points no longer fit
+    // the Arria 10's 65 Mb when FPS keeps them on chip.
+    const OnChipMemoryModel model(SimConfig::defaults());
+    EXPECT_TRUE(model.fits(model.fpsFootprintBits(100000, 4096)));
+    EXPECT_FALSE(model.fits(model.fpsFootprintBits(600000, 4096)));
+}
+
+TEST(OnChip, OisFitsEvenMillionPointFrames)
+{
+    // Paper: at 1e6 points the OIS table consumes ~10 Mb.
+    const OnChipMemoryModel model(SimConfig::defaults());
+    // 1e6 points at leafCapacity 64 -> roughly 6e4 table rows.
+    const std::uint64_t table_bytes = 60000 * 20;
+    const double bits = model.oisFootprintBits(table_bytes, 16384);
+    EXPECT_TRUE(model.fits(bits));
+    EXPECT_LT(bits, 20e6);
+}
+
+TEST(OnChip, SavingRatioInPaperBand)
+{
+    const OnChipMemoryModel model(SimConfig::defaults());
+    const double fps_bits = model.fpsFootprintBits(1000000, 4096);
+    const double ois_bits =
+        model.oisFootprintBits(60000 * 20, 4096);
+    const double saving = fps_bits / ois_bits;
+    EXPECT_GT(saving, 8.0);
+    EXPECT_LT(saving, 40.0);
+}
+
+// ----------------------------------------------------- device model
+
+TEST(DeviceModel, FpsTimeScalesWithWorkload)
+{
+    const DeviceModel cpu(DeviceModel::xeonW2255());
+    StatSet small, large;
+    small.set("sample.host_reads", 1000000);
+    large.set("sample.host_reads", 100000000);
+    EXPECT_GT(cpu.samplingSec(large, 4096),
+              cpu.samplingSec(small, 4096));
+}
+
+TEST(DeviceModel, GpuPaysIterationSerialization)
+{
+    const DeviceModel gpu(DeviceModel::jetsonXavierNx());
+    StatSet stats; // negligible traffic
+    stats.set("sample.host_reads", 10);
+    const double t = gpu.samplingSec(stats, 4096);
+    EXPECT_GE(t, 4096 * gpu.spec().perIterationSec);
+}
+
+TEST(DeviceModel, InferenceSplitsDsAndFc)
+{
+    const DeviceModel dev(DeviceModel::jetsonXavierNx());
+    ExecutionTrace trace;
+    trace.gemms.push_back({"sa0.fc0", 1000, 64, 64});
+    GatherOp op;
+    op.layer = "sa0";
+    op.stats.set("gather.distance_computations", 1000000);
+    trace.gathers.push_back(op);
+    EXPECT_GT(dev.dsSec(trace), 0.0);
+    EXPECT_GT(dev.fcSec(trace), 0.0);
+    EXPECT_DOUBLE_EQ(dev.inferenceSec(trace),
+                     dev.dsSec(trace) + dev.fcSec(trace));
+}
+
+TEST(DeviceModel, DesktopGpuFasterThanJetson)
+{
+    const DeviceModel jetson(DeviceModel::jetsonXavierNx());
+    const DeviceModel desktop(DeviceModel::rtx4060Ti());
+    ExecutionTrace trace;
+    trace.gemms.push_back({"sa0.fc0", 100000, 64, 128});
+    GatherOp op;
+    op.stats.set("gather.distance_computations", 10000000);
+    trace.gathers.push_back(op);
+    EXPECT_LT(desktop.inferenceSec(trace), jetson.inferenceSec(trace));
+}
+
+TEST(DeviceModel, OctreeBuildOnCpuOnly)
+{
+    const DeviceModel cpu(DeviceModel::xeonW2255());
+    const DeviceModel gpu(DeviceModel::rtx4060Ti());
+    StatSet build;
+    build.set("octree.code_computations", 1000000);
+    build.set("octree.sort_ops", 17000000);
+    build.set("octree.host_writes", 1000000);
+    EXPECT_GT(cpu.octreeBuildSec(build), 0.0);
+    EXPECT_DOUBLE_EQ(gpu.octreeBuildSec(build), 0.0);
+}
+
+TEST(SimConfig, DescribeMentionsKeyParameters)
+{
+    const std::string desc = SimConfig::defaults().describe();
+    EXPECT_NE(desc.find("MHz"), std::string::npos);
+    EXPECT_NE(desc.find("systolic"), std::string::npos);
+    EXPECT_NE(desc.find("GB/s"), std::string::npos);
+}
+
+} // namespace
+} // namespace hgpcn

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the VoxelGrid level view and its Chebyshev-shell (ring)
+ * enumeration — the geometric machinery of VEG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "octree/voxel_grid.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+PointCloud
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    PointCloud cloud;
+    cloud.reserve(n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.add({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                   rng.uniform(0.0f, 1.0f)});
+    }
+    return cloud;
+}
+
+Octree
+makeTree(std::size_t n, std::uint64_t seed, int depth = 8)
+{
+    Octree::Config cfg;
+    cfg.maxDepth = depth;
+    cfg.leafCapacity = 8;
+    return Octree::build(randomCloud(n, seed), cfg);
+}
+
+TEST(VoxelGrid, CellsPerAxisIsPowerOfTwo)
+{
+    const Octree tree = makeTree(200, 1);
+    EXPECT_EQ(VoxelGrid(tree, 0).cellsPerAxis(), 1);
+    EXPECT_EQ(VoxelGrid(tree, 3).cellsPerAxis(), 8);
+    EXPECT_EQ(VoxelGrid(tree, 5).cellsPerAxis(), 32);
+}
+
+TEST(VoxelGrid, CellOfMatchesMortonCell)
+{
+    const Octree tree = makeTree(300, 2);
+    const VoxelGrid grid(tree, 4);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3 p{rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                     rng.uniform(0.0f, 1.0f)};
+        const GridCell c = grid.cellOf(p);
+        std::uint32_t x, y, z;
+        morton::cellOf(p, tree.rootBounds(), 4, x, y, z);
+        EXPECT_EQ(c.x, static_cast<std::int32_t>(x));
+        EXPECT_EQ(c.y, static_cast<std::int32_t>(y));
+        EXPECT_EQ(c.z, static_cast<std::int32_t>(z));
+    }
+}
+
+TEST(VoxelGrid, InGridRejectsOutside)
+{
+    const Octree tree = makeTree(100, 4);
+    const VoxelGrid grid(tree, 3);
+    EXPECT_TRUE(grid.inGrid({0, 0, 0}));
+    EXPECT_TRUE(grid.inGrid({7, 7, 7}));
+    EXPECT_FALSE(grid.inGrid({-1, 0, 0}));
+    EXPECT_FALSE(grid.inGrid({8, 0, 0}));
+}
+
+TEST(VoxelGrid, CellRangesPartitionTheCloud)
+{
+    const Octree tree = makeTree(1000, 5);
+    const VoxelGrid grid(tree, 3);
+    std::size_t total = 0;
+    for (std::int32_t x = 0; x < 8; ++x)
+        for (std::int32_t y = 0; y < 8; ++y)
+            for (std::int32_t z = 0; z < 8; ++z)
+                total += grid.cellCount({x, y, z});
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST(VoxelGrid, CellPointsActuallyLieInCell)
+{
+    const Octree tree = makeTree(800, 6);
+    const VoxelGrid grid(tree, 3);
+    for (std::int32_t x = 0; x < 8; ++x) {
+        for (std::int32_t y = 0; y < 8; ++y) {
+            for (std::int32_t z = 0; z < 8; ++z) {
+                const auto [first, last] = grid.cellRange({x, y, z});
+                for (PointIndex i = first; i < last; ++i) {
+                    const GridCell c = grid.cellOf(
+                        tree.reorderedCloud().position(i));
+                    EXPECT_EQ(c.x, x);
+                    EXPECT_EQ(c.y, y);
+                    EXPECT_EQ(c.z, z);
+                }
+            }
+        }
+    }
+}
+
+TEST(VoxelGrid, Ring0IsTheCenterCell)
+{
+    const Octree tree = makeTree(100, 7);
+    const VoxelGrid grid(tree, 3);
+    std::vector<GridCell> cells;
+    grid.forEachRingCell({3, 3, 3}, 0, [&](const GridCell &c) {
+        cells.push_back(c);
+    });
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0], (GridCell{3, 3, 3}));
+}
+
+TEST(VoxelGrid, Ring1Has26CellsInInterior)
+{
+    const Octree tree = makeTree(100, 8);
+    const VoxelGrid grid(tree, 3);
+    const std::size_t visited =
+        grid.forEachRingCell({3, 3, 3}, 1, [](const GridCell &) {});
+    EXPECT_EQ(visited, 26u);
+}
+
+TEST(VoxelGrid, RingCellCountMatchesShellFormula)
+{
+    // |shell(r)| = (2r+1)^3 - (2r-1)^3 for interior cells.
+    const Octree tree = makeTree(100, 9, 6);
+    const VoxelGrid grid(tree, 5); // 32 cells/axis: interior fits r<=3
+    const GridCell center{16, 16, 16};
+    for (int r = 1; r <= 3; ++r) {
+        const std::size_t expected =
+            static_cast<std::size_t>((2 * r + 1) * (2 * r + 1) *
+                                     (2 * r + 1)) -
+            static_cast<std::size_t>((2 * r - 1) * (2 * r - 1) *
+                                     (2 * r - 1));
+        EXPECT_EQ(grid.forEachRingCell(center, r,
+                                       [](const GridCell &) {}),
+                  expected);
+    }
+}
+
+TEST(VoxelGrid, RingCellsHaveExactChebyshevDistance)
+{
+    const Octree tree = makeTree(100, 10, 6);
+    const VoxelGrid grid(tree, 5);
+    const GridCell center{10, 12, 14};
+    for (int r = 0; r <= 3; ++r) {
+        grid.forEachRingCell(center, r, [&](const GridCell &c) {
+            const int dx = std::abs(c.x - center.x);
+            const int dy = std::abs(c.y - center.y);
+            const int dz = std::abs(c.z - center.z);
+            EXPECT_EQ(std::max(dx, std::max(dy, dz)), r);
+        });
+    }
+}
+
+TEST(VoxelGrid, RingsClippedAtBorders)
+{
+    const Octree tree = makeTree(100, 11);
+    const VoxelGrid grid(tree, 3); // 8 cells/axis
+    // Corner cell: ring 1 has only 7 in-grid cells.
+    EXPECT_EQ(grid.forEachRingCell({0, 0, 0}, 1, [](const GridCell &) {}),
+              7u);
+}
+
+TEST(VoxelGrid, RingsNeverOverlap)
+{
+    const Octree tree = makeTree(100, 12, 6);
+    const VoxelGrid grid(tree, 4);
+    const GridCell center{7, 7, 7};
+    std::set<std::tuple<int, int, int>> seen;
+    for (int r = 0; r <= 4; ++r) {
+        grid.forEachRingCell(center, r, [&](const GridCell &c) {
+            const auto key = std::make_tuple(c.x, c.y, c.z);
+            EXPECT_EQ(seen.count(key), 0u)
+                << "cell visited by two rings";
+            seen.insert(key);
+        });
+    }
+}
+
+TEST(VoxelGrid, UnionOfAllRingsCoversGrid)
+{
+    const Octree tree = makeTree(500, 13);
+    const VoxelGrid grid(tree, 3);
+    const GridCell center{0, 0, 0};
+    std::uint64_t total = 0;
+    for (int r = 0; r <= grid.cellsPerAxis(); ++r)
+        total += grid.ringPointCount(center, r);
+    EXPECT_EQ(total, 500u);
+}
+
+TEST(VoxelGrid, GatherRingPointsMatchesRingCount)
+{
+    const Octree tree = makeTree(600, 14);
+    const VoxelGrid grid(tree, 3);
+    const GridCell center{4, 4, 4};
+    for (int r = 0; r <= 3; ++r) {
+        std::vector<PointIndex> pts;
+        grid.gatherRingPoints(center, r, pts);
+        EXPECT_EQ(pts.size(), grid.ringPointCount(center, r));
+    }
+}
+
+TEST(VoxelGrid, AutoLevelTargetsSmallOccupancy)
+{
+    // ~1-2 points per voxel on average.
+    const int level = VoxelGrid::autoLevel(4096, 10);
+    const double cells = std::pow(8.0, level);
+    const double occupancy = 4096.0 / cells;
+    EXPECT_LE(occupancy, 1.6);
+    EXPECT_GE(occupancy, 0.1);
+}
+
+TEST(VoxelGrid, AutoLevelClampedByMaxLevel)
+{
+    EXPECT_LE(VoxelGrid::autoLevel(1u << 30, 5), 5);
+    EXPECT_GE(VoxelGrid::autoLevel(2, 5), 1);
+}
+
+TEST(VoxelGrid, LevelZeroSingleCellHoldsAll)
+{
+    const Octree tree = makeTree(250, 15);
+    const VoxelGrid grid(tree, 0);
+    EXPECT_EQ(grid.cellCount({0, 0, 0}), 250u);
+}
+
+} // namespace
+} // namespace hgpcn
