@@ -1,6 +1,6 @@
 /**
  * @file
- * Ablation: farthest-voxel descent metric (DESIGN.md §5).
+ * Ablation: farthest-voxel descent metric (docs/DESIGN.md §5).
  *
  * The paper scores voxels by m-code Hamming distance; that
  * degenerates for interior (centroid) seeds because cells adjacent
@@ -95,7 +95,7 @@ run()
     std::printf("\nlower coverage and higher spacing = closer to "
                 "FPS. The Hamming descent's\ncollapse on interior "
                 "seeds is why Balanced is the default "
-                "(DESIGN.md §5).\n");
+                "(docs/DESIGN.md §5).\n");
 }
 
 } // namespace

@@ -5,7 +5,7 @@
  * Every bench binary regenerates one table or figure of the paper:
  * it prints a header naming the target, the simulated-platform
  * parameters (so results are auditable) and then the rows/series the
- * paper reports. EXPERIMENTS.md records paper-vs-measured for each.
+ * paper reports. docs/EXPERIMENTS.md records paper-vs-measured for each.
  */
 
 #ifndef HGPCN_BENCH_BENCH_UTIL_H

@@ -1,0 +1,47 @@
+# Locate a usable GoogleTest, preferring sources already on the
+# machine so a clean checkout builds without network access.
+#
+# Resolution order:
+#   1. system find_package(GTest)   -- Debian libgtest-dev ships static libs
+#   2. vendored /usr/src/googletest -- Debian source package fallback
+#   3. FetchContent from GitHub     -- opt-in (HGPCN_FETCH_GTEST=ON),
+#      because a failed download aborts the whole configure; offline
+#      machines should degrade to a warning instead.
+#
+# Sets HGPCN_HAVE_GTEST and guarantees the GTest::gtest_main target
+# exists when it is ON.
+
+option(HGPCN_FETCH_GTEST
+    "Download GoogleTest with FetchContent when not found locally" OFF)
+
+set(HGPCN_HAVE_GTEST OFF)
+
+find_package(GTest QUIET)
+if(GTest_FOUND OR GTEST_FOUND)
+    set(HGPCN_HAVE_GTEST ON)
+    message(STATUS "hgpcn: using system GoogleTest")
+elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+    add_subdirectory(/usr/src/googletest
+        ${CMAKE_BINARY_DIR}/googletest EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+        add_library(GTest::gtest_main ALIAS gtest_main)
+        add_library(GTest::gtest ALIAS gtest)
+    endif()
+    set(HGPCN_HAVE_GTEST ON)
+    message(STATUS "hgpcn: using vendored GoogleTest from /usr/src/googletest")
+elseif(HGPCN_FETCH_GTEST)
+    include(FetchContent)
+    FetchContent_Declare(googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    if(TARGET gtest_main)
+        set(HGPCN_HAVE_GTEST ON)
+        message(STATUS "hgpcn: using FetchContent GoogleTest")
+    endif()
+endif()
+
+if(HGPCN_HAVE_GTEST AND NOT TARGET GTest::gtest_main AND TARGET GTest::Main)
+    # CMake < 3.20 module-mode spelling.
+    add_library(GTest::gtest_main ALIAS GTest::Main)
+endif()

@@ -2,7 +2,7 @@
  * @file
  * A sensor frame: one raw point cloud plus capture metadata.
  *
- * Substitution note (see DESIGN.md §2): the paper evaluates on
+ * Substitution note (see docs/DESIGN.md §2): the paper evaluates on
  * ModelNet40, ShapeNet, S3DIS and KITTI. Those datasets are not
  * available offline, so the generators in this directory synthesize
  * frames with matched scale, per-point labels and — critically for

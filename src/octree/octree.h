@@ -62,7 +62,7 @@ struct OctreeNode
 };
 
 /**
- * Scoring rule of the farthest-voxel descent (see DESIGN.md §5).
+ * Scoring rule of the farthest-voxel descent (see docs/DESIGN.md §5).
  *
  * The paper's Sampling Modules compare m-codes by Hamming distance
  * (XOR + popcount). That metric degenerates for interior seed

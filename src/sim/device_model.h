@@ -2,7 +2,7 @@
  * @file
  * Analytical models of the paper's general-purpose baseline devices.
  *
- * Substitution note (DESIGN.md §2): we do not have an Intel Xeon
+ * Substitution note (docs/DESIGN.md §2): we do not have an Intel Xeon
  * W-2255, an Nvidia Jetson Xavier NX or an RTX 4060Ti. The paper's
  * baseline numbers are throughput-bound, so each device is modeled
  * by a small set of *effective* rates — calibrated against published

@@ -2,12 +2,12 @@
  * @file
  * Hardware parameters of the simulated HgPCN platform.
  *
- * Substitution note (DESIGN.md §2): the paper prototypes HgPCN on an
+ * Substitution note (docs/DESIGN.md §2): the paper prototypes HgPCN on an
  * Intel PAC card (Xeon + Arria 10 GX 1150 FPGA over a shared-memory
  * link). We do not have that hardware, so every architectural unit is
  * simulated at cycle level with the parameters below. All constants
  * are centralised here and printed by the benches so results are
- * auditable; EXPERIMENTS.md records how measured shapes compare with
+ * auditable; docs/EXPERIMENTS.md records how measured shapes compare with
  * the paper's.
  */
 

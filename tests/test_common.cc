@@ -182,9 +182,12 @@ TEST(TablePrinter, AlignsColumnsToWidestCell)
     std::size_t pos = 0;
     while (pos < out.size()) {
         const auto eol = out.find('\n', pos);
+        if (eol == std::string::npos)
+            break;
         const std::size_t len = eol - pos;
-        if (prev != std::string::npos)
+        if (prev != std::string::npos) {
             EXPECT_EQ(len, prev);
+        }
         prev = len;
         pos = eol + 1;
     }

@@ -426,8 +426,6 @@ TEST(VegBallQuery, MatchesBruteBallQueryCounts)
     const auto rb = brute_bq.gather(centrals, k);
     for (std::size_t c = 0; c < 8; ++c) {
         // Same number of genuine (non-pad) in-radius points.
-        const Vec3 anchor =
-            tree.reorderedCloud().position(centrals[c]);
         auto count_unique = [&](std::span<const PointIndex> neigh) {
             std::set<PointIndex> s(neigh.begin(), neigh.end());
             return s.size();
