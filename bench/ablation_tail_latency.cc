@@ -14,6 +14,7 @@
 #include <algorithm>
 
 #include "bench/bench_util.h"
+#include "core/hgpcn_system.h"
 #include "core/preprocessing_engine.h"
 #include "datasets/modelnet_like.h"
 #include "sampling/fps_sampler.h"
@@ -70,6 +71,34 @@ run()
     std::printf("a real-time pipeline provisions for the worst "
                 "case; the smaller the spread,\nthe less headroom is "
                 "wasted.\n");
+
+    // E2E percentiles on the streaming runtime: the same
+    // irregular frame sizes, now as a 10 Hz sensor-paced stream
+    // through the full stage pipeline — the p99 a deployment
+    // actually provisions for (docs/RUNTIME.md).
+    bench::section("E2E tail latency on the streaming runtime "
+                   "(10 Hz, 2 build workers)");
+    std::vector<Frame> frames;
+    const std::vector<std::size_t> sizes = {20000, 50000, 100000,
+                                            50000, 200000, 20000,
+                                            100000, 200000};
+    for (std::size_t f = 0; f < sizes.size(); ++f) {
+        ModelNetLike::Config cfg;
+        cfg.points = sizes[f];
+        cfg.seed = 17 + f;
+        Frame frame = ModelNetLike::generate("MN.stream", cfg);
+        frame.timestamp = static_cast<double>(f) * 0.1;
+        frames.push_back(std::move(frame));
+    }
+    HgPcnSystem::Config sys_cfg;
+    PointNet2Spec spec = PointNet2Spec::semanticSegmentation();
+    const HgPcnSystem system(sys_cfg, spec);
+    StreamRunner::Config rc;
+    rc.buildWorkers = 2;
+    rc.queueCapacity = 4;
+    rc.maxInFlight = 4;
+    const RuntimeResult rt = system.runStream(frames, rc);
+    std::printf("%s", rt.report.toString().c_str());
 }
 
 } // namespace

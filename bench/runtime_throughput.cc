@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Streaming-runtime throughput: worker-count and frames-in-flight
+ * sweeps over the concurrent stage pipeline (docs/RUNTIME.md).
+ *
+ * The paper's real-time claim (Section VII-E) rests on overlapping
+ * the CPU octree build of frame i+1 with the FPGA work of frame i.
+ * This bench quantifies the schedule headroom: batch-admission
+ * throughput versus CPU build workers and FPGA devices, then
+ * versus the in-flight credit (maxInFlight = 1 reproduces the
+ * serial system, larger credits approach the pipelined bound), and
+ * finally a sensor-paced run with the full report.
+ */
+
+#include "bench/bench_util.h"
+#include "core/hgpcn_system.h"
+#include "datasets/kitti_like.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+std::vector<Frame>
+makeStream(std::size_t n)
+{
+    KittiLike::Config lidar_cfg;
+    lidar_cfg.azimuthSteps = 500; // small frames: sweep-friendly
+    const KittiLike lidar(lidar_cfg);
+    std::vector<Frame> frames;
+    for (std::size_t f = 0; f < n; ++f)
+        frames.push_back(lidar.generate(f));
+    return frames;
+}
+
+void
+run()
+{
+    bench::banner("RUNTIME: STAGE-PIPELINE THROUGHPUT",
+                  "StreamRunner sustained FPS vs workers and "
+                  "frames in flight (KITTI-like stream, "
+                  "Pointnet++(s), K = 4096)");
+
+    const std::vector<Frame> frames = makeStream(8);
+    HgPcnSystem::Config cfg;
+    const HgPcnSystem system(cfg,
+                             PointNet2Spec::semanticSegmentation());
+
+    const StreamReport serial = system.processStream(frames);
+    std::printf("serial baseline (one frame at a time): %.1f FPS\n\n",
+                serial.meanFps);
+
+    bench::section("build workers x FPGA devices (batch admission)");
+    TablePrinter workers({"CPU build workers", "FPGA devices",
+                          "sustained FPS", "vs serial", "cpu util",
+                          "fpga util"});
+    for (const std::size_t fpga : {std::size_t{1}, std::size_t{2}}) {
+        for (const std::size_t cpu :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            StreamRunner::Config rc =
+                StreamRunner::compat(frames.size(), 0);
+            rc.buildWorkers = cpu;
+            rc.fpgaUnits = fpga;
+            const RuntimeResult r = system.runStream(frames, rc);
+            // down-sample + inference share the FPGA: utilization
+            // of the device is the sum of the two stages'.
+            const double fpga_util = r.report.stages[1].utilization +
+                                     r.report.stages[2].utilization;
+            workers.addRow(
+                {TablePrinter::fmtCount(cpu),
+                 TablePrinter::fmtCount(fpga),
+                 TablePrinter::fmt(r.report.sustainedFps, 1),
+                 TablePrinter::fmtRatio(
+                     r.report.sustainedFps / serial.meanFps, 2),
+                 TablePrinter::fmt(
+                     r.report.stages[0].utilization * 100.0, 0),
+                 TablePrinter::fmt(fpga_util * 100.0, 0)});
+        }
+    }
+    workers.print();
+
+    bench::section("frames in flight (batch admission, 2 build "
+                   "workers)");
+    TablePrinter credit({"max in flight", "sustained FPS",
+                         "mean latency", "p99 latency"});
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4},
+          std::size_t{8}}) {
+        StreamRunner::Config rc =
+            StreamRunner::compat(frames.size(), 0);
+        rc.buildWorkers = 2;
+        rc.maxInFlight = n;
+        rc.queueCapacity = n;
+        const RuntimeResult r = system.runStream(frames, rc);
+        credit.addRow(
+            {TablePrinter::fmtCount(n),
+             TablePrinter::fmt(r.report.sustainedFps, 1),
+             TablePrinter::fmtTime(r.report.meanLatencySec),
+             TablePrinter::fmtTime(r.report.p99LatencySec)});
+    }
+    credit.print();
+
+    bench::section("sensor-paced deployment view (10 Hz stream)");
+    StreamRunner::Config paced;
+    paced.buildWorkers = 2;
+    paced.queueCapacity = 4;
+    paced.maxInFlight = 4;
+    const RuntimeResult deployed = system.runStream(frames, paced);
+    std::printf("%s", deployed.report.toString().c_str());
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

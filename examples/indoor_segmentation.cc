@@ -8,7 +8,7 @@
  * hardware latency split, and the predicted labels are compared
  * against the generator's ground truth for the sampled points.
  *
- *   ./build/examples/indoor_segmentation
+ *   ./build/examples/indoor_segmentation [points]
  */
 
 #include <cstdio>
@@ -16,14 +16,16 @@
 
 #include "core/hgpcn_system.h"
 #include "datasets/s3dis_like.h"
+#include "example_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hgpcn;
 
     S3disLike::Config room_cfg;
-    room_cfg.points = 120000;
+    room_cfg.points = examples::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/120000, "points");
     const Frame room = S3disLike::generate("conference_room", room_cfg);
     std::printf("room '%s': %zu raw points, %d classes\n",
                 room.name.c_str(), room.cloud.size(),

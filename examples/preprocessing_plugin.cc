@@ -9,7 +9,7 @@
  * resulting E2E latency against (a) PointACC with CPU FPS
  * pre-processing and (b) the full HgPCN system.
  *
- *   ./build/examples/preprocessing_plugin
+ *   ./build/examples/preprocessing_plugin [input_points]
  */
 
 #include <cstdio>
@@ -17,18 +17,20 @@
 #include "baselines/point_acc.h"
 #include "core/hgpcn_system.h"
 #include "datasets/kitti_like.h"
+#include "example_util.h"
 #include "sampling/fps_sampler.h"
 #include "sim/device_model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hgpcn;
 
     KittiLike::Config lidar_cfg;
     const KittiLike lidar(lidar_cfg);
     const Frame frame = lidar.generate(0);
-    const std::size_t k = 16384;
+    const std::size_t k = examples::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/16384, "input_points");
     std::printf("frame: %zu raw points -> %zu input points\n",
                 frame.cloud.size(), k);
 

@@ -12,23 +12,25 @@
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/examples/quickstart [points]
  */
 
 #include <cstdio>
 
 #include "core/hgpcn_system.h"
 #include "datasets/modelnet_like.h"
+#include "example_util.h"
 #include "nn/trace_report.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hgpcn;
 
     // 1. A raw sensor frame: ~100k surface points of one object.
     ModelNetLike::Config frame_cfg;
-    frame_cfg.points = 100000;
+    frame_cfg.points = examples::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/100000, "points");
     const Frame frame = ModelNetLike::generate("MN.chair", frame_cfg);
     std::printf("raw frame '%s': %zu points\n", frame.name.c_str(),
                 frame.cloud.size());

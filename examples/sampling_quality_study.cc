@@ -10,13 +10,14 @@
  * plus each method's memory-access bill — the quality/cost frontier
  * a deployment has to choose from.
  *
- *   ./build/examples/sampling_quality_study
+ *   ./build/examples/sampling_quality_study [sample_cap]
  */
 
 #include <cstdio>
 
 #include "common/table_printer.h"
 #include "datasets/dataset_suite.h"
+#include "example_util.h"
 #include "sampling/approx_ois_sampler.h"
 #include "sampling/fps_sampler.h"
 #include "sampling/metrics.h"
@@ -24,18 +25,20 @@
 #include "sampling/random_sampler.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hgpcn;
+
+    // Cap on K for the O(N*K) metric computation.
+    const std::size_t k_cap = examples::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/1024, "sample_cap");
 
     TablePrinter table({"dataset", "method", "coverage",
                         "min spacing", "memory accesses"});
 
     for (const auto &task : DatasetSuite::tableOneSmall()) {
         const Frame frame = task.rawFrame(0);
-        // Cap K for the O(N*K) metric computation.
-        const std::size_t k = std::min<std::size_t>(task.inputSize,
-                                                    1024);
+        const std::size_t k = std::min(task.inputSize, k_cap);
 
         auto add = [&](const std::string &method,
                        const SampleResult &result) {

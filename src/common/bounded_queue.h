@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue with overload policy.
+ *
+ * The inter-stage channel of the streaming runtime (docs/RUNTIME.md):
+ * a fixed-capacity FIFO whose behavior when full is configurable —
+ * block the producer (back-pressure), evict the oldest element
+ * (fresh data wins, the LiDAR driver default) or refuse the newest
+ * (old work finishes first). close() releases every blocked producer
+ * and consumer so a pipeline can shut down with items in flight.
+ */
+
+#ifndef HGPCN_COMMON_BOUNDED_QUEUE_H
+#define HGPCN_COMMON_BOUNDED_QUEUE_H
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/overload_policy.h"
+
+namespace hgpcn
+{
+
+/**
+ * A mutex-and-condvar MPMC FIFO with a hard capacity.
+ *
+ * All operations are thread-safe. Elements only need to be movable,
+ * so move-only payloads (e.g. std::unique_ptr) work.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** Occupancy and traffic counters (monotonic, except size). */
+    struct Counters
+    {
+        std::uint64_t pushed = 0;       //!< elements admitted
+        std::uint64_t popped = 0;       //!< elements consumed
+        std::uint64_t droppedOldest = 0;//!< evictions by DropOldest
+        std::uint64_t droppedNewest = 0;//!< refusals by DropNewest
+        std::uint64_t blockedPushes = 0;//!< pushes that had to wait
+        std::size_t peakSize = 0;       //!< max occupancy observed
+    };
+
+    /**
+     * @param capacity Maximum occupancy; must be >= 1.
+     * @param policy Behavior when full.
+     */
+    explicit BoundedQueue(std::size_t capacity,
+                          OverloadPolicy policy = OverloadPolicy::Block)
+        : cap(capacity), overload(policy)
+    {
+        HGPCN_ASSERT(capacity >= 1, "queue capacity must be >= 1");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Offer @p value under the configured overload policy.
+     *
+     * Block policy waits for space (or for close()); the drop
+     * policies return immediately. The evicted element of
+     * DropOldest is destroyed inside the call.
+     */
+    PushOutcome
+    push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (closed)
+            return PushOutcome::Closed;
+
+        PushOutcome outcome = PushOutcome::Pushed;
+        if (items.size() >= cap) {
+            switch (overload) {
+              case OverloadPolicy::Block:
+                ++stats.blockedPushes;
+                not_full.wait(lock, [this] {
+                    return closed || items.size() < cap;
+                });
+                if (closed)
+                    return PushOutcome::Closed;
+                break;
+              case OverloadPolicy::DropOldest:
+                items.pop_front();
+                ++stats.droppedOldest;
+                outcome = PushOutcome::DroppedOldest;
+                break;
+              case OverloadPolicy::DropNewest:
+                ++stats.droppedNewest;
+                return PushOutcome::DroppedNewest;
+            }
+        }
+        items.push_back(std::move(value));
+        ++stats.pushed;
+        stats.peakSize = std::max(stats.peakSize, items.size());
+        lock.unlock();
+        not_empty.notify_one();
+        return outcome;
+    }
+
+    /**
+     * Take the front element, waiting for one to arrive.
+     *
+     * @return the element, or std::nullopt once the queue is closed
+     * and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        not_empty.wait(lock,
+                       [this] { return closed || !items.empty(); });
+        if (items.empty())
+            return std::nullopt; // closed and drained
+        T value = std::move(items.front());
+        items.pop_front();
+        ++stats.popped;
+        lock.unlock();
+        not_full.notify_one();
+        return value;
+    }
+
+    /**
+     * Close the queue: subsequent pushes are refused, blocked
+     * producers and consumers wake up, remaining elements stay
+     * poppable until drained.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            closed = true;
+        }
+        not_empty.notify_all();
+        not_full.notify_all();
+    }
+
+    /** @return true once close() has been called. */
+    bool
+    isClosed() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return closed;
+    }
+
+    /** @return current occupancy. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return items.size();
+    }
+
+    /** @return configured capacity. */
+    std::size_t capacity() const { return cap; }
+
+    /** @return configured overload policy. */
+    OverloadPolicy policy() const { return overload; }
+
+    /** @return a snapshot of the traffic counters. */
+    Counters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return stats;
+    }
+
+  private:
+    const std::size_t cap;
+    const OverloadPolicy overload;
+
+    mutable std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<T> items;
+    Counters stats;
+    bool closed = false;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_BOUNDED_QUEUE_H

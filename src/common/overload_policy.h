@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Overload semantics shared by the real bounded queue
+ * (common/bounded_queue.h) and the virtual-time scheduler
+ * (runtime/virtual_timeline.h): what a full queue does with an
+ * incoming element. Lives apart from the queue so the pure
+ * arithmetic of the timeline does not depend on the threading
+ * machinery.
+ */
+
+#ifndef HGPCN_COMMON_OVERLOAD_POLICY_H
+#define HGPCN_COMMON_OVERLOAD_POLICY_H
+
+namespace hgpcn
+{
+
+/** What a full queue does with an incoming element. */
+enum class OverloadPolicy
+{
+    Block,      //!< producer waits for space (back-pressure)
+    DropOldest, //!< evict the front, admit the newcomer
+    DropNewest, //!< refuse the newcomer
+};
+
+/** @return human-readable policy name. */
+inline const char *
+overloadPolicyName(OverloadPolicy policy)
+{
+    switch (policy) {
+      case OverloadPolicy::Block:
+        return "block";
+      case OverloadPolicy::DropOldest:
+        return "drop-oldest";
+      case OverloadPolicy::DropNewest:
+        return "drop-newest";
+    }
+    return "?";
+}
+
+/** Result of one push() call. */
+enum class PushOutcome
+{
+    Pushed,       //!< element admitted, nothing lost
+    DroppedOldest,//!< element admitted, front element evicted
+    DroppedNewest,//!< element refused
+    Closed,       //!< queue closed, element refused
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_OVERLOAD_POLICY_H

@@ -52,4 +52,32 @@ StatSet::toString() const
     return oss.str();
 }
 
+void
+ConcurrentStatSet::merge(const StatSet &delta)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    aggregate.merge(delta);
+}
+
+void
+ConcurrentStatSet::add(const std::string &name, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    aggregate.add(name, delta);
+}
+
+StatSet
+ConcurrentStatSet::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return aggregate;
+}
+
+void
+ConcurrentStatSet::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    aggregate.clear();
+}
+
 } // namespace hgpcn

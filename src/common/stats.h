@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace hgpcn
@@ -58,6 +59,38 @@ class StatSet
 
   private:
     std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * A StatSet shared between threads.
+ *
+ * Pipeline workers (src/runtime) merge their per-frame StatSets into
+ * one of these; the runner snapshots it after the stream drains.
+ * Only aggregation is offered — fine-grained add() calls should go
+ * to a thread-local StatSet first to keep the lock cold.
+ */
+class ConcurrentStatSet
+{
+  public:
+    ConcurrentStatSet() = default;
+    ConcurrentStatSet(const ConcurrentStatSet &) = delete;
+    ConcurrentStatSet &operator=(const ConcurrentStatSet &) = delete;
+
+    /** Merge @p delta (counter-wise sum) under the lock. */
+    void merge(const StatSet &delta);
+
+    /** Add @p delta to one counter under the lock. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** @return a consistent copy of the aggregate. */
+    StatSet snapshot() const;
+
+    /** Drop all counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mu;
+    StatSet aggregate;
 };
 
 } // namespace hgpcn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Per-frame end-to-end result of the HgPCN platform.
+ *
+ * Lives in its own header (rather than hgpcn_system.h) because both
+ * the serial system facade (core/hgpcn_system.h) and the streaming
+ * runtime (runtime/) produce it: the runtime's pipeline stages fill
+ * one E2eResult per frame as the frame traverses the stage graph.
+ */
+
+#ifndef HGPCN_CORE_E2E_RESULT_H
+#define HGPCN_CORE_E2E_RESULT_H
+
+#include "core/inference_engine.h"
+#include "core/preprocessing_engine.h"
+
+namespace hgpcn
+{
+
+/** End-to-end latency breakdown for one frame. */
+struct E2eResult
+{
+    PreprocessResult preprocess;
+    InferenceResult inference;
+
+    /** @return end-to-end seconds for this frame. */
+    double
+    totalSec() const
+    {
+        return preprocess.totalSec() + inference.totalSec();
+    }
+
+    /** @return sustained frames/second at this latency. */
+    double
+    fps() const
+    {
+        const double t = totalSec();
+        return t > 0.0 ? 1.0 / t : 0.0;
+    }
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_CORE_E2E_RESULT_H

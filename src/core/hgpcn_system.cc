@@ -32,6 +32,16 @@ HgPcnSystem::processFrame(const PointCloud &raw) const
     return result;
 }
 
+RuntimeResult
+HgPcnSystem::runStream(const std::vector<Frame> &frames,
+                       StreamRunner::Config runner_cfg) const
+{
+    if (runner_cfg.inputPoints == 0)
+        runner_cfg.inputPoints = cfg.inputPoints;
+    StreamRunner runner(preproc, infer, *net, runner_cfg);
+    return runner.run(frames);
+}
+
 StreamReport
 HgPcnSystem::processStream(const std::vector<Frame> &frames) const
 {
@@ -39,41 +49,31 @@ HgPcnSystem::processStream(const std::vector<Frame> &frames) const
     StreamReport report;
     report.frames = frames.size();
 
+    // Single-worker, batch-admission runner: one CPU builds octrees
+    // back to back while the one FPGA down-samples and infers —
+    // its virtual schedule is exactly the historical two-stage
+    // pipeline recurrence.
+    const RuntimeResult rt = runStream(
+        frames, StreamRunner::compat(frames.size(), cfg.inputPoints));
+    HGPCN_ASSERT(rt.frames.size() == frames.size(),
+                 "compat runner must process every frame");
+
     double total = 0.0;
-    // Two-stage pipeline model: stage A = CPU octree build, stage B
-    // = FPGA down-sampling + inference. Frame i's stage B starts
-    // once both its own build and frame i-1's stage B are done.
-    double cpu_free = 0.0;
-    double fpga_done = 0.0;
-    for (const Frame &frame : frames) {
-        const E2eResult r = processFrame(frame.cloud);
-        const double t = r.totalSec();
+    for (const ProcessedFrame &pf : rt.frames) {
+        const double t = pf.result.totalSec();
         total += t;
         report.maxLatencySec = std::max(report.maxLatencySec, t);
-
-        const double build = r.preprocess.octreeBuildSec;
-        const double fpga = r.preprocess.dsu.totalSec() +
-                            r.inference.totalSec();
-        cpu_free += build;
-        fpga_done = std::max(fpga_done, cpu_free) + fpga;
     }
     report.meanLatencySec = total / static_cast<double>(frames.size());
     report.meanFps = report.meanLatencySec > 0.0
                          ? 1.0 / report.meanLatencySec
                          : 0.0;
-    report.pipelinedFps =
-        fpga_done > 0.0
-            ? static_cast<double>(frames.size()) / fpga_done
-            : 0.0;
+    report.pipelinedFps = rt.report.sustainedFps;
 
-    if (frames.size() >= 2) {
-        const double span =
-            frames.back().timestamp - frames.front().timestamp;
-        if (span > 0.0) {
-            report.generationFps =
-                static_cast<double>(frames.size() - 1) / span;
-        }
-    }
+    // Sensor rate from the shared derivation (fatal on
+    // non-monotonic stamps, 0.0 for single-frame streams — the
+    // real-time verdicts below are then trivially true).
+    report.generationFps = streamGenerationFps(frames);
     report.realTime = report.meanFps >= report.generationFps;
     report.pipelinedRealTime =
         report.pipelinedFps >= report.generationFps;

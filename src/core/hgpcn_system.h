@@ -8,6 +8,11 @@
  * reusing the pre-processing octree for the first SA level.
  * The real-time criterion of Section VII-E: the achieved frame rate
  * must meet or exceed the sensor's generation rate.
+ *
+ * Streams run on the concurrent stage-pipeline runtime (src/runtime,
+ * docs/RUNTIME.md) via runStream(); processStream() is the legacy
+ * serial-shaped wrapper whose numbers are reproduced by a
+ * single-worker runner.
  */
 
 #ifndef HGPCN_CORE_HGPCN_SYSTEM_H
@@ -15,36 +20,22 @@
 
 #include <memory>
 
+#include "core/e2e_result.h"
 #include "core/inference_engine.h"
 #include "core/preprocessing_engine.h"
 #include "datasets/frame.h"
+#include "runtime/stream_runner.h"
 
 namespace hgpcn
 {
 
-/** End-to-end latency breakdown for one frame. */
-struct E2eResult
-{
-    PreprocessResult preprocess;
-    InferenceResult inference;
-
-    /** @return end-to-end seconds for this frame. */
-    double
-    totalSec() const
-    {
-        return preprocess.totalSec() + inference.totalSec();
-    }
-
-    /** @return sustained frames/second at this latency. */
-    double
-    fps() const
-    {
-        const double t = totalSec();
-        return t > 0.0 ? 1.0 / t : 0.0;
-    }
-};
-
-/** Aggregate statistics over a frame stream. */
+/**
+ * Aggregate statistics over a frame stream (legacy shape).
+ *
+ * Kept for the serial benches; RuntimeReport (runtime/stream_runner.h)
+ * supersedes it with measured-schedule numbers — percentiles, queue
+ * occupancy, utilization and drops.
+ */
 struct StreamReport
 {
     std::size_t frames = 0;
@@ -56,7 +47,8 @@ struct StreamReport
 
     /** Throughput when the CPU's octree build of frame i+1 overlaps
      * the FPGA's down-sampling + inference of frame i (the two
-     * engines live on different devices, Fig. 4). */
+     * engines live on different devices, Fig. 4). Produced by a
+     * single-worker StreamRunner in batch mode. */
     double pipelinedFps = 0.0;
     bool pipelinedRealTime = false;
 };
@@ -87,11 +79,30 @@ class HgPcnSystem
     /**
      * Process a frame stream and evaluate the real-time criterion
      * against the generation rate implied by frame timestamps.
+     *
+     * Compatibility wrapper: delegates to a single-worker
+     * StreamRunner (batch admission, one shared FPGA), whose
+     * schedule reproduces the historical analytical pipelinedFps.
      */
     StreamReport processStream(const std::vector<Frame> &frames) const;
 
+    /**
+     * Process a frame stream on the concurrent runtime with
+     * @p runner_cfg worker/queue/overload parameters. The runner
+     * K defaults to this system's inputPoints when the config
+     * leaves it at 0.
+     */
+    RuntimeResult runStream(const std::vector<Frame> &frames,
+                            StreamRunner::Config runner_cfg) const;
+
     /** @return the deployed network. */
     const PointNet2 &model() const { return *net; }
+
+    /** @return the pre-processing engine (for composing runners). */
+    const PreprocessingEngine &preprocessor() const { return preproc; }
+
+    /** @return the inference engine (for composing runners). */
+    const InferenceEngine &inferencer() const { return infer; }
 
     /** @return system parameters. */
     const Config &config() const { return cfg; }

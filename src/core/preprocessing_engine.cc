@@ -8,9 +8,18 @@ namespace hgpcn
 PreprocessResult
 PreprocessingEngine::process(const PointCloud &raw, std::size_t k) const
 {
+    // Fail before the octree build, not after it (sampleStage
+    // re-checks for callers driving the stages separately).
     HGPCN_ASSERT(raw.size() >= k, "frame smaller than K: ", raw.size(),
                  " < ", k);
+    PreprocessResult result = buildStage(raw);
+    sampleStage(result, k);
+    return result;
+}
 
+PreprocessResult
+PreprocessingEngine::buildStage(const PointCloud &raw) const
+{
     PreprocessResult result;
 
     // Octree-build Unit (CPU): build + host-memory pre-configuration
@@ -24,6 +33,20 @@ PreprocessingEngine::process(const PointCloud &raw, std::size_t k) const
 
     const DeviceModel host(cfg.hostCpu);
     result.octreeBuildSec = host.octreeBuildSec(tree.buildStats());
+    result.stats = tree.buildStats();
+    return result;
+}
+
+void
+PreprocessingEngine::sampleStage(PreprocessResult &partial,
+                                 std::size_t k) const
+{
+    HGPCN_ASSERT(partial.tree != nullptr,
+                 "sampleStage needs a buildStage result");
+    Octree &tree = *partial.tree;
+    HGPCN_ASSERT(tree.reorderedCloud().size() >= k,
+                 "frame smaller than K: ", tree.reorderedCloud().size(),
+                 " < ", k);
 
     // Down-sampling Unit (FPGA): OIS-FPS over the table.
     OisFpsSampler::Config sampler_cfg;
@@ -33,14 +56,13 @@ PreprocessingEngine::process(const PointCloud &raw, std::size_t k) const
     SampleResult sample = sampler.sampleWithTree(tree, k);
 
     const DownsamplingUnitSim dsu_sim(cfg.sim);
-    result.dsu = dsu_sim.run(sample.stats, k, result.octreeTableBytes);
+    partial.dsu =
+        dsu_sim.run(sample.stats, k, partial.octreeTableBytes);
 
     // Materialize the sampled input cloud (pick order preserved).
-    result.sampled = tree.reorderedCloud().gather(sample.spt);
-    result.spt = std::move(sample.spt);
-    result.stats = std::move(sample.stats);
-    result.stats.merge(tree.buildStats());
-    return result;
+    partial.sampled = tree.reorderedCloud().gather(sample.spt);
+    partial.spt = std::move(sample.spt);
+    partial.stats.merge(sample.stats);
 }
 
 } // namespace hgpcn

@@ -88,8 +88,28 @@ class PreprocessingEngine
     /**
      * Pre-process a raw frame: build the octree (CPU), transfer the
      * table (MMIO) and down-sample to @p k points (FPGA).
+     *
+     * Equivalent to buildStage() followed by sampleStage(); the
+     * streaming runtime (src/runtime) calls the two halves from
+     * separate pipeline stages so the CPU build of frame i+1 can
+     * overlap the FPGA work of frame i.
      */
     PreprocessResult process(const PointCloud &raw, std::size_t k) const;
+
+    /**
+     * Octree-build Unit half (CPU): build the octree over @p raw,
+     * serialize the Octree-Table and cost the build. The returned
+     * result has no sampled points yet — pass it to sampleStage().
+     */
+    PreprocessResult buildStage(const PointCloud &raw) const;
+
+    /**
+     * Down-sampling Unit half (FPGA): OIS-FPS @p partial's octree
+     * down to @p k points, filling sampled/spt/dsu and merging the
+     * sampler workload counters. @p partial must come from
+     * buildStage() of this engine.
+     */
+    void sampleStage(PreprocessResult &partial, std::size_t k) const;
 
     /** @return configured parameters. */
     const Config &config() const { return cfg; }

@@ -1,0 +1,135 @@
+#include "runtime/stage_pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+StagePipeline::StagePipeline(std::vector<StageSpec> stage_specs,
+                             const Config &config)
+    : specs(std::move(stage_specs)), cfg(config)
+{
+    HGPCN_ASSERT(!specs.empty(), "pipeline needs at least one stage");
+    HGPCN_ASSERT(cfg.queueCapacity >= 1,
+                 "queue capacity must be >= 1");
+    for (const StageSpec &spec : specs) {
+        HGPCN_ASSERT(spec.stage != nullptr, "null stage");
+        HGPCN_ASSERT(spec.workers >= 1, "stage '",
+                     spec.stage->name(), "' needs >= 1 worker");
+    }
+}
+
+std::vector<std::unique_ptr<FrameTask>>
+StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
+                   const FrameTaskCallback &on_task)
+{
+    const std::size_t n_stages = specs.size();
+
+    // Queue i feeds stage i; the last queue feeds the collector.
+    {
+        std::lock_guard<std::mutex> lock(queues_mu);
+        queues.clear();
+        for (std::size_t i = 0; i <= n_stages; ++i) {
+            queues.push_back(std::make_shared<TaskQueue>(
+                cfg.queueCapacity, OverloadPolicy::Block));
+        }
+        if (stopped.load()) {
+            for (auto &q : queues)
+                q->close();
+        }
+    }
+
+    // Source: admit in order; a Closed push means stop was
+    // requested and the rest of the stream is abandoned.
+    std::thread source([this, &tasks] {
+        for (auto &task : tasks) {
+            if (stopped.load())
+                break;
+            task->stageCostSec.resize(specs.size(), 0.0);
+            if (queues.front()->push(std::move(task)) ==
+                PushOutcome::Closed) {
+                break;
+            }
+        }
+        queues.front()->close();
+    });
+
+    // Worker pools: the last worker leaving a stage closes its
+    // output queue so downstream pools (and the collector) drain.
+    std::vector<std::unique_ptr<std::atomic<std::size_t>>> alive;
+    for (const StageSpec &spec : specs) {
+        alive.push_back(std::make_unique<std::atomic<std::size_t>>(
+            spec.workers));
+    }
+    std::vector<std::thread> workers;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        for (std::size_t w = 0; w < specs[s].workers; ++w) {
+            workers.emplace_back([this, s, &alive] {
+                TaskQueue &in = *queues[s];
+                TaskQueue &out = *queues[s + 1];
+                while (auto item = in.pop()) {
+                    std::unique_ptr<FrameTask> task =
+                        std::move(*item);
+                    if (stopped.load())
+                        continue; // drain-discard on shutdown
+                    task->stageCostSec[s] =
+                        specs[s].stage->process(*task);
+                    if (out.push(std::move(task)) ==
+                        PushOutcome::Closed) {
+                        break;
+                    }
+                }
+                if (alive[s]->fetch_sub(1) == 1)
+                    out.close();
+            });
+        }
+    }
+
+    // Collector (this thread): reorder to admission order and emit.
+    std::vector<std::unique_ptr<FrameTask>> done;
+    std::map<std::size_t, std::unique_ptr<FrameTask>> reorder;
+    std::size_t next_emit = 0;
+    const auto emit = [&](std::unique_ptr<FrameTask> task) {
+        if (on_task)
+            on_task(*task);
+        done.push_back(std::move(task));
+    };
+    while (auto item = queues.back()->pop()) {
+        std::unique_ptr<FrameTask> task = std::move(*item);
+        reorder[task->index] = std::move(task);
+        while (true) {
+            auto it = reorder.find(next_emit);
+            if (it == reorder.end())
+                break;
+            emit(std::move(it->second));
+            reorder.erase(it);
+            ++next_emit;
+        }
+    }
+    // A truncated run leaves index gaps; flush what completed, in
+    // order (std::map iterates ascending).
+    for (auto &[index, task] : reorder) {
+        (void)index;
+        emit(std::move(task));
+    }
+
+    source.join();
+    for (std::thread &w : workers)
+        w.join();
+    return done;
+}
+
+void
+StagePipeline::requestStop()
+{
+    stopped.store(true);
+    std::lock_guard<std::mutex> lock(queues_mu);
+    for (auto &q : queues)
+        q->close();
+}
+
+} // namespace hgpcn

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Threaded stage-graph executor: real multi-frame-in-flight
+ * execution of the functional work.
+ *
+ * One BoundedQueue per stage boundary, one worker pool per stage;
+ * a source thread admits FrameTasks in order, every worker pops,
+ * runs its stage (recording the modeled cost) and pushes the task
+ * downstream; the caller's thread collects from the final queue and
+ * emits results in admission order through a reorder buffer. All
+ * internal queues use the Block policy so no functional result is
+ * lost — overload behavior is modeled deterministically by the
+ * virtual timeline (see runtime/virtual_timeline.h), not by racing
+ * wall clocks.
+ *
+ * requestStop() (callable from the emit callback or any thread)
+ * closes every queue: blocked producers wake, workers discard what
+ * is still queued, and run() returns the frames that made it
+ * through — shutdown with frames in flight is an ordinary,
+ * deadlock-free path.
+ */
+
+#ifndef HGPCN_RUNTIME_STAGE_PIPELINE_H
+#define HGPCN_RUNTIME_STAGE_PIPELINE_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "runtime/stage.h"
+
+namespace hgpcn
+{
+
+/** In-order per-frame hook, invoked on the collecting thread. */
+using FrameTaskCallback = std::function<void(const FrameTask &)>;
+
+/** Executes a linear stage graph with per-stage worker pools. */
+class StagePipeline
+{
+  public:
+    /** One station and its worker-pool width. */
+    struct StageSpec
+    {
+        const PipelineStage *stage = nullptr; //!< borrowed
+        std::size_t workers = 1;
+    };
+
+    struct Config
+    {
+        /** Capacity of each inter-stage queue (>= 1). */
+        std::size_t queueCapacity = 8;
+    };
+
+    StagePipeline(std::vector<StageSpec> stage_specs,
+                  const Config &config);
+
+    /**
+     * Push @p tasks through the graph (blocking).
+     *
+     * @param tasks Frames in admission order; moved in.
+     * @param on_task Optional hook, called once per completed frame
+     *        in admission order.
+     * @return completed tasks sorted by admission index — all of
+     * them, unless requestStop() truncated the run.
+     */
+    std::vector<std::unique_ptr<FrameTask>>
+    run(std::vector<std::unique_ptr<FrameTask>> tasks,
+        const FrameTaskCallback &on_task = {});
+
+    /**
+     * Abort an in-progress run(): close every queue and discard
+     * queued work. Safe from any thread, including the on_task
+     * callback; idempotent; a subsequent run() stays stopped.
+     */
+    void requestStop();
+
+    /** @return true once requestStop() has been called. */
+    bool stopRequested() const { return stopped.load(); }
+
+  private:
+    using TaskQueue = BoundedQueue<std::unique_ptr<FrameTask>>;
+
+    std::vector<StageSpec> specs;
+    Config cfg;
+
+    std::atomic<bool> stopped{false};
+    // Queues of the active run; guarded by the run() lifetime —
+    // requestStop() only closes, never destroys.
+    std::vector<std::shared_ptr<TaskQueue>> queues;
+    std::mutex queues_mu;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_RUNTIME_STAGE_PIPELINE_H

@@ -1,0 +1,38 @@
+#include "runtime/stages.h"
+
+namespace hgpcn
+{
+
+double
+OctreeBuildStage::process(FrameTask &task) const
+{
+    task.result.preprocess = pre.buildStage(task.frame->cloud);
+    return task.result.preprocess.octreeBuildSec;
+}
+
+double
+DownSampleStage::process(FrameTask &task) const
+{
+    pre.sampleStage(task.result.preprocess, k);
+    // preprocess.stats is complete here (build + sampler counters);
+    // merge the frame into the stream aggregate from this worker.
+    if (workload != nullptr)
+        workload->merge(task.result.preprocess.stats);
+    return task.result.preprocess.dsu.totalSec();
+}
+
+double
+InferenceStage::process(FrameTask &task) const
+{
+    // Same input conditioning as HgPcnSystem::processFrame: the
+    // sampled cloud is normalized for the radius-based layers, so
+    // the pre-processing octree (raw coordinates) is not reusable
+    // and the model builds its own level-0 tree, still costed in
+    // the trace.
+    PointCloud input = task.result.preprocess.sampled;
+    input.normalizeToUnitCube();
+    task.result.inference = infer.run(net, input, nullptr);
+    return task.result.inference.totalSec();
+}
+
+} // namespace hgpcn

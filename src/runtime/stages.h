@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The HgPCN engines as pluggable pipeline stages.
+ *
+ * The serial HgPcnSystem::processFrame flow of Fig. 4 split at its
+ * two natural device boundaries:
+ *
+ *   OctreeBuildStage (CPU)   - Octree-build Unit: octree + table
+ *   DownSampleStage  (FPGA)  - Down-sampling Unit: OIS-FPS to K
+ *   InferenceStage   (FPGA)  - DSU + FCU: VEG + systolic compute
+ *
+ * Each stage wraps the existing engine without changing its cycle
+ * model; the modeled per-stage cost it returns is exactly the term
+ * that engine already contributed to the serial E2E latency.
+ */
+
+#ifndef HGPCN_RUNTIME_STAGES_H
+#define HGPCN_RUNTIME_STAGES_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "core/inference_engine.h"
+#include "core/preprocessing_engine.h"
+#include "nn/pointnet2.h"
+#include "runtime/stage.h"
+
+namespace hgpcn
+{
+
+/** Octree-build Unit on the host CPU. */
+class OctreeBuildStage : public PipelineStage
+{
+  public:
+    /** @param engine Pre-processing engine (borrowed, not owned). */
+    explicit OctreeBuildStage(const PreprocessingEngine &engine,
+                              std::string stage_resource = "cpu")
+        : pre(engine), res(std::move(stage_resource))
+    {
+    }
+
+    const std::string &name() const override { return nm; }
+    const std::string &resource() const override { return res; }
+    double process(FrameTask &task) const override;
+
+  private:
+    const PreprocessingEngine &pre;
+    std::string res;
+    std::string nm = "octree-build";
+};
+
+/** Down-sampling Unit on the FPGA (OIS-FPS over the Octree-Table). */
+class DownSampleStage : public PipelineStage
+{
+  public:
+    /**
+     * @param engine Pre-processing engine (borrowed).
+     * @param input_points K, the PCN input size.
+     * @param stage_resource Device name; keep equal to the
+     *        InferenceStage's to model the single shared FPGA.
+     * @param stream_workload Optional cross-frame aggregate the
+     *        stage merges each frame's pre-processing counters into
+     *        — workers run concurrently, hence the locked set.
+     */
+    DownSampleStage(const PreprocessingEngine &engine,
+                    std::size_t input_points,
+                    std::string stage_resource = "fpga",
+                    ConcurrentStatSet *stream_workload = nullptr)
+        : pre(engine), k(input_points), res(std::move(stage_resource)),
+          workload(stream_workload)
+    {
+    }
+
+    const std::string &name() const override { return nm; }
+    const std::string &resource() const override { return res; }
+    double process(FrameTask &task) const override;
+
+  private:
+    const PreprocessingEngine &pre;
+    std::size_t k;
+    std::string res;
+    ConcurrentStatSet *workload;
+    std::string nm = "down-sample";
+};
+
+/** Inference Engine (DSU + FCU) on the FPGA. */
+class InferenceStage : public PipelineStage
+{
+  public:
+    /** @param engine Inference engine and @p model network
+     * (borrowed; PointNet2::run is const and thread-safe). */
+    InferenceStage(const InferenceEngine &engine,
+                   const PointNet2 &model,
+                   std::string stage_resource = "fpga")
+        : infer(engine), net(model), res(std::move(stage_resource))
+    {
+    }
+
+    const std::string &name() const override { return nm; }
+    const std::string &resource() const override { return res; }
+    double process(FrameTask &task) const override;
+
+  private:
+    const InferenceEngine &infer;
+    const PointNet2 &net;
+    std::string res;
+    std::string nm = "inference";
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_RUNTIME_STAGES_H

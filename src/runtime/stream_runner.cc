@@ -1,0 +1,251 @@
+#include "runtime/stream_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(
+        rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::vector<StagePipeline::StageSpec>
+makeSpecs(const OctreeBuildStage &build, const DownSampleStage &sample,
+          const InferenceStage &infer, const StreamRunner::Config &cfg)
+{
+    return {{&build, cfg.buildWorkers},
+            {&sample, cfg.fpgaUnits},
+            {&infer, cfg.fpgaUnits}};
+}
+
+StagePipeline::Config
+pipelineConfig(const StreamRunner::Config &cfg)
+{
+    StagePipeline::Config pc;
+    pc.queueCapacity = cfg.maxInFlight > 0
+                           ? std::min(cfg.queueCapacity,
+                                      cfg.maxInFlight)
+                           : cfg.queueCapacity;
+    return pc;
+}
+
+} // namespace
+
+std::string
+RuntimeReport::toString() const
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(1);
+    oss << "frames: " << framesProcessed << "/" << framesIn
+        << " processed";
+    if (framesDropped > 0)
+        oss << ", " << framesDropped << " dropped ("
+            << overloadPolicyName(policy) << ")";
+    if (framesAbandoned > 0)
+        oss << ", " << framesAbandoned << " abandoned (stopped)";
+    oss << (paced ? ", sensor-paced" : ", batch") << "\n";
+    oss << "sustained: " << sustainedFps << " FPS over "
+        << makespanSec * 1e3 << " ms";
+    if (generationFps > 0.0)
+        oss << " | sensor: " << generationFps << " FPS | real-time: "
+            << (realTime ? "YES" : "NO");
+    oss << "\n";
+    oss.precision(2);
+    oss << "latency ms: mean " << meanLatencySec * 1e3 << " | p50 "
+        << p50LatencySec * 1e3 << " | p95 " << p95LatencySec * 1e3
+        << " | p99 " << p99LatencySec * 1e3 << " | max "
+        << maxLatencySec * 1e3 << "\n";
+    for (const TimelineStageStats &st : stages) {
+        oss << "stage " << st.name << " [" << st.resource << " x"
+            << st.units << "]: util "
+            << static_cast<int>(st.utilization * 100.0 + 0.5)
+            << "%, queue mean " << st.meanQueueDepth << " peak "
+            << st.peakQueueDepth << "\n";
+    }
+    return oss.str();
+}
+
+StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
+                           const InferenceEngine &inference,
+                           const PointNet2 &model,
+                           const Config &config)
+    : cfg(config), build(preprocess),
+      sample(preprocess, config.inputPoints,
+             config.shareFpga ? "fpga" : "fpga.dsu",
+             &streamWorkload),
+      infer(inference, model,
+            config.shareFpga ? "fpga" : "fpga.fcu"),
+      pipeline(makeSpecs(build, sample, infer, config),
+               pipelineConfig(config))
+{
+    HGPCN_ASSERT(cfg.inputPoints >= 1, "inputPoints must be >= 1");
+    HGPCN_ASSERT(cfg.buildWorkers >= 1, "buildWorkers must be >= 1");
+    HGPCN_ASSERT(cfg.fpgaUnits >= 1, "fpgaUnits must be >= 1");
+}
+
+StreamRunner::Config
+StreamRunner::compat(std::size_t n_frames, std::size_t input_points)
+{
+    Config c;
+    c.inputPoints = input_points;
+    c.buildWorkers = 1;
+    c.fpgaUnits = 1;
+    c.shareFpga = true;
+    c.queueCapacity = std::max<std::size_t>(n_frames, 1);
+    c.maxInFlight = 0;
+    c.policy = OverloadPolicy::Block;
+    c.paceBySensor = false;
+    return c;
+}
+
+RuntimeResult
+StreamRunner::run(const std::vector<Frame> &frames,
+                  const FrameTaskCallback &on_frame)
+{
+    RuntimeResult out;
+    out.report.policy = cfg.policy;
+    out.report.paced = cfg.paceBySensor;
+    out.report.framesIn = frames.size();
+    if (frames.empty())
+        return out;
+
+    // A malformed stream should fail on this thread before any work
+    // is done, not abort a worker mid-run: check the sensor rate
+    // (timestamp monotonicity) and that every frame covers K.
+    // Streams that carry no timestamps at all (generators other
+    // than the LiDAR simulator leave 0.0) cannot be sensor-paced;
+    // fall back to batch admission rather than treating them as
+    // corrupt.
+    bool paced = cfg.paceBySensor;
+    if (paced && frames.size() >= 2) {
+        bool unstamped = true;
+        for (const Frame &frame : frames) {
+            if (frame.timestamp != frames.front().timestamp) {
+                unstamped = false;
+                break;
+            }
+        }
+        if (unstamped) {
+            warn("stream carries no generation timestamps; "
+                 "falling back to batch admission");
+            paced = false;
+        }
+    }
+    out.report.paced = paced;
+    const double generation_fps =
+        paced ? streamGenerationFps(frames) : 0.0;
+    for (const Frame &frame : frames) {
+        HGPCN_ASSERT(frame.cloud.size() >= cfg.inputPoints,
+                     "frame '", frame.name, "' smaller than K: ",
+                     frame.cloud.size(), " < ", cfg.inputPoints);
+    }
+    streamWorkload.clear();
+
+    // Real concurrent execution of the functional work.
+    std::vector<std::unique_ptr<FrameTask>> tasks;
+    tasks.reserve(frames.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        auto task = std::make_unique<FrameTask>();
+        task->index = i;
+        task->frame = &frames[i];
+        tasks.push_back(std::move(task));
+    }
+    std::vector<std::unique_ptr<FrameTask>> completed =
+        pipeline.run(std::move(tasks), on_frame);
+
+    // Virtual-time schedule over the recorded cycle-model costs.
+    const double t0 = frames.front().timestamp;
+    std::vector<double> arrivals;
+    std::vector<std::vector<double>> costs;
+    arrivals.reserve(completed.size());
+    costs.reserve(completed.size());
+    for (const auto &task : completed) {
+        arrivals.push_back(paced ? task->frame->timestamp - t0
+                                 : 0.0);
+        costs.push_back(task->stageCostSec);
+    }
+    out.workload = streamWorkload.snapshot();
+
+    TimelineConfig tl;
+    tl.stages = {{build.name(), build.resource()},
+                 {sample.name(), sample.resource()},
+                 {infer.name(), infer.resource()}};
+    tl.resourceUnits["cpu"] = cfg.buildWorkers;
+    if (cfg.shareFpga) {
+        tl.resourceUnits["fpga"] = cfg.fpgaUnits;
+    } else {
+        tl.resourceUnits["fpga.dsu"] = cfg.fpgaUnits;
+        tl.resourceUnits["fpga.fcu"] = cfg.fpgaUnits;
+    }
+    tl.queueCapacity = cfg.queueCapacity;
+    tl.policy = cfg.policy;
+    tl.maxInFlight = cfg.maxInFlight;
+    const TimelineResult timeline =
+        simulateTimeline(tl, arrivals, costs);
+
+    // Assemble the report.
+    RuntimeReport &rep = out.report;
+    rep.framesProcessed = timeline.processed;
+    rep.framesDropped = timeline.dropped;
+    rep.framesAbandoned = frames.size() - completed.size();
+    rep.makespanSec = timeline.makespanSec;
+    rep.sustainedFps =
+        rep.makespanSec > 0.0
+            ? static_cast<double>(rep.framesProcessed) /
+                  rep.makespanSec
+            : 0.0;
+    rep.generationFps = generation_fps;
+    rep.realTime = rep.sustainedFps >= rep.generationFps;
+    rep.stages = timeline.stages;
+
+    std::vector<double> latencies;
+    latencies.reserve(timeline.processed);
+    for (std::size_t j = 0; j < completed.size(); ++j) {
+        const TimelineFrame &tf = timeline.frames[j];
+        if (tf.dropped)
+            continue;
+        ProcessedFrame pf;
+        pf.index = completed[j]->index;
+        pf.latencySec = tf.latencySec;
+        pf.doneSec = tf.doneSec;
+        pf.result = std::move(completed[j]->result);
+        latencies.push_back(tf.latencySec);
+        rep.maxLatencySec = std::max(rep.maxLatencySec,
+                                     tf.latencySec);
+        rep.meanLatencySec += tf.latencySec;
+        out.frames.push_back(std::move(pf));
+    }
+    if (!latencies.empty()) {
+        rep.meanLatencySec /=
+            static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        rep.p50LatencySec = percentile(latencies, 0.50);
+        rep.p95LatencySec = percentile(latencies, 0.95);
+        rep.p99LatencySec = percentile(latencies, 0.99);
+    }
+    return out;
+}
+
+void
+StreamRunner::requestStop()
+{
+    pipeline.requestStop();
+}
+
+} // namespace hgpcn

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * StreamRunner: source-paced, multi-frame-in-flight E2E execution.
+ *
+ * The front door of the streaming runtime (docs/RUNTIME.md). A
+ * runner owns the three HgPCN stages — OctreeBuildStage (CPU),
+ * DownSampleStage (FPGA) and InferenceStage (FPGA) — admits a frame
+ * stream at the sensor rate, executes the functional work on a real
+ * concurrent StagePipeline, schedules the recorded cycle-model
+ * costs on the virtual timeline and reports sustained throughput,
+ * tail latency, per-stage occupancy/utilization, drops and the
+ * Section VII-E real-time verdict. This RuntimeReport supersedes
+ * StreamReport's single-number pipelinedFps estimate;
+ * HgPcnSystem::processStream remains as a compatibility wrapper
+ * over a single-worker runner.
+ */
+
+#ifndef HGPCN_RUNTIME_STREAM_RUNNER_H
+#define HGPCN_RUNTIME_STREAM_RUNNER_H
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "runtime/stage_pipeline.h"
+#include "runtime/stages.h"
+#include "runtime/virtual_timeline.h"
+
+namespace hgpcn
+{
+
+/** One frame that completed the pipeline (not dropped). */
+struct ProcessedFrame
+{
+    std::size_t index = 0;  //!< position in the input stream
+    double latencySec = 0;  //!< admission-to-completion, virtual time
+    double doneSec = 0;     //!< completion on the virtual timeline
+    E2eResult result;       //!< functional outputs + cycle breakdown
+};
+
+/** Stream-level performance report (virtual-time, deterministic). */
+struct RuntimeReport
+{
+    std::size_t framesIn = 0;        //!< offered by the source
+    std::size_t framesProcessed = 0;
+    std::size_t framesDropped = 0;   //!< overload-policy victims
+    std::size_t framesAbandoned = 0; //!< lost to requestStop()
+
+    double makespanSec = 0;   //!< first arrival -> last completion
+    double sustainedFps = 0;  //!< processed / makespan
+
+    /** Per-frame latency (arrival to completion) distribution. */
+    double meanLatencySec = 0;
+    double p50LatencySec = 0;
+    double p95LatencySec = 0;
+    double p99LatencySec = 0;
+    double maxLatencySec = 0;
+
+    /** Sensor rate from timestamps (0 when unpaced or <2 frames). */
+    double generationFps = 0;
+    /** Section VII-E criterion: sustainedFps >= generationFps.
+     * Trivially true when no generation rate is derivable. */
+    bool realTime = false;
+
+    OverloadPolicy policy = OverloadPolicy::Block;
+    bool paced = true;
+
+    /** Per-stage load, in dataflow order. */
+    std::vector<TimelineStageStats> stages;
+
+    /** Render a multi-line human-readable summary. */
+    std::string toString() const;
+};
+
+/** Everything one run() produced. */
+struct RuntimeResult
+{
+    /** Completed frames in stream order (dropped frames absent). */
+    std::vector<ProcessedFrame> frames;
+    RuntimeReport report;
+    /** Aggregated workload counters across all frames. */
+    StatSet workload;
+};
+
+/** Concurrent stage-pipeline runner over the HgPCN engines. */
+class StreamRunner
+{
+  public:
+    struct Config
+    {
+        /** PCN input size K (points after down-sampling). 0 means
+         * "inherit" — HgPcnSystem::runStream substitutes its own K;
+         * constructing a StreamRunner directly requires nonzero. */
+        std::size_t inputPoints = 0;
+
+        /** Octree-build workers — host CPU cores devoted to
+         * building frame i+1's (i+2's, ...) octree while the FPGA
+         * works on frame i. */
+        std::size_t buildWorkers = 1;
+
+        /** FPGA devices. Each runs OIS down-sampling and inference
+         * serially (shareFpga) or in parallel unit pairs. */
+        std::size_t fpgaUnits = 1;
+
+        /** true: down-sampling and inference contend for the same
+         * FPGA (the Fig. 4 platform; matches the legacy two-stage
+         * pipelinedFps model). false: independent devices. */
+        bool shareFpga = true;
+
+        /** Capacity of each inter-stage queue (>= 1). */
+        std::size_t queueCapacity = 8;
+
+        /** Admission credit: max frames admitted-but-unfinished;
+         * 0 = bounded only by queues and units. */
+        std::size_t maxInFlight = 0;
+
+        /** Source-queue behavior when full (virtual timeline). */
+        OverloadPolicy policy = OverloadPolicy::Block;
+
+        /** true: admit each frame at its sensor timestamp; false:
+         * batch mode, every frame available at t=0. */
+        bool paceBySensor = true;
+    };
+
+    /**
+     * @param preprocess Pre-processing engine (borrowed).
+     * @param inference Inference engine (borrowed).
+     * @param model Network to deploy (borrowed; run() is const and
+     *        thread-safe, so workers may share it).
+     * @param config Runner parameters.
+     */
+    StreamRunner(const PreprocessingEngine &preprocess,
+                 const InferenceEngine &inference,
+                 const PointNet2 &model, const Config &config);
+
+    /**
+     * Process @p frames end to end (blocking).
+     *
+     * @param frames The stream; timestamps must be strictly
+     *        increasing when paceBySensor is set.
+     * @param on_frame Optional per-frame hook, called in stream
+     *        order on the collecting thread.
+     */
+    RuntimeResult run(const std::vector<Frame> &frames,
+                      const FrameTaskCallback &on_frame = {});
+
+    /** Abort an in-progress run() from any thread (including the
+     * on_frame hook); run() returns the frames completed so far. */
+    void requestStop();
+
+    /**
+     * Configuration reproducing the legacy analytical pipelinedFps:
+     * batch admission, one worker per stage, one shared FPGA and
+     * queues deep enough (@p n_frames) to never stall the build.
+     */
+    static Config compat(std::size_t n_frames,
+                         std::size_t input_points);
+
+    /** @return runner parameters. */
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    /** Cross-frame workload aggregate, merged into by down-sample
+     * workers concurrently; snapshot into RuntimeResult::workload. */
+    ConcurrentStatSet streamWorkload;
+    OctreeBuildStage build;
+    DownSampleStage sample;
+    InferenceStage infer;
+    StagePipeline pipeline;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_RUNTIME_STREAM_RUNNER_H

@@ -1,0 +1,263 @@
+#include "runtime/virtual_timeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+/** Time-weighted depth bookkeeping for one queue. */
+struct QueueMeter
+{
+    double lastSec = 0.0;
+    double weighted = 0.0;
+    std::size_t peak = 0;
+
+    /** Account the interval since the last change at depth @p d. */
+    void
+    advance(double now, std::size_t d)
+    {
+        weighted += static_cast<double>(d) * (now - lastSec);
+        lastSec = now;
+    }
+};
+
+struct Event
+{
+    double sec;
+    std::uint64_t seq; //!< insertion order, breaks time ties
+    enum Kind { Arrival, Complete } kind;
+    std::size_t frame;
+    std::size_t stage; //!< Complete only
+};
+
+struct EventLater
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.sec != b.sec)
+            return a.sec > b.sec;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+TimelineResult
+simulateTimeline(const TimelineConfig &cfg,
+                 const std::vector<double> &arrivals,
+                 const std::vector<std::vector<double>> &costs)
+{
+    const std::size_t n_stages = cfg.stages.size();
+    const std::size_t n = arrivals.size();
+    HGPCN_ASSERT(n_stages >= 1, "timeline needs at least one stage");
+    HGPCN_ASSERT(cfg.queueCapacity >= 1, "queue capacity must be >= 1");
+    HGPCN_ASSERT(costs.size() == n, "one cost row per frame");
+    for (std::size_t i = 1; i < n; ++i) {
+        HGPCN_ASSERT(arrivals[i] >= arrivals[i - 1],
+                     "arrivals must be non-decreasing");
+    }
+
+    TimelineResult out;
+    out.frames.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        HGPCN_ASSERT(costs[i].size() == n_stages,
+                     "one cost per stage per frame");
+        out.frames[i].arrivalSec = arrivals[i];
+        out.frames[i].startSec.assign(n_stages, 0.0);
+        out.frames[i].finishSec.assign(n_stages, 0.0);
+    }
+
+    // Device units: configured, defaulting to 1 per named resource.
+    std::map<std::string, std::size_t> units = cfg.resourceUnits;
+    for (const TimelineStageSpec &st : cfg.stages) {
+        if (units.find(st.resource) == units.end())
+            units[st.resource] = 1;
+        HGPCN_ASSERT(units[st.resource] >= 1,
+                     "resource '", st.resource, "' needs >= 1 unit");
+    }
+    std::map<std::string, std::size_t> free_units = units;
+
+    std::vector<std::deque<std::size_t>> queue(n_stages);
+    std::vector<QueueMeter> meter(n_stages);
+    // Stage-s units held by a finished frame waiting for space in
+    // queue s+1 (back-pressure).
+    std::vector<std::deque<std::size_t>> held(n_stages);
+    std::vector<double> busy(n_stages, 0.0);
+
+    std::priority_queue<Event, std::vector<Event>, EventLater> events;
+    std::uint64_t seq = 0;
+
+    std::size_t next_arrival = 0;
+    bool pending = false;      //!< a frame is waiting at the source
+    std::size_t pending_frame = 0;
+    std::size_t in_flight = 0;
+    double last_done = n > 0 ? arrivals[0] : 0.0;
+
+    const auto scheduleArrival = [&](double now) {
+        if (next_arrival < n) {
+            events.push({std::max(arrivals[next_arrival], now), seq++,
+                         Event::Arrival, next_arrival, 0});
+            ++next_arrival;
+        }
+    };
+
+    const auto enqueue = [&](std::size_t s, std::size_t f, double now) {
+        meter[s].advance(now, queue[s].size());
+        queue[s].push_back(f);
+        meter[s].peak = std::max(meter[s].peak, queue[s].size());
+    };
+
+    const auto dequeueFront = [&](std::size_t s, double now) {
+        meter[s].advance(now, queue[s].size());
+        const std::size_t f = queue[s].front();
+        queue[s].pop_front();
+        return f;
+    };
+
+    const auto dropFrame = [&](std::size_t f) {
+        out.frames[f].dropped = true;
+        ++out.dropped;
+    };
+
+    // Run admissions, blocked hand-offs and dispatches to fixpoint.
+    const auto settle = [&](double now) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+
+            // 1. Blocked hand-offs, downstream first: freed space in
+            // queue s+1 releases the oldest held unit of stage s.
+            for (std::size_t s = n_stages - 1; s-- > 0;) {
+                while (!held[s].empty() &&
+                       queue[s + 1].size() < cfg.queueCapacity) {
+                    const std::size_t f = held[s].front();
+                    held[s].pop_front();
+                    enqueue(s + 1, f, now);
+                    ++free_units[cfg.stages[s].resource];
+                    changed = true;
+                }
+            }
+
+            // 2. Source admission of the pending frame, if any.
+            if (pending) {
+                const std::size_t f = pending_frame;
+                const bool space = queue[0].size() < cfg.queueCapacity;
+                const bool credit = cfg.maxInFlight == 0 ||
+                                    in_flight < cfg.maxInFlight;
+                if (space && credit) {
+                    out.frames[f].admitSec = now;
+                    enqueue(0, f, now);
+                    ++in_flight;
+                    pending = false;
+                    scheduleArrival(now);
+                    changed = true;
+                } else if (cfg.policy == OverloadPolicy::DropNewest) {
+                    dropFrame(f);
+                    pending = false;
+                    scheduleArrival(now);
+                    changed = true;
+                } else if (cfg.policy == OverloadPolicy::DropOldest) {
+                    if (!queue[0].empty()) {
+                        dropFrame(dequeueFront(0, now));
+                        --in_flight;
+                        out.frames[f].admitSec = now;
+                        enqueue(0, f, now);
+                        ++in_flight;
+                    } else {
+                        // Credit exhausted with nothing still queued:
+                        // every admitted frame is already on a device,
+                        // so the newcomer is the only evictable one.
+                        dropFrame(f);
+                    }
+                    pending = false;
+                    scheduleArrival(now);
+                    changed = true;
+                }
+                // Block: stays pending until a state change frees
+                // space or credit.
+            }
+
+            // 3. Dispatch, downstream first: drain work in flight
+            // before starting new frames on a shared device.
+            for (std::size_t s = n_stages; s-- > 0;) {
+                const std::string &res = cfg.stages[s].resource;
+                while (!queue[s].empty() && free_units[res] > 0) {
+                    const std::size_t f = dequeueFront(s, now);
+                    --free_units[res];
+                    const double cost = costs[f][s];
+                    out.frames[f].startSec[s] = now;
+                    out.frames[f].finishSec[s] = now + cost;
+                    busy[s] += cost;
+                    events.push({now + cost, seq++, Event::Complete,
+                                 f, s});
+                    changed = true;
+                }
+            }
+        }
+    };
+
+    scheduleArrival(n > 0 ? arrivals[0] : 0.0);
+
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        const double now = ev.sec;
+
+        if (ev.kind == Event::Arrival) {
+            HGPCN_ASSERT(!pending, "source admissions are ordered");
+            pending = true;
+            pending_frame = ev.frame;
+        } else {
+            const std::size_t s = ev.stage;
+            const std::size_t f = ev.frame;
+            if (s + 1 == n_stages) {
+                out.frames[f].doneSec = now;
+                out.frames[f].latencySec =
+                    now - out.frames[f].arrivalSec;
+                ++out.processed;
+                --in_flight;
+                ++free_units[cfg.stages[s].resource];
+                last_done = std::max(last_done, now);
+            } else if (queue[s + 1].size() < cfg.queueCapacity) {
+                enqueue(s + 1, f, now);
+                ++free_units[cfg.stages[s].resource];
+            } else {
+                held[s].push_back(f); // unit stays occupied
+            }
+        }
+        settle(now);
+    }
+
+    HGPCN_ASSERT(!pending && next_arrival == n && in_flight == 0,
+                 "timeline drained with work outstanding");
+
+    const double start = n > 0 ? arrivals[0] : 0.0;
+    out.makespanSec = last_done - start;
+
+    out.stages.resize(n_stages);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        TimelineStageStats &st = out.stages[s];
+        st.name = cfg.stages[s].name;
+        st.resource = cfg.stages[s].resource;
+        st.units = units[st.resource];
+        st.busySec = busy[s];
+        meter[s].advance(last_done, queue[s].size());
+        if (out.makespanSec > 0.0) {
+            st.utilization =
+                busy[s] / (static_cast<double>(st.units) *
+                           out.makespanSec);
+            st.meanQueueDepth = meter[s].weighted / out.makespanSec;
+        }
+        st.peakQueueDepth = meter[s].peak;
+    }
+    return out;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic virtual-time scheduler for the stage pipeline.
+ *
+ * The runtime keeps two clocks (docs/RUNTIME.md): wall-clock threads
+ * carry the functional computation, while *modeled* per-stage costs
+ * — the cycle models' output — decide the performance numbers. This
+ * module is the modeled half: a discrete-event simulation that
+ * schedules every frame's stage costs over a small machine
+ * description (stages, the device each occupies, units per device,
+ * queue capacity, overload policy, frames-in-flight credit) and
+ * yields per-frame start/finish times plus per-stage occupancy and
+ * utilization. Being pure arithmetic over recorded costs, it is
+ * exactly reproducible regardless of thread interleaving.
+ *
+ * Scheduling rules:
+ *  - admission: frame i is offered at arrival[i] (its sensor stamp,
+ *    or 0 in batch mode), in order. A full source queue or an
+ *    exhausted in-flight credit applies the overload policy: Block
+ *    delays the admission (and everything behind it), DropNewest
+ *    discards the newcomer, DropOldest evicts the longest-queued
+ *    un-started frame.
+ *  - dispatch: each stage pulls FIFO from its input queue when a
+ *    unit of its device is free; stages sharing a device are served
+ *    downstream-first, so a frame in flight drains before new work
+ *    is accepted (this is what serializes OIS down-sampling and
+ *    inference on the one FPGA, matching the legacy two-stage
+ *    pipeline estimate).
+ *  - hand-off: a finished frame moves to the next stage's queue; if
+ *    that queue is full the unit stays held (back-pressure), which
+ *    is how stalls propagate upstream.
+ */
+
+#ifndef HGPCN_RUNTIME_VIRTUAL_TIMELINE_H
+#define HGPCN_RUNTIME_VIRTUAL_TIMELINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/overload_policy.h"
+
+namespace hgpcn
+{
+
+/** One station of the simulated machine. */
+struct TimelineStageSpec
+{
+    std::string name;     //!< stage label for reports
+    std::string resource; //!< device occupied while processing
+};
+
+/** Machine description for one simulation. */
+struct TimelineConfig
+{
+    /** Stations in dataflow order. */
+    std::vector<TimelineStageSpec> stages;
+
+    /** Units per device; devices not listed default to 1. */
+    std::map<std::string, std::size_t> resourceUnits;
+
+    /** Capacity of every inter-stage queue (>= 1). */
+    std::size_t queueCapacity = 8;
+
+    /** Behavior when the source queue / in-flight credit is full. */
+    OverloadPolicy policy = OverloadPolicy::Block;
+
+    /** Max frames admitted-but-unfinished; 0 = bounded only by the
+     * queues and units. */
+    std::size_t maxInFlight = 0;
+};
+
+/** Scheduled life of one frame. */
+struct TimelineFrame
+{
+    bool dropped = false;   //!< discarded by the overload policy
+    double arrivalSec = 0;  //!< offered to the source (sensor stamp)
+    double admitSec = 0;    //!< entered the source queue
+    std::vector<double> startSec;  //!< per-stage begin (undef if dropped)
+    std::vector<double> finishSec; //!< per-stage end
+    double doneSec = 0;     //!< completion of the last stage
+    double latencySec = 0;  //!< doneSec - arrivalSec
+};
+
+/** Per-stage load numbers over the simulated span. */
+struct TimelineStageStats
+{
+    std::string name;
+    std::string resource;
+    std::size_t units = 1;      //!< units of the stage's device
+    double busySec = 0;         //!< summed stage costs executed
+    double utilization = 0;     //!< busySec / (units * makespan)
+    double meanQueueDepth = 0;  //!< time-weighted input-queue depth
+    std::size_t peakQueueDepth = 0;
+};
+
+/** Result of one simulation. */
+struct TimelineResult
+{
+    std::vector<TimelineFrame> frames; //!< parallel to the input
+    std::size_t processed = 0;
+    std::size_t dropped = 0;
+    double makespanSec = 0; //!< first arrival -> last completion
+    std::vector<TimelineStageStats> stages;
+};
+
+/**
+ * Schedule @p costs over the machine in @p cfg.
+ *
+ * @param cfg Machine description.
+ * @param arrivals Arrival time per frame, non-decreasing.
+ * @param costs costs[i][s] = modeled seconds of frame i at stage s.
+ */
+TimelineResult
+simulateTimeline(const TimelineConfig &cfg,
+                 const std::vector<double> &arrivals,
+                 const std::vector<std::vector<double>> &costs);
+
+} // namespace hgpcn
+
+#endif // HGPCN_RUNTIME_VIRTUAL_TIMELINE_H

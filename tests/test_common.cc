@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -158,6 +159,33 @@ TEST(StatSet, ToStringListsSortedCounters)
     s.add("b", 2);
     s.add("a", 1);
     EXPECT_EQ(s.toString(), "a=1\nb=2\n");
+}
+
+// ---------------------------------------------- ConcurrentStatSet
+
+TEST(ConcurrentStatSet, ParallelMergesSum)
+{
+    // The streaming runtime's down-sample workers merge per-frame
+    // StatSets concurrently; counter-wise sums must survive the
+    // contention (also exercised under TSan in CI).
+    ConcurrentStatSet shared;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&shared] {
+            for (int i = 0; i < 100; ++i) {
+                StatSet local;
+                local.add("work", 2);
+                shared.merge(local);
+                shared.add("frames");
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(shared.snapshot().get("work"), 800u);
+    EXPECT_EQ(shared.snapshot().get("frames"), 400u);
+    shared.clear();
+    EXPECT_EQ(shared.snapshot().size(), 0u);
 }
 
 // -------------------------------------------------------- TablePrinter

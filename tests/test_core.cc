@@ -206,6 +206,68 @@ TEST(HgPcnSystem, StreamReportRealTimeCheck)
               report.meanFps >= report.generationFps);
 }
 
+TEST(HgPcnSystem, UnstampedStreamHasNoGenerationRate)
+{
+    // Non-LiDAR generators leave timestamps at 0.0: no sensor rate
+    // is derivable, so the real-time verdicts are trivially true
+    // (seed behavior), not a fatal "non-monotonic stream" error.
+    KittiLike::Config lidar_cfg;
+    lidar_cfg.azimuthSteps = 250;
+    const KittiLike lidar(lidar_cfg);
+    std::vector<Frame> frames;
+    for (std::size_t f = 0; f < 2; ++f) {
+        frames.push_back(lidar.generate(f));
+        frames.back().timestamp = 0.0;
+    }
+    HgPcnSystem::Config cfg;
+    const HgPcnSystem system(cfg, tinyClassifier());
+    const StreamReport report = system.processStream(frames);
+    EXPECT_DOUBLE_EQ(report.generationFps, 0.0);
+    EXPECT_TRUE(report.realTime);
+    EXPECT_TRUE(report.pipelinedRealTime);
+}
+
+TEST(HgPcnSystem, PipelinedFpsMatchesSingleWorkerRunner)
+{
+    // The legacy analytical two-stage recurrence (CPU builds frame
+    // i+1 while the FPGA down-samples + infers frame i) must be
+    // reproduced by a single-worker StreamRunner schedule. 5% is
+    // the acceptance tolerance; the schedules should in fact agree
+    // to rounding.
+    KittiLike::Config lidar_cfg;
+    lidar_cfg.azimuthSteps = 250;
+    const KittiLike lidar(lidar_cfg);
+    std::vector<Frame> frames;
+    for (std::size_t f = 0; f < 4; ++f)
+        frames.push_back(lidar.generate(f));
+
+    HgPcnSystem::Config cfg;
+    const HgPcnSystem system(cfg, tinyClassifier());
+
+    double cpu_free = 0.0, fpga_done = 0.0;
+    for (const Frame &frame : frames) {
+        const E2eResult r = system.processFrame(frame.cloud);
+        cpu_free += r.preprocess.octreeBuildSec;
+        fpga_done = std::max(fpga_done, cpu_free) +
+                    r.preprocess.dsu.totalSec() +
+                    r.inference.totalSec();
+    }
+    const double analytic =
+        static_cast<double>(frames.size()) / fpga_done;
+
+    const StreamReport report = system.processStream(frames);
+    EXPECT_NEAR(report.pipelinedFps, analytic, analytic * 0.05);
+    EXPECT_NEAR(report.pipelinedFps, analytic, analytic * 1e-9);
+
+    // Same number through the runner API directly.
+    StreamRunner runner(
+        system.preprocessor(), system.inferencer(), system.model(),
+        StreamRunner::compat(frames.size(),
+                             system.config().inputPoints));
+    const RuntimeResult rt = runner.run(frames);
+    EXPECT_NEAR(rt.report.sustainedFps, analytic, analytic * 1e-9);
+}
+
 TEST(HgPcnSystem, LargerFramesCostMorePreprocessing)
 {
     HgPcnSystem::Config cfg;
