@@ -53,30 +53,35 @@ run()
     const double mean_fps =
         static_cast<double>(frames.size()) / total;
     // The shared derivation from timestamps must agree with the
-    // sensor's nominal rate.
+    // sensor's nominal rate. These are batch (unpaced) capability
+    // estimates — no sensor is raced, so they state a throughput
+    // margin, not a real-time verdict (common/real_time.h): the
+    // verdict proper comes from the sensor-paced run below.
     const double gen_fps = streamGenerationFps(frames);
     std::printf("\nmean processed FPS: %.1f | generation rate: %.1f "
-                "(nominal %.1f) | real-time: %s\n",
+                "(nominal %.1f) | %.2fx sensor rate (offline "
+                "estimate)\n",
                 mean_fps, gen_fps, lidar.generationRateFps(),
-                mean_fps >= gen_fps ? "YES" : "NO");
+                mean_fps / gen_fps);
 
     // Extension: with the CPU building frame i+1's octree while the
     // FPGA processes frame i, throughput rises further.
     const StreamReport report = system.processStream(frames);
-    std::printf("pipelined (CPU/FPGA overlap): %.1f FPS | real-time: "
-                "%s\n",
+    std::printf("pipelined (CPU/FPGA overlap): %.1f FPS = %.2fx "
+                "sensor rate (offline estimate)\n",
                 report.pipelinedFps,
-                report.pipelinedRealTime ? "YES" : "NO");
+                report.pipelinedFps / gen_fps);
 
     // The same stream on the concurrent runtime, sensor-paced: the
-    // measured-schedule counterpart of the two numbers above.
+    // Section VII-E verdict proper, frames admitted at their 10 Hz
+    // stamps.
     StreamRunner::Config rc;
     rc.buildWorkers = 2;
     rc.queueCapacity = 4;
     rc.maxInFlight = 4;
     const RuntimeResult rt = system.runStream(frames, rc);
     std::printf("\nstreaming runtime (2 build workers, 4 in "
-                "flight):\n%s",
+                "flight, sensor-paced):\n%s",
                 rt.report.toString().c_str());
 }
 

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Serving-layer scaling: aggregate sustained FPS vs shard count on
+ * a tagged multi-sensor stream (docs/RUNTIME.md §serving).
+ *
+ * The ROADMAP north star is serving heavy multi-sensor traffic; the
+ * ShardedRunner scales the PR 2 streaming runtime horizontally —
+ * N independent engine replicas behind a placement dispatcher. This
+ * bench sweeps the shard count under batch admission (machine
+ * capacity, where aggregate FPS must scale with shards), compares
+ * the placement policies, and ends with the sensor-paced deployment
+ * view whose per-sensor Section VII-E verdicts use the fixed
+ * tri-state semantics.
+ */
+
+#include "bench/bench_util.h"
+#include "core/hgpcn_system.h"
+#include "datasets/sensor_stream.h"
+#include "serving/sharded_runner.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+SensorStream
+makeStream(std::size_t sensors, std::size_t frames_per_sensor)
+{
+    MultiSensorConfig cfg;
+    cfg.sensors = sensors;
+    cfg.framesPerSensor = frames_per_sensor;
+    cfg.lidar.azimuthSteps = 500; // small frames: sweep-friendly
+    return makeLidarSensorStream(cfg);
+}
+
+void
+run()
+{
+    bench::banner("SERVING: SHARD-COUNT SCALING",
+                  "ShardedRunner aggregate FPS vs shards on a "
+                  "4-sensor KITTI-like stream (Pointnet++(s), "
+                  "K = 4096)");
+
+    const SensorStream stream = makeStream(4, 6);
+    std::printf("stream: %zu frames from %zu sensors @ 10 Hz "
+                "each\n\n",
+                stream.size(), stream.sensorCount);
+    HgPcnSystem::Config cfg;
+    const PointNet2Spec spec =
+        PointNet2Spec::semanticSegmentation();
+
+    bench::section("shard count (batch admission, round-robin)");
+    TablePrinter shards_table({"shards", "aggregate FPS",
+                               "vs 1 shard", "p99 latency",
+                               "mean shard util"});
+    double base_fps = 0.0;
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        ShardedRunner::Config sc;
+        sc.shards = n;
+        sc.placement = PlacementPolicy::RoundRobin;
+        sc.runner.paceBySensor = false;
+        ShardedRunner runner(cfg, spec, sc);
+        const ServingResult r = runner.serve(stream);
+        if (n == 1)
+            base_fps = r.report.sustainedFps;
+        // FPGA utilization per shard: down-sample + inference share
+        // the device, so the busy fraction is the two stages' sum.
+        double util = 0.0;
+        for (const RuntimeReport &sr : r.report.shardReports)
+            util += sr.stages[1].utilization +
+                    sr.stages[2].utilization;
+        util /= static_cast<double>(n);
+        shards_table.addRow(
+            {TablePrinter::fmtCount(n),
+             TablePrinter::fmt(r.report.sustainedFps, 1),
+             TablePrinter::fmtRatio(
+                 r.report.sustainedFps / base_fps, 2),
+             TablePrinter::fmtTime(r.report.p99LatencySec),
+             TablePrinter::fmt(util * 100.0, 0)});
+    }
+    shards_table.print();
+
+    bench::section("placement policy (sensor-paced, 2 shards)");
+    TablePrinter policy_table({"policy", "processed", "p99 latency",
+                               "max sensor spread"});
+    for (const PlacementPolicy policy :
+         {PlacementPolicy::RoundRobin, PlacementPolicy::HashBySensor,
+          PlacementPolicy::LeastLoaded}) {
+        ShardedRunner::Config sc;
+        sc.shards = 2;
+        sc.placement = policy;
+        ShardedRunner runner(cfg, spec, sc);
+        const ServingResult r = runner.serve(stream);
+        std::size_t spread = 0;
+        for (const SensorServingReport &sr : r.report.sensors)
+            spread = std::max(spread, sr.shardSpread);
+        policy_table.addRow(
+            {placementPolicyName(policy),
+             TablePrinter::fmtCount(r.report.framesProcessed),
+             TablePrinter::fmtTime(r.report.p99LatencySec),
+             TablePrinter::fmtCount(spread)});
+    }
+    policy_table.print();
+    std::printf("hash-by-sensor keeps every sensor on one shard "
+                "(spread 1): per-sensor order is preserved end to "
+                "end.\n");
+
+    bench::section("deployment view (sensor-paced, 2 shards, "
+                   "hash affinity)");
+    ShardedRunner::Config sc;
+    sc.shards = 2;
+    sc.placement = PlacementPolicy::HashBySensor;
+    ShardedRunner runner(cfg, spec, sc);
+    const ServingResult deployed = runner.serve(stream);
+    std::printf("%s", deployed.report.toString().c_str());
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main()
+{
+    hgpcn::run();
+    return 0;
+}

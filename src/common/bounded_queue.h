@@ -37,14 +37,26 @@ template <typename T>
 class BoundedQueue
 {
   public:
-    /** Occupancy and traffic counters (monotonic, except size). */
+    /**
+     * Occupancy and traffic counters (monotonic, except size).
+     *
+     * Invariants (see test_common):
+     *  - pushed == popped + size(): every admitted element is
+     *    either consumed or still queued;
+     *  - blockedPushes <= pushed: only pushes that were eventually
+     *    admitted count as blocked — a producer woken by close()
+     *    counts under closedPushes instead, so shutdown is not
+     *    misread as back-pressure;
+     *  - droppedNewest + closedPushes == refused push() calls.
+     */
     struct Counters
     {
         std::uint64_t pushed = 0;       //!< elements admitted
         std::uint64_t popped = 0;       //!< elements consumed
         std::uint64_t droppedOldest = 0;//!< evictions by DropOldest
         std::uint64_t droppedNewest = 0;//!< refusals by DropNewest
-        std::uint64_t blockedPushes = 0;//!< pushes that had to wait
+        std::uint64_t blockedPushes = 0;//!< admitted pushes that waited
+        std::uint64_t closedPushes = 0; //!< pushes refused by close()
         std::size_t peakSize = 0;       //!< max occupancy observed
     };
 
@@ -73,19 +85,26 @@ class BoundedQueue
     push(T value)
     {
         std::unique_lock<std::mutex> lock(mu);
-        if (closed)
+        if (closed) {
+            ++stats.closedPushes;
             return PushOutcome::Closed;
+        }
 
         PushOutcome outcome = PushOutcome::Pushed;
         if (items.size() >= cap) {
             switch (overload) {
               case OverloadPolicy::Block:
-                ++stats.blockedPushes;
                 not_full.wait(lock, [this] {
                     return closed || items.size() < cap;
                 });
-                if (closed)
+                // The wake reason decides the counter: a close()
+                // destroys the value without enqueueing it, which
+                // is shutdown, not back-pressure.
+                if (closed) {
+                    ++stats.closedPushes;
                     return PushOutcome::Closed;
+                }
+                ++stats.blockedPushes;
                 break;
               case OverloadPolicy::DropOldest:
                 items.pop_front();

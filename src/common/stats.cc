@@ -1,5 +1,7 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace hgpcn
@@ -78,6 +80,18 @@ ConcurrentStatSet::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
     aggregate.clear();
+}
+
+double
+percentileNearestRank(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t idx =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 } // namespace hgpcn

@@ -15,6 +15,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace hgpcn
 {
@@ -92,6 +93,15 @@ class ConcurrentStatSet
     mutable std::mutex mu;
     StatSet aggregate;
 };
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample; 0 for an
+ * empty sample. The single latency-percentile definition, shared by
+ * RuntimeReport (per-run) and ServingReport (merged across shards)
+ * so aggregate numbers stay comparable to per-shard ones.
+ */
+double percentileNearestRank(const std::vector<double> &sorted,
+                             double q);
 
 } // namespace hgpcn
 

@@ -71,12 +71,14 @@ HgPcnSystem::processStream(const std::vector<Frame> &frames) const
     report.pipelinedFps = rt.report.sustainedFps;
 
     // Sensor rate from the shared derivation (fatal on
-    // non-monotonic stamps, 0.0 for single-frame streams — the
-    // real-time verdicts below are then trivially true).
+    // non-monotonic stamps, 0.0 for unstamped or single-frame
+    // streams — the verdicts below are then NotApplicable, not a
+    // vacuous YES).
     report.generationFps = streamGenerationFps(frames);
-    report.realTime = report.meanFps >= report.generationFps;
+    report.realTime =
+        evaluateRealTime(report.meanFps, report.generationFps);
     report.pipelinedRealTime =
-        report.pipelinedFps >= report.generationFps;
+        evaluateRealTime(report.pipelinedFps, report.generationFps);
     return report;
 }
 

@@ -43,14 +43,18 @@ struct StreamReport
     double maxLatencySec = 0.0;
     double meanFps = 0.0;       //!< 1 / meanLatencySec
     double generationFps = 0.0; //!< sensor rate derived from stamps
-    bool realTime = false;      //!< meanFps >= generationFps
+
+    /** Offline capability verdict: meanFps >= generationFps.
+     * NotApplicable when the stream carries no derivable rate —
+     * never a vacuous YES (common/real_time.h). */
+    RealTimeVerdict realTime = RealTimeVerdict::NotApplicable;
 
     /** Throughput when the CPU's octree build of frame i+1 overlaps
      * the FPGA's down-sampling + inference of frame i (the two
      * engines live on different devices, Fig. 4). Produced by a
      * single-worker StreamRunner in batch mode. */
     double pipelinedFps = 0.0;
-    bool pipelinedRealTime = false;
+    RealTimeVerdict pipelinedRealTime = RealTimeVerdict::NotApplicable;
 };
 
 /** The complete HgPCN platform. */

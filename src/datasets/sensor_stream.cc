@@ -1,0 +1,105 @@
+#include "datasets/sensor_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+std::vector<Frame>
+SensorStream::framesOfSensor(std::size_t sensor) const
+{
+    HGPCN_ASSERT(frames.size() == sensors.size(),
+                 "frames/sensors tags out of sync");
+    std::vector<Frame> out;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (sensors[i] == sensor)
+            out.push_back(frames[i]);
+    }
+    return out;
+}
+
+SensorStream
+mergeSensorStreams(std::vector<std::vector<Frame>> per_sensor)
+{
+    SensorStream stream;
+    stream.sensorCount = per_sensor.size();
+
+    // Per-sensor capture order must be strictly increasing; the
+    // shared derivation already fails fast on violations.
+    for (const std::vector<Frame> &frames : per_sensor)
+        (void)streamGenerationFps(frames);
+
+    // K-way merge by timestamp. Equal stamps across sensors would
+    // make the interleaved order (and any per-shard sub-stream)
+    // non-strict, which the paced runtime rejects — surface that
+    // here, where the fix (phase offsets) is actionable.
+    std::vector<std::size_t> cursor(per_sensor.size(), 0);
+    while (true) {
+        std::size_t best = per_sensor.size();
+        for (std::size_t s = 0; s < per_sensor.size(); ++s) {
+            if (cursor[s] >= per_sensor[s].size())
+                continue;
+            if (best == per_sensor.size() ||
+                per_sensor[s][cursor[s]].timestamp <
+                    per_sensor[best][cursor[best]].timestamp) {
+                best = s;
+            }
+        }
+        if (best == per_sensor.size())
+            break;
+        if (!stream.frames.empty() &&
+            per_sensor[best][cursor[best]].timestamp <=
+                stream.frames.back().timestamp) {
+            fatal("sensor streams share a timestamp (",
+                  per_sensor[best][cursor[best]].timestamp,
+                  "s, sensors ", stream.sensors.back(), " and ",
+                  best,
+                  "); give same-rate sensors distinct phase offsets");
+        }
+        stream.frames.push_back(
+            std::move(per_sensor[best][cursor[best]]));
+        stream.sensors.push_back(best);
+        ++cursor[best];
+    }
+    return stream;
+}
+
+double
+sensorGenerationFps(const SensorStream &stream, std::size_t sensor)
+{
+    return streamGenerationFps(stream.framesOfSensor(sensor));
+}
+
+SensorStream
+makeLidarSensorStream(const MultiSensorConfig &cfg)
+{
+    HGPCN_ASSERT(cfg.sensors >= 1, "need at least one sensor");
+    HGPCN_ASSERT(cfg.lidar.frameRateHz > 0.0,
+                 "sensor frame rate must be positive");
+    const double period = 1.0 / cfg.lidar.frameRateHz;
+    std::vector<std::vector<Frame>> per_sensor;
+    per_sensor.reserve(cfg.sensors);
+    for (std::size_t s = 0; s < cfg.sensors; ++s) {
+        KittiLike::Config lidar_cfg = cfg.lidar;
+        lidar_cfg.seed = cfg.lidar.seed + s; // distinct scenes
+        const KittiLike lidar(lidar_cfg);
+        const double phase =
+            period * static_cast<double>(s) /
+            static_cast<double>(cfg.sensors);
+        std::vector<Frame> frames;
+        frames.reserve(cfg.framesPerSensor);
+        for (std::size_t f = 0; f < cfg.framesPerSensor; ++f) {
+            Frame frame = lidar.generate(f);
+            frame.timestamp += phase;
+            frame.name = "s" + std::to_string(s) + "." + frame.name;
+            frames.push_back(std::move(frame));
+        }
+        per_sensor.push_back(std::move(frames));
+    }
+    return mergeSensorStreams(std::move(per_sensor));
+}
+
+} // namespace hgpcn

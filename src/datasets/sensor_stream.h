@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-sensor frame streams for the serving layer.
+ *
+ * A deployment rarely serves one LiDAR: a vehicle carries several
+ * scanners, a roadside unit aggregates many. A SensorStream is the
+ * wire format of that workload — one sequence of frames interleaved
+ * by timestamp, each tagged with the sensor that produced it — which
+ * serving/ShardedRunner demultiplexes across shards. Per-sensor
+ * order inside the interleaved sequence is the per-sensor capture
+ * order, so a dispatcher that keeps a sensor on one shard preserves
+ * it end to end.
+ */
+
+#ifndef HGPCN_DATASETS_SENSOR_STREAM_H
+#define HGPCN_DATASETS_SENSOR_STREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/frame.h"
+#include "datasets/kitti_like.h"
+
+namespace hgpcn
+{
+
+/**
+ * A tagged multi-sensor frame sequence, interleaved by timestamp.
+ *
+ * `frames` and `sensors` are parallel: sensors[i] is the 0-based id
+ * of the sensor that captured frames[i]. Timestamps are strictly
+ * increasing across the whole interleaved sequence (the merge
+ * helper enforces this — give same-rate sensors distinct phase
+ * offsets), hence also within every sensor.
+ */
+struct SensorStream
+{
+    std::vector<Frame> frames;
+    std::vector<std::size_t> sensors; //!< parallel to frames
+    std::size_t sensorCount = 0;
+
+    std::size_t size() const { return frames.size(); }
+
+    /** Copy of one sensor's frames, in capture order. */
+    std::vector<Frame> framesOfSensor(std::size_t sensor) const;
+};
+
+/**
+ * Interleave per-sensor sequences into one tagged stream.
+ *
+ * Each inner sequence must have strictly increasing timestamps;
+ * timestamps must also be distinct *across* sensors (fatal
+ * otherwise — give same-rate sensors phase offsets, as
+ * makeLidarSensorStream does), so the merged order is total and
+ * per-shard sub-streams stay strictly monotonic under any placement.
+ *
+ * @param per_sensor One frame sequence per sensor; moved in.
+ */
+SensorStream
+mergeSensorStreams(std::vector<std::vector<Frame>> per_sensor);
+
+/** Sensor rate of one sensor, from its offered timestamps. */
+double sensorGenerationFps(const SensorStream &stream,
+                           std::size_t sensor);
+
+/** Parameters of the synthetic multi-LiDAR rig. */
+struct MultiSensorConfig
+{
+    std::size_t sensors = 2;
+    std::size_t framesPerSensor = 4;
+    /** Per-sensor scanner parameters; seed is varied per sensor so
+     * rigs see different scenes. */
+    KittiLike::Config lidar;
+};
+
+/**
+ * Simulate a rig of @p cfg.sensors KittiLike scanners, phase-offset
+ * by sensorId / (sensors * frameRate) so interleaved timestamps are
+ * strictly increasing, and merge them into one tagged stream.
+ * Frame names are prefixed "s<sensor>." for reports.
+ */
+SensorStream makeLidarSensorStream(const MultiSensorConfig &cfg);
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_SENSOR_STREAM_H

@@ -29,6 +29,11 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
 {
     const std::size_t n_stages = specs.size();
 
+    // Restart contract: a stop belongs to the run it aborted, so a
+    // new run starts fresh rather than inheriting staleness from a
+    // previous requestStop().
+    stopped.store(false);
+
     // Queue i feeds stage i; the last queue feeds the collector.
     {
         std::lock_guard<std::mutex> lock(queues_mu);
@@ -37,6 +42,8 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
             queues.push_back(std::make_shared<TaskQueue>(
                 cfg.queueCapacity, OverloadPolicy::Block));
         }
+        // A requestStop() that raced this entry (after the reset
+        // above) targets *this* run: honor it.
         if (stopped.load()) {
             for (auto &q : queues)
                 q->close();

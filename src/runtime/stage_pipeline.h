@@ -18,6 +18,14 @@
  * is still queued, and run() returns the frames that made it
  * through — shutdown with frames in flight is an ordinary,
  * deadlock-free path.
+ *
+ * Restart contract: a pipeline is reusable. run() clears any stop
+ * left by a previous run on entry, so a stopped pipeline restarts
+ * cleanly instead of silently abandoning the whole stream.
+ * requestStop() aborts the run in progress; against an idle
+ * pipeline it is a no-op (except for a stop racing run() entry,
+ * which may abort the starting run — the caller asked to stop
+ * "now", and "now" is that run).
  */
 
 #ifndef HGPCN_RUNTIME_STAGE_PIPELINE_H
@@ -60,6 +68,10 @@ class StagePipeline
     /**
      * Push @p tasks through the graph (blocking).
      *
+     * Clears any stop requested against a previous run, so a
+     * pipeline may be reused after requestStop() — each run()
+     * starts fresh.
+     *
      * @param tasks Frames in admission order; moved in.
      * @param on_task Optional hook, called once per completed frame
      *        in admission order.
@@ -71,13 +83,15 @@ class StagePipeline
         const FrameTaskCallback &on_task = {});
 
     /**
-     * Abort an in-progress run(): close every queue and discard
+     * Abort the run in progress: close every queue and discard
      * queued work. Safe from any thread, including the on_task
-     * callback; idempotent; a subsequent run() stays stopped.
+     * callback; idempotent. Against an idle pipeline this is a
+     * no-op — the next run() clears it and proceeds.
      */
     void requestStop();
 
-    /** @return true once requestStop() has been called. */
+    /** @return true while the current run is being aborted; the
+     * next run() clears it. */
     bool stopRequested() const { return stopped.load(); }
 
   private:

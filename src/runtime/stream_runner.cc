@@ -11,19 +11,6 @@ namespace hgpcn
 namespace
 {
 
-/** Nearest-rank percentile of an ascending-sorted sample. */
-double
-percentile(const std::vector<double> &sorted, double q)
-{
-    if (sorted.empty())
-        return 0.0;
-    const double rank =
-        std::ceil(q * static_cast<double>(sorted.size()));
-    const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(
-        rank) - 1;
-    return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 std::vector<StagePipeline::StageSpec>
 makeSpecs(const OctreeBuildStage &build, const DownSampleStage &sample,
           const InferenceStage &infer, const StreamRunner::Config &cfg)
@@ -63,8 +50,10 @@ RuntimeReport::toString() const
     oss << "sustained: " << sustainedFps << " FPS over "
         << makespanSec * 1e3 << " ms";
     if (generationFps > 0.0)
-        oss << " | sensor: " << generationFps << " FPS | real-time: "
-            << (realTime ? "YES" : "NO");
+        oss << " | sensor: " << generationFps << " FPS";
+    oss << " | real-time: " << realTimeVerdictName(realTime);
+    if (realTime == RealTimeVerdict::NotApplicable)
+        oss << " (no sensor pacing)";
     oss << "\n";
     oss.precision(2);
     oss << "latency ms: mean " << meanLatencySec * 1e3 << " | p50 "
@@ -211,7 +200,10 @@ StreamRunner::run(const std::vector<Frame> &frames,
                   rep.makespanSec
             : 0.0;
     rep.generationFps = generation_fps;
-    rep.realTime = rep.sustainedFps >= rep.generationFps;
+    // generation_fps is forced to 0 for unpaced runs, so batch mode
+    // yields NotApplicable rather than a vacuous YES.
+    rep.realTime =
+        evaluateRealTime(rep.sustainedFps, rep.generationFps);
     rep.stages = timeline.stages;
 
     std::vector<double> latencies;
@@ -235,9 +227,9 @@ StreamRunner::run(const std::vector<Frame> &frames,
         rep.meanLatencySec /=
             static_cast<double>(latencies.size());
         std::sort(latencies.begin(), latencies.end());
-        rep.p50LatencySec = percentile(latencies, 0.50);
-        rep.p95LatencySec = percentile(latencies, 0.95);
-        rep.p99LatencySec = percentile(latencies, 0.99);
+        rep.p50LatencySec = percentileNearestRank(latencies, 0.50);
+        rep.p95LatencySec = percentileNearestRank(latencies, 0.95);
+        rep.p99LatencySec = percentileNearestRank(latencies, 0.99);
     }
     return out;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/real_time.h"
 #include "common/stats.h"
 #include "runtime/stage_pipeline.h"
 #include "runtime/stages.h"
@@ -61,8 +62,10 @@ struct RuntimeReport
     /** Sensor rate from timestamps (0 when unpaced or <2 frames). */
     double generationFps = 0;
     /** Section VII-E criterion: sustainedFps >= generationFps.
-     * Trivially true when no generation rate is derivable. */
-    bool realTime = false;
+     * NotApplicable when no generation rate is derivable — batch
+     * admission, an unstamped stream or <2 frames race no sensor,
+     * so there is no criterion to pass. */
+    RealTimeVerdict realTime = RealTimeVerdict::NotApplicable;
 
     OverloadPolicy policy = OverloadPolicy::Block;
     bool paced = true;
@@ -138,6 +141,10 @@ class StreamRunner
     /**
      * Process @p frames end to end (blocking).
      *
+     * Runners are reusable: run() starts fresh even after a
+     * previous run was aborted by requestStop() (the StagePipeline
+     * restart contract).
+     *
      * @param frames The stream; timestamps must be strictly
      *        increasing when paceBySensor is set.
      * @param on_frame Optional per-frame hook, called in stream
@@ -146,8 +153,9 @@ class StreamRunner
     RuntimeResult run(const std::vector<Frame> &frames,
                       const FrameTaskCallback &on_frame = {});
 
-    /** Abort an in-progress run() from any thread (including the
-     * on_frame hook); run() returns the frames completed so far. */
+    /** Abort the in-progress run() from any thread (including the
+     * on_frame hook); run() returns the frames completed so far.
+     * No-op against an idle runner; a later run() starts fresh. */
     void requestStop();
 
     /**

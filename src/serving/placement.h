@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Placement policies of the sharded serving layer: which shard a
+ * tagged frame is dispatched to.
+ *
+ * All three policies are deterministic functions of the stream, so
+ * serving reports stay exactly reproducible:
+ *
+ *  - RoundRobin spreads frames evenly, ignoring sensors: best raw
+ *    balance, but a sensor's frames land on many shards, so its
+ *    completion order is not preserved.
+ *  - HashBySensor pins each sensor to one shard (affinity): a
+ *    sensor's frames flow through a single FIFO pipeline, so its
+ *    per-frame order is preserved end to end.
+ *  - LeastLoaded joins the shortest queue: shard load is modeled at
+ *    dispatch time as the outstanding assigned frames, each retiring
+ *    after an assumed service time on the shard's virtual clock
+ *    (true queue depths live on the runtime's virtual timeline,
+ *    which is only known after execution — the dispatch-time model
+ *    is the deterministic stand-in a front-end would track).
+ */
+
+#ifndef HGPCN_SERVING_PLACEMENT_H
+#define HGPCN_SERVING_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/sensor_stream.h"
+
+namespace hgpcn
+{
+
+/** How the dispatcher demultiplexes frames across shards. */
+enum class PlacementPolicy
+{
+    RoundRobin,   //!< frame i -> shard i mod N
+    HashBySensor, //!< sensor affinity; preserves per-sensor order
+    LeastLoaded,  //!< join-shortest-queue on modeled backlog
+};
+
+/** @return human-readable policy name. */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Stable sensor-id mix (splitmix64) behind HashBySensor. */
+std::uint64_t placementHash(std::size_t sensor);
+
+/**
+ * Compute the shard of every frame in @p stream.
+ *
+ * @param stream Tagged multi-sensor stream (interleaved order).
+ * @param shard_count Number of shards (>= 1).
+ * @param policy Dispatch policy.
+ * @param assumed_service_sec LeastLoaded only: modeled per-frame
+ *        service time after which an assigned frame retires from a
+ *        shard's backlog. <= 0 selects an automatic estimate (the
+ *        stream's mean inter-arrival scaled by shard_count); with
+ *        no derivable estimate either, frames never retire and the
+ *        policy degrades to pure join-shortest-queue by count.
+ * @return shard index per frame, parallel to stream.frames.
+ */
+std::vector<std::size_t>
+assignShards(const SensorStream &stream, std::size_t shard_count,
+             PlacementPolicy policy,
+             double assumed_service_sec = 0.0);
+
+} // namespace hgpcn
+
+#endif // HGPCN_SERVING_PLACEMENT_H

@@ -1,0 +1,224 @@
+#include "serving/serving_report.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+/** (n-1)/span generation rate over a timestamp subsequence. */
+double
+generationFpsOf(const std::vector<double> &stamps)
+{
+    if (stamps.size() < 2)
+        return 0.0;
+    const double span = stamps.back() - stamps.front();
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(stamps.size() - 1) / span;
+}
+
+} // namespace
+
+std::string
+ServingReport::toString() const
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(1);
+    oss << "serving: " << shardCount << " shard"
+        << (shardCount == 1 ? "" : "s") << " ("
+        << placementPolicyName(placement) << "), " << sensorCount
+        << " sensor" << (sensorCount == 1 ? "" : "s")
+        << (paced ? ", sensor-paced" : ", batch") << "\n";
+    oss << "frames: " << framesProcessed << "/" << framesIn
+        << " processed";
+    if (framesDropped > 0)
+        oss << ", " << framesDropped << " dropped";
+    if (framesAbandoned > 0)
+        oss << ", " << framesAbandoned << " abandoned";
+    oss << "\n";
+    oss << "aggregate: " << sustainedFps << " FPS over "
+        << makespanSec * 1e3 << " ms";
+    oss.precision(2);
+    oss << " | latency ms: mean " << meanLatencySec * 1e3 << " | p50 "
+        << p50LatencySec * 1e3 << " | p95 " << p95LatencySec * 1e3
+        << " | p99 " << p99LatencySec * 1e3 << " | max "
+        << maxLatencySec * 1e3 << "\n";
+    oss.precision(1);
+    for (std::size_t s = 0; s < shardReports.size(); ++s) {
+        const RuntimeReport &r = shardReports[s];
+        oss << "shard " << s << ": " << r.framesProcessed << "/"
+            << r.framesIn << " processed | sustained "
+            << r.sustainedFps << " FPS";
+        for (const TimelineStageStats &st : r.stages) {
+            oss << " | " << st.name << " util "
+                << static_cast<int>(st.utilization * 100.0 + 0.5)
+                << "%";
+        }
+        oss << "\n";
+    }
+    for (const SensorServingReport &sr : sensors) {
+        oss << "sensor " << sr.sensor << " [" << sr.shardSpread
+            << " shard" << (sr.shardSpread == 1 ? "" : "s")
+            << "]: " << sr.framesDone << "/" << sr.framesIn;
+        if (sr.generationFps > 0.0)
+            oss << " | sensor " << sr.generationFps << " FPS";
+        oss << " | sustained " << sr.sustainedFps << " FPS";
+        oss.precision(2);
+        oss << " | p99 " << sr.p99LatencySec * 1e3 << " ms";
+        oss.precision(1);
+        oss << " | real-time: " << realTimeVerdictName(sr.realTime)
+            << "\n";
+    }
+    return oss.str();
+}
+
+ServingResult
+mergeShardOutcomes(const SensorStream &stream,
+                   std::vector<ShardOutcome> outcomes,
+                   PlacementPolicy policy)
+{
+    HGPCN_ASSERT(stream.frames.size() == stream.sensors.size(),
+                 "frames/sensors tags out of sync");
+
+    ServingResult out;
+    ServingReport &rep = out.report;
+    rep.placement = policy;
+    rep.shardCount = outcomes.size();
+    rep.sensorCount = stream.sensorCount;
+    rep.framesIn = stream.size();
+
+    // Position of every frame within its own sensor's sequence.
+    std::vector<std::size_t> sensor_index(stream.size(), 0);
+    std::vector<std::size_t> seen(stream.sensorCount, 0);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        sensor_index[i] = seen[stream.sensors[i]]++;
+
+    rep.paced = true;
+    for (const ShardOutcome &oc : outcomes) {
+        const RuntimeReport &r = oc.result.report;
+        rep.framesProcessed += r.framesProcessed;
+        rep.framesDropped += r.framesDropped;
+        rep.framesAbandoned += r.framesAbandoned;
+        if (r.framesIn > 0)
+            rep.paced = rep.paced && r.paced;
+        rep.shardReports.push_back(r);
+    }
+
+    // Re-anchor every shard clock onto the global timeline and
+    // collect the completed frames.
+    for (std::size_t s = 0; s < outcomes.size(); ++s) {
+        ShardOutcome &oc = outcomes[s];
+        for (ProcessedFrame &pf : oc.result.frames) {
+            HGPCN_ASSERT(pf.index < oc.globalIndex.size(),
+                         "shard ", s, " frame index ", pf.index,
+                         " has no global mapping");
+            const std::size_t g = oc.globalIndex[pf.index];
+            ServedFrame sf;
+            sf.globalIndex = g;
+            sf.sensor = stream.sensors[g];
+            sf.sensorIndex = sensor_index[g];
+            sf.shard = s;
+            sf.latencySec = pf.latencySec;
+            sf.doneSec = oc.anchorSec + pf.doneSec;
+            sf.result = std::move(pf.result);
+            out.frames.push_back(std::move(sf));
+        }
+    }
+    std::sort(out.frames.begin(), out.frames.end(),
+              [](const ServedFrame &a, const ServedFrame &b) {
+                  if (a.doneSec != b.doneSec)
+                      return a.doneSec < b.doneSec;
+                  return a.globalIndex < b.globalIndex;
+              });
+
+    // Aggregate makespan + latency distribution.
+    const double global_start =
+        rep.paced && !stream.frames.empty()
+            ? stream.frames.front().timestamp
+            : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(out.frames.size());
+    double max_done = global_start;
+    for (const ServedFrame &sf : out.frames) {
+        latencies.push_back(sf.latencySec);
+        max_done = std::max(max_done, sf.doneSec);
+        rep.maxLatencySec = std::max(rep.maxLatencySec,
+                                     sf.latencySec);
+        rep.meanLatencySec += sf.latencySec;
+    }
+    if (!latencies.empty()) {
+        rep.meanLatencySec /= static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        rep.p50LatencySec = percentileNearestRank(latencies, 0.50);
+        rep.p95LatencySec = percentileNearestRank(latencies, 0.95);
+        rep.p99LatencySec = percentileNearestRank(latencies, 0.99);
+        rep.makespanSec = max_done - global_start;
+        rep.sustainedFps =
+            rep.makespanSec > 0.0
+                ? static_cast<double>(rep.framesProcessed) /
+                      rep.makespanSec
+                : 0.0;
+    }
+
+    // Per-sensor slices.
+    rep.sensors.resize(stream.sensorCount);
+    std::vector<std::vector<double>> sensor_lat(stream.sensorCount);
+    std::vector<std::set<std::size_t>> sensor_shards(
+        stream.sensorCount);
+    std::vector<std::vector<double>> sensor_stamps(
+        stream.sensorCount);
+    std::vector<double> sensor_done(
+        stream.sensorCount, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        rep.sensors[stream.sensors[i]].framesIn++;
+        sensor_stamps[stream.sensors[i]].push_back(
+            stream.frames[i].timestamp);
+    }
+    for (const ServedFrame &sf : out.frames) {
+        SensorServingReport &sr = rep.sensors[sf.sensor];
+        sr.framesDone++;
+        sr.maxLatencySec = std::max(sr.maxLatencySec, sf.latencySec);
+        sensor_lat[sf.sensor].push_back(sf.latencySec);
+        sensor_shards[sf.sensor].insert(sf.shard);
+        sensor_done[sf.sensor] =
+            std::max(sensor_done[sf.sensor], sf.doneSec);
+    }
+    for (std::size_t k = 0; k < stream.sensorCount; ++k) {
+        SensorServingReport &sr = rep.sensors[k];
+        sr.sensor = k;
+        sr.framesMissed = sr.framesIn - sr.framesDone;
+        sr.shardSpread = sensor_shards[k].size();
+        sr.generationFps = generationFpsOf(sensor_stamps[k]);
+        if (sr.framesDone > 0) {
+            const double first_offer =
+                rep.paced ? sensor_stamps[k].front() : 0.0;
+            const double span = sensor_done[k] - first_offer;
+            sr.sustainedFps =
+                span > 0.0
+                    ? static_cast<double>(sr.framesDone) / span
+                    : 0.0;
+            std::sort(sensor_lat[k].begin(), sensor_lat[k].end());
+            sr.p50LatencySec =
+                percentileNearestRank(sensor_lat[k], 0.50);
+            sr.p95LatencySec =
+                percentileNearestRank(sensor_lat[k], 0.95);
+            sr.p99LatencySec =
+                percentileNearestRank(sensor_lat[k], 0.99);
+        }
+        // The fixed Section VII-E semantics: a batch serve races no
+        // sensor, so the verdict is n/a, never a vacuous YES.
+        sr.realTime = evaluateRealTime(
+            sr.sustainedFps, rep.paced ? sr.generationFps : 0.0);
+    }
+    return out;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Aggregate reporting for the sharded serving layer.
+ *
+ * Every shard produces an ordinary RuntimeResult on its own virtual
+ * clock (anchored at its first admitted frame). The merge re-anchors
+ * all shard clocks onto one global timeline and derives:
+ *
+ *  - the aggregate view: global sustained FPS over the union
+ *    makespan, merged latency percentiles, total drops/abandons;
+ *  - the per-shard view: each shard's RuntimeReport, unchanged;
+ *  - the per-sensor view: offered/processed counts, the sensor's
+ *    own generation rate and a Section VII-E verdict computed with
+ *    the tri-state semantics (common/real_time.h) — NotApplicable
+ *    for unpaced serves, never a vacuous YES.
+ *
+ * mergeShardOutcomes is a pure function of the shard outcomes so
+ * the arithmetic is unit-testable without running a fleet.
+ */
+
+#ifndef HGPCN_SERVING_SERVING_REPORT_H
+#define HGPCN_SERVING_SERVING_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/real_time.h"
+#include "datasets/sensor_stream.h"
+#include "runtime/stream_runner.h"
+#include "serving/placement.h"
+
+namespace hgpcn
+{
+
+/** One sensor's slice of a serve. */
+struct SensorServingReport
+{
+    std::size_t sensor = 0;
+    /** Distinct shards that completed frames of this sensor (1
+     * under HashBySensor affinity). */
+    std::size_t shardSpread = 0;
+    std::size_t framesIn = 0;    //!< offered by this sensor
+    std::size_t framesDone = 0;  //!< completed the pipeline
+    /** Offered - completed: dropped by overload or abandoned by a
+     * shard stop (the split is only known shard-wide). */
+    std::size_t framesMissed = 0;
+
+    double generationFps = 0; //!< this sensor's capture rate
+    /** Completed / (first offer -> last completion), global clock. */
+    double sustainedFps = 0;
+
+    double p50LatencySec = 0;
+    double p95LatencySec = 0;
+    double p99LatencySec = 0;
+    double maxLatencySec = 0;
+
+    /** Section VII-E, per sensor; NotApplicable when unpaced. */
+    RealTimeVerdict realTime = RealTimeVerdict::NotApplicable;
+};
+
+/** Aggregate + per-shard + per-sensor serving report. */
+struct ServingReport
+{
+    PlacementPolicy placement = PlacementPolicy::HashBySensor;
+    std::size_t shardCount = 0;
+    std::size_t sensorCount = 0;
+
+    std::size_t framesIn = 0;
+    std::size_t framesProcessed = 0;
+    std::size_t framesDropped = 0;
+    std::size_t framesAbandoned = 0;
+
+    bool paced = true; //!< every shard ran sensor-paced
+
+    /** First global offer -> last global completion. */
+    double makespanSec = 0;
+    /** Global sustained throughput: processed / makespan. */
+    double sustainedFps = 0;
+
+    /** Latency distribution merged across all shards. */
+    double meanLatencySec = 0;
+    double p50LatencySec = 0;
+    double p95LatencySec = 0;
+    double p99LatencySec = 0;
+    double maxLatencySec = 0;
+
+    /** Per-shard reports, indexed by shard, on shard-local clocks. */
+    std::vector<RuntimeReport> shardReports;
+    /** Per-sensor slices, indexed by sensor. */
+    std::vector<SensorServingReport> sensors;
+
+    /** Render a multi-line human-readable summary. */
+    std::string toString() const;
+};
+
+/** One completed frame of a serve, on the global clock. */
+struct ServedFrame
+{
+    std::size_t globalIndex = 0; //!< position in the tagged stream
+    std::size_t sensor = 0;
+    std::size_t sensorIndex = 0; //!< position within its sensor
+    std::size_t shard = 0;
+    double latencySec = 0;
+    double doneSec = 0; //!< completion, global virtual clock
+    E2eResult result;
+};
+
+/** Everything one serve() produced. */
+struct ServingResult
+{
+    /** Completed frames in global completion order (doneSec, ties
+     * by stream position); dropped/abandoned frames absent. */
+    std::vector<ServedFrame> frames;
+    ServingReport report;
+};
+
+/** What one shard contributed to a serve. */
+struct ShardOutcome
+{
+    RuntimeResult result;
+    /** Global time of the shard clock's origin (its first admitted
+     * frame's timestamp when paced, 0 in batch mode). */
+    double anchorSec = 0;
+    /** Sub-stream index -> global stream index. */
+    std::vector<std::size_t> globalIndex;
+};
+
+/**
+ * Merge per-shard outcomes into the global serving view.
+ *
+ * @param stream The tagged stream that was served.
+ * @param outcomes One entry per shard; results are moved out.
+ * @param policy Placement policy used (for the report).
+ */
+ServingResult
+mergeShardOutcomes(const SensorStream &stream,
+                   std::vector<ShardOutcome> outcomes,
+                   PlacementPolicy policy);
+
+} // namespace hgpcn
+
+#endif // HGPCN_SERVING_SERVING_REPORT_H

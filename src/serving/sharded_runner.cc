@@ -1,0 +1,141 @@
+#include "serving/sharded_runner.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+StreamRunner::Config
+resolveRunnerConfig(const HgPcnSystem::Config &system,
+                    const PointNet2Spec &spec,
+                    StreamRunner::Config runner_cfg)
+{
+    // Same K resolution as HgPcnSystem: an explicit runner K wins,
+    // then the spec's, then the system default.
+    if (runner_cfg.inputPoints == 0) {
+        runner_cfg.inputPoints = spec.inputPoints != 0
+                                     ? spec.inputPoints
+                                     : system.inputPoints;
+    }
+    return runner_cfg;
+}
+
+} // namespace
+
+ShardedRunner::Shard::Shard(const HgPcnSystem::Config &system,
+                            const PointNet2Spec &spec,
+                            const StreamRunner::Config &runner_cfg)
+    : preprocess(system.preprocess), inference(system.inference),
+      model(spec), runner(preprocess, inference, model, runner_cfg)
+{
+}
+
+ShardedRunner::ShardedRunner(const HgPcnSystem::Config &system,
+                             const PointNet2Spec &spec,
+                             const Config &config)
+    : cfg(config)
+{
+    HGPCN_ASSERT(cfg.shards >= 1, "need at least one shard");
+    const StreamRunner::Config runner_cfg =
+        resolveRunnerConfig(system, spec, cfg.runner);
+    fleet.reserve(cfg.shards);
+    for (std::size_t s = 0; s < cfg.shards; ++s)
+        fleet.push_back(
+            std::make_unique<Shard>(system, spec, runner_cfg));
+}
+
+ServingResult
+ShardedRunner::serve(const SensorStream &stream,
+                     const ServingFrameCallback &on_frame)
+{
+    // Restart contract: a stop belongs to the serve it aborted.
+    stopped.store(false);
+    for (const std::unique_ptr<Shard> &shard : fleet)
+        shard->stopRequested.store(false);
+
+    const std::size_t n_shards = fleet.size();
+    std::vector<ShardOutcome> outcomes(n_shards);
+    if (stream.size() == 0) {
+        ServingResult out = mergeShardOutcomes(
+            stream, std::move(outcomes), cfg.placement);
+        return out;
+    }
+
+    // Dispatch: deterministic placement over the tagged stream.
+    const std::vector<std::size_t> assignment = assignShards(
+        stream, n_shards, cfg.placement, cfg.assumedServiceSec);
+    std::vector<std::vector<Frame>> sub(n_shards);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const std::size_t s = assignment[i];
+        sub[s].push_back(stream.frames[i]);
+        outcomes[s].globalIndex.push_back(i);
+    }
+
+    // Execute: every shard drains its sub-stream on its own
+    // pipeline, concurrently with the others. Stops (fleet-wide or
+    // per-shard) are re-asserted through the per-frame hook so a
+    // shard that enters run() after the stop — run() resets the
+    // pipeline's own flag — still truncates at its first emission
+    // instead of resurrecting a stopped serve.
+    std::vector<std::thread> threads;
+    threads.reserve(n_shards);
+    for (std::size_t s = 0; s < n_shards; ++s) {
+        threads.emplace_back([this, s, &sub, &outcomes, &on_frame] {
+            Shard &shard = *fleet[s];
+            if (stopped.load() || shard.stopRequested.load()) {
+                outcomes[s].result.report.framesIn = sub[s].size();
+                outcomes[s].result.report.framesAbandoned =
+                    sub[s].size();
+                outcomes[s].result.report.paced =
+                    shard.runner.config().paceBySensor;
+                return;
+            }
+            const FrameTaskCallback hook =
+                [this, s, &shard, &on_frame](const FrameTask &task) {
+                    if (on_frame)
+                        on_frame(s, task);
+                    if (stopped.load() ||
+                        shard.stopRequested.load())
+                        shard.runner.requestStop();
+                };
+            outcomes[s].result = shard.runner.run(sub[s], hook);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Re-anchor each shard clock for the merge: a paced shard's
+    // virtual time starts at its first admitted frame.
+    for (std::size_t s = 0; s < n_shards; ++s) {
+        outcomes[s].anchorSec =
+            outcomes[s].result.report.paced && !sub[s].empty()
+                ? sub[s].front().timestamp
+                : 0.0;
+    }
+    return mergeShardOutcomes(stream, std::move(outcomes),
+                              cfg.placement);
+}
+
+void
+ShardedRunner::requestStop()
+{
+    stopped.store(true);
+    for (const std::unique_ptr<Shard> &shard : fleet)
+        shard->runner.requestStop();
+}
+
+void
+ShardedRunner::requestStopShard(std::size_t shard)
+{
+    HGPCN_ASSERT(shard < fleet.size(), "shard ", shard,
+                 " out of range (", fleet.size(), " shards)");
+    fleet[shard]->stopRequested.store(true);
+    fleet[shard]->runner.requestStop();
+}
+
+} // namespace hgpcn

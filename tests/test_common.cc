@@ -1,13 +1,17 @@
 /**
  * @file
- * Unit tests for the common substrate: RNG, stats, table printer.
+ * Unit tests for the common substrate: RNG, stats, table printer,
+ * BoundedQueue counter invariants.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 
+#include "common/bounded_queue.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
@@ -247,6 +251,92 @@ TEST(TablePrinter, FmtBytesPicksUnits)
     EXPECT_EQ(TablePrinter::fmtBytes(512), "512 B");
     EXPECT_EQ(TablePrinter::fmtBytes(2048), "2.0 KiB");
     EXPECT_EQ(TablePrinter::fmtBytes(3.0 * 1024 * 1024), "3.0 MiB");
+}
+
+// ------------------------------------- BoundedQueue counter invariants
+
+/** Every-state invariants of BoundedQueue::Counters. */
+void
+expectCounterInvariants(const BoundedQueue<int>::Counters &c,
+                        std::size_t size)
+{
+    // Every admitted element is consumed or still queued.
+    EXPECT_EQ(c.pushed, c.popped + size);
+    // Only admitted pushes count as blocked.
+    EXPECT_LE(c.blockedPushes, c.pushed);
+    EXPECT_LE(c.peakSize, c.pushed);
+}
+
+TEST(BoundedQueueCounters, CloseWhileBlockedCountsClosedNotBlocked)
+{
+    // Regression: a push woken by close() destroys its value
+    // without enqueueing it — shutdown, not back-pressure. The seed
+    // counted it in blockedPushes, so every pipeline shutdown read
+    // as queue congestion.
+    BoundedQueue<int> q(1, OverloadPolicy::Block);
+    ASSERT_EQ(q.push(1), PushOutcome::Pushed);
+
+    std::atomic<bool> refused{false};
+    std::thread producer([&] {
+        refused.store(q.push(2) == PushOutcome::Closed);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(refused.load());
+
+    const auto c = q.counters();
+    EXPECT_EQ(c.pushed, 1u);
+    EXPECT_EQ(c.blockedPushes, 0u);
+    EXPECT_EQ(c.closedPushes, 1u);
+    EXPECT_EQ(c.droppedOldest, 0u);
+    EXPECT_EQ(c.droppedNewest, 0u);
+    expectCounterInvariants(c, q.size());
+}
+
+TEST(BoundedQueueCounters, BlockedThenAdmittedCountsBlockedPush)
+{
+    // Whether the producer actually reaches the full-queue wait
+    // before the consumer frees space is a scheduling race, so
+    // retry the scenario until the blocked path is observed
+    // (attempt 1 in practice) instead of trusting a fixed sleep.
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        BoundedQueue<int> q(1, OverloadPolicy::Block);
+        ASSERT_EQ(q.push(1), PushOutcome::Pushed);
+        std::atomic<bool> started{false};
+        std::thread producer([&] {
+            started.store(true);
+            EXPECT_EQ(q.push(2), PushOutcome::Pushed);
+        });
+        while (!started.load())
+            std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_EQ(q.pop().value(), 1);
+        producer.join();
+
+        const auto c = q.counters();
+        EXPECT_EQ(c.pushed, 2u);
+        EXPECT_EQ(c.closedPushes, 0u);
+        expectCounterInvariants(c, q.size());
+        if (c.blockedPushes == 1u)
+            return; // blocked-then-admitted path observed
+    }
+    FAIL() << "producer never blocked in 50 attempts";
+}
+
+TEST(BoundedQueueCounters, EveryPushAfterCloseCountsClosed)
+{
+    BoundedQueue<int> q(2, OverloadPolicy::Block);
+    q.push(1);
+    q.close();
+    EXPECT_EQ(q.push(2), PushOutcome::Closed);
+    EXPECT_EQ(q.push(3), PushOutcome::Closed);
+
+    const auto c = q.counters();
+    EXPECT_EQ(c.pushed, 1u);
+    EXPECT_EQ(c.closedPushes, 2u);
+    EXPECT_EQ(c.blockedPushes, 0u);
+    expectCounterInvariants(c, q.size());
 }
 
 } // namespace

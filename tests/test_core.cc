@@ -203,14 +203,17 @@ TEST(HgPcnSystem, StreamReportRealTimeCheck)
     EXPECT_GE(report.maxLatencySec, report.meanLatencySec);
     EXPECT_NEAR(report.generationFps, 10.0, 0.5);
     EXPECT_EQ(report.realTime,
-              report.meanFps >= report.generationFps);
+              report.meanFps >= report.generationFps
+                  ? RealTimeVerdict::Yes
+                  : RealTimeVerdict::No);
 }
 
 TEST(HgPcnSystem, UnstampedStreamHasNoGenerationRate)
 {
     // Non-LiDAR generators leave timestamps at 0.0: no sensor rate
-    // is derivable, so the real-time verdicts are trivially true
-    // (seed behavior), not a fatal "non-monotonic stream" error.
+    // is derivable, so the real-time verdicts are NotApplicable —
+    // not the seed's vacuous YES, and not a fatal "non-monotonic
+    // stream" error.
     KittiLike::Config lidar_cfg;
     lidar_cfg.azimuthSteps = 250;
     const KittiLike lidar(lidar_cfg);
@@ -223,8 +226,9 @@ TEST(HgPcnSystem, UnstampedStreamHasNoGenerationRate)
     const HgPcnSystem system(cfg, tinyClassifier());
     const StreamReport report = system.processStream(frames);
     EXPECT_DOUBLE_EQ(report.generationFps, 0.0);
-    EXPECT_TRUE(report.realTime);
-    EXPECT_TRUE(report.pipelinedRealTime);
+    EXPECT_EQ(report.realTime, RealTimeVerdict::NotApplicable);
+    EXPECT_EQ(report.pipelinedRealTime,
+              RealTimeVerdict::NotApplicable);
 }
 
 TEST(HgPcnSystem, PipelinedFpsMatchesSingleWorkerRunner)

@@ -232,7 +232,9 @@ TEST(PipelinedStream, ThroughputAtLeastSerial)
     EXPECT_GE(report.pipelinedFps, report.meanFps * 0.999);
     EXPECT_GT(report.pipelinedFps, 0.0);
     EXPECT_EQ(report.pipelinedRealTime,
-              report.pipelinedFps >= report.generationFps);
+              report.pipelinedFps >= report.generationFps
+                  ? RealTimeVerdict::Yes
+                  : RealTimeVerdict::No);
 }
 
 TEST(PipelinedStream, OverlapHidesTheShorterStage)

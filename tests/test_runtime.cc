@@ -65,26 +65,42 @@ TEST(BoundedQueue, DropNewestRefusesNewcomer)
 
 TEST(BoundedQueue, BackPressureBlocksProducerUntilConsumed)
 {
-    BoundedQueue<int> q(1, OverloadPolicy::Block);
-    ASSERT_EQ(q.push(0), PushOutcome::Pushed);
+    // Whether any push actually blocks before the consumer drains
+    // is a scheduling race: retry the scenario until the blocked
+    // path is observed (attempt 1 in practice). FIFO order and
+    // exactly-once delivery hold on every attempt.
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        BoundedQueue<int> q(1, OverloadPolicy::Block);
+        ASSERT_EQ(q.push(0), PushOutcome::Pushed);
 
-    std::atomic<int> produced{0};
-    std::thread producer([&] {
-        for (int i = 1; i <= 3; ++i) {
-            if (q.push(i) == PushOutcome::Pushed)
-                produced.fetch_add(1);
+        std::atomic<int> produced{0};
+        std::atomic<bool> started{false};
+        std::thread producer([&] {
+            started.store(true);
+            for (int i = 1; i <= 3; ++i) {
+                if (q.push(i) == PushOutcome::Pushed)
+                    produced.fetch_add(1);
+            }
+        });
+
+        // The queue starts full, so the producer's first push must
+        // wait for the first pop.
+        while (!started.load())
+            std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+        // Every value must arrive exactly once, in order.
+        for (int expect = 0; expect <= 3; ++expect) {
+            const auto v = q.pop();
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, expect);
         }
-    });
-
-    // Drain slowly; every value must arrive exactly once, in order.
-    for (int expect = 0; expect <= 3; ++expect) {
-        const auto v = q.pop();
-        ASSERT_TRUE(v.has_value());
-        EXPECT_EQ(*v, expect);
+        producer.join();
+        EXPECT_EQ(produced.load(), 3);
+        if (q.counters().blockedPushes >= 1u)
+            return; // back-pressure path observed
     }
-    producer.join();
-    EXPECT_EQ(produced.load(), 3);
-    EXPECT_GE(q.counters().blockedPushes, 1u);
+    FAIL() << "producer never blocked in 50 attempts";
 }
 
 TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer)
@@ -346,14 +362,46 @@ TEST(StagePipeline, ShutdownWithFramesInFlight)
         EXPECT_LT(emitted[i - 1], emitted[i]);
 }
 
-TEST(StagePipeline, StopBeforeRunYieldsNothing)
+TEST(StagePipeline, RunAfterStopProcessesFullStream)
 {
+    // Regression: `stopped` was never reset, so a pipeline was
+    // permanently dead after requestStop() — a second run()
+    // silently abandoned the whole stream. The restart contract:
+    // each run() starts fresh.
+    FunctionStage slow(
+        "slow", "dev", [](FrameTask &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+            return 1e-3;
+        });
+    StagePipeline::Config cfg;
+    cfg.queueCapacity = 2;
+    StagePipeline pipe({{&slow, 1}}, cfg);
+
+    const auto first = pipe.run(makeTasks(50), [&](const FrameTask &) {
+        pipe.requestStop();
+    });
+    EXPECT_LT(first.size(), 50u);
+
+    const auto second = pipe.run(makeTasks(6));
+    EXPECT_FALSE(pipe.stopRequested());
+    ASSERT_EQ(second.size(), 6u);
+    for (std::size_t i = 0; i < second.size(); ++i)
+        EXPECT_EQ(second[i]->index, i);
+}
+
+TEST(StagePipeline, StopWhileIdleIsNoOp)
+{
+    // A stop against an idle pipeline belongs to no run: the next
+    // run() clears it and processes everything.
     FunctionStage s = stubStage("s", 1.0);
     StagePipeline::Config cfg;
     StagePipeline pipe({{&s, 1}}, cfg);
     pipe.requestStop();
+    EXPECT_TRUE(pipe.stopRequested());
     const auto out = pipe.run(makeTasks(4));
-    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(pipe.stopRequested());
+    EXPECT_EQ(out.size(), 4u);
 }
 
 // ----------------------------------------------------- StreamRunner
@@ -432,7 +480,9 @@ TEST(StreamRunner, PacedReportChecksRealTimeCriterion)
     EXPECT_EQ(rt.report.framesProcessed, 3u);
     EXPECT_NEAR(rt.report.generationFps, 10.0, 0.5);
     EXPECT_EQ(rt.report.realTime,
-              rt.report.sustainedFps >= rt.report.generationFps);
+              rt.report.sustainedFps >= rt.report.generationFps
+                  ? RealTimeVerdict::Yes
+                  : RealTimeVerdict::No);
     EXPECT_GT(rt.report.p50LatencySec, 0.0);
     EXPECT_LE(rt.report.p50LatencySec, rt.report.p99LatencySec);
     EXPECT_LE(rt.report.p99LatencySec, rt.report.maxLatencySec);
@@ -479,7 +529,54 @@ TEST(StreamRunner, UnstampedStreamFallsBackToBatch)
     EXPECT_FALSE(rt.report.paced);
     EXPECT_EQ(rt.report.framesProcessed, 3u);
     EXPECT_DOUBLE_EQ(rt.report.generationFps, 0.0);
-    EXPECT_TRUE(rt.report.realTime); // trivially, no rate derivable
+    // No rate derivable: the verdict must be n/a, not a vacuous
+    // YES (the seed bug).
+    EXPECT_EQ(rt.report.realTime, RealTimeVerdict::NotApplicable);
+}
+
+TEST(StreamRunner, BatchModeVerdictIsNotApplicable)
+{
+    // Regression: an unpaced (batch) run has generationFps == 0, so
+    // the seed's `sustained >= generation` verdict was trivially
+    // YES for every batch bench. Batch races no sensor: the verdict
+    // must be n/a, in the report and in its rendering.
+    const std::vector<Frame> frames = smallKittiStream(3);
+    HgPcnSystem::Config cfg;
+    const HgPcnSystem system(cfg, tinyClassifier());
+    StreamRunner::Config rc;
+    rc.paceBySensor = false; // batch admission of a stamped stream
+    const RuntimeResult rt = system.runStream(frames, rc);
+    EXPECT_FALSE(rt.report.paced);
+    EXPECT_DOUBLE_EQ(rt.report.generationFps, 0.0);
+    EXPECT_EQ(rt.report.realTime, RealTimeVerdict::NotApplicable);
+    const std::string text = rt.report.toString();
+    EXPECT_NE(text.find("real-time: n/a"), std::string::npos);
+    EXPECT_EQ(text.find("real-time: YES"), std::string::npos);
+}
+
+TEST(StreamRunner, RunAfterStopProcessesFullStream)
+{
+    // Regression: the runner inherits the StagePipeline restart
+    // contract — a run aborted by requestStop() must not poison
+    // the next run().
+    const std::vector<Frame> frames = smallKittiStream(4);
+    HgPcnSystem::Config cfg;
+    const HgPcnSystem system(cfg, tinyClassifier());
+    StreamRunner::Config rc;
+    rc.inputPoints = system.config().inputPoints;
+    StreamRunner runner(system.preprocessor(), system.inferencer(),
+                        system.model(), rc);
+
+    const RuntimeResult first =
+        runner.run(frames, [&](const FrameTask &) {
+            runner.requestStop();
+        });
+    EXPECT_LE(first.report.framesProcessed, frames.size());
+
+    const RuntimeResult second = runner.run(frames);
+    EXPECT_EQ(second.report.framesProcessed, frames.size());
+    EXPECT_EQ(second.report.framesAbandoned, 0u);
+    EXPECT_EQ(second.frames.size(), frames.size());
 }
 
 } // namespace
