@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Streaming Fig. 14: every execution backend on the same paced
+ * multi-sensor stream.
+ *
+ * The paper's Fig. 14 compares per-inference latency in batch mode;
+ * real-time viability (Section VII-E) is decided under load, where
+ * a backend's latency *shape* — not just its mean — sets the margin
+ * to the sensor rate. This bench serves one identical paced
+ * KITTI-like stream through a single-shard fleet of each registered
+ * comparison backend (HgPCN DSU/FCU, Mesorasi, PointACC, CPU
+ * reference) and reports sustained FPS, tail latency and the
+ * margin-to-sensor-rate per backend, then closes with a
+ * heterogeneous fleet (HgPCN + Mesorasi shards) under cost-model-
+ * aware least-loaded placement.
+ *
+ *   ./build/bench/backend_shootout [frames_per_sensor] [sensors]
+ *
+ * CI smoke-runs it with tiny counts (.github/workflows/ci.yml).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/hgpcn_system.h"
+#include "datasets/sensor_stream.h"
+#include "serving/sharded_runner.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+SensorStream
+makeStream(std::size_t sensors, std::size_t frames_per_sensor)
+{
+    MultiSensorConfig cfg;
+    cfg.sensors = sensors;
+    cfg.framesPerSensor = frames_per_sensor;
+    cfg.lidar.azimuthSteps = 500; // small frames: sweep-friendly
+    return makeLidarSensorStream(cfg);
+}
+
+void
+run(std::size_t frames_per_sensor, std::size_t sensors)
+{
+    bench::banner(
+        "STREAMING SHOOTOUT: EXECUTION BACKENDS UNDER SENSOR PACING",
+        "streaming Fig. 14 — per-backend sustained FPS, p99 and "
+        "margin to the sensor rate on one identical paced stream");
+
+    const SensorStream stream =
+        makeStream(sensors, frames_per_sensor);
+    std::printf("stream: %zu frames from %zu sensors @ %.0f Hz "
+                "each (Pointnet++(s), K = 4096)\n\n",
+                stream.size(), stream.sensorCount, 10.0);
+    HgPcnSystem::Config cfg;
+    const PointNet2Spec spec =
+        PointNet2Spec::semanticSegmentation();
+
+    bench::section("per-backend serve (sensor-paced, 1 shard each)");
+    TablePrinter table({"backend", "device", "sustained FPS",
+                        "offered FPS", "margin", "p50 latency",
+                        "p99 latency", "real-time"});
+    for (const char *name :
+         {"hgpcn", "pointacc", "mesorasi", "cpu-brute"}) {
+        ShardedRunner::Config sc;
+        sc.shards = 1;
+        sc.placement = PlacementPolicy::RoundRobin;
+        sc.backends = {name};
+        // Overload is part of the comparison: drop when behind
+        // rather than letting the source block, as a sensor would.
+        sc.runner.policy = OverloadPolicy::DropOldest;
+        sc.runner.queueCapacity = 4;
+        ShardedRunner runner(cfg, spec, sc);
+        const ServingResult served = runner.serve(stream);
+        const BackendServingReport &br = served.report.backends[0];
+        const double margin =
+            br.offeredFps > 0.0 ? br.sustainedFps / br.offeredFps
+                                : 0.0;
+        table.addRow(
+            {name, runner.shardBackend(0).resource(),
+             TablePrinter::fmt(br.sustainedFps, 1),
+             TablePrinter::fmt(br.offeredFps, 1),
+             TablePrinter::fmtRatio(margin, 2),
+             TablePrinter::fmtTime(br.p50LatencySec),
+             TablePrinter::fmtTime(br.p99LatencySec),
+             realTimeVerdictName(br.realTime)});
+    }
+    table.print();
+    std::printf("margin = sustained / offered: >= 1.00x keeps up "
+                "with the rig (Section VII-E), < 1.00x falls "
+                "behind and sheds frames.\n");
+
+    bench::section("heterogeneous fleet (hgpcn + mesorasi, "
+                   "least-loaded on cost-model estimates)");
+    ShardedRunner::Config sc;
+    sc.shards = 2;
+    sc.placement = PlacementPolicy::LeastLoaded;
+    sc.backends = {"hgpcn", "mesorasi"};
+    sc.runner.policy = OverloadPolicy::DropOldest;
+    sc.runner.queueCapacity = 4;
+    ShardedRunner fleet(cfg, spec, sc);
+    std::printf("cost-model service estimates: hgpcn %.2f ms, "
+                "mesorasi %.2f ms\n",
+                fleet.shardBackend(0).estimateServiceSec() * 1e3,
+                fleet.shardBackend(1).estimateServiceSec() * 1e3);
+    const ServingResult mixed = fleet.serve(stream);
+    std::printf("%s", mixed.report.toString().c_str());
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t frames = hgpcn::bench::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/6, "frames_per_sensor");
+    const std::size_t sensors = hgpcn::bench::parsePositiveArg(
+        argc, argv, 2, /*fallback=*/4, "sensors");
+    hgpcn::run(frames, sensors);
+    return 0;
+}

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/arg_parse.h"
 #include "common/table_printer.h"
 #include "sim/sim_config.h"
 
@@ -21,6 +22,12 @@ namespace hgpcn
 {
 namespace bench
 {
+
+// Mirror of examples/example_util.h: both re-export the shared
+// common/arg_parse.h implementation, so bench drivers that take
+// frame/sensor counts (backend_shootout, serving_scaling) validate
+// their arguments the same way the examples do.
+using hgpcn::parsePositiveArg;
 
 /** Print the bench banner with the simulated platform description. */
 inline void

@@ -11,6 +11,10 @@
  * the placement policies, and ends with the sensor-paced deployment
  * view whose per-sensor Section VII-E verdicts use the fixed
  * tri-state semantics.
+ *
+ *   ./build/bench/serving_scaling [frames_per_sensor] [sensors]
+ *
+ * CI smoke-runs it with tiny counts (.github/workflows/ci.yml).
  */
 
 #include "bench/bench_util.h"
@@ -34,14 +38,15 @@ makeStream(std::size_t sensors, std::size_t frames_per_sensor)
 }
 
 void
-run()
+run(std::size_t frames_per_sensor, std::size_t sensors)
 {
     bench::banner("SERVING: SHARD-COUNT SCALING",
                   "ShardedRunner aggregate FPS vs shards on a "
-                  "4-sensor KITTI-like stream (Pointnet++(s), "
+                  "multi-sensor KITTI-like stream (Pointnet++(s), "
                   "K = 4096)");
 
-    const SensorStream stream = makeStream(4, 6);
+    const SensorStream stream =
+        makeStream(sensors, frames_per_sensor);
     std::printf("stream: %zu frames from %zu sensors @ 10 Hz "
                 "each\n\n",
                 stream.size(), stream.sensorCount);
@@ -120,8 +125,12 @@ run()
 } // namespace hgpcn
 
 int
-main()
+main(int argc, char **argv)
 {
-    hgpcn::run();
+    const std::size_t frames = hgpcn::bench::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/6, "frames_per_sensor");
+    const std::size_t sensors = hgpcn::bench::parsePositiveArg(
+        argc, argv, 2, /*fallback=*/4, "sensors");
+    hgpcn::run(frames, sensors);
     return 0;
 }

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Heterogeneous serving fleet: HgPCN and Mesorasi shards behind one
+ * dispatcher.
+ *
+ * A deployment rarely swaps its whole accelerator pool at once —
+ * capacity grows by adding whatever hardware is available next.
+ * This example serves a multi-LiDAR rig with a mixed fleet: half
+ * the shards run the HgPCN DSU/FCU engine, half the Mesorasi-style
+ * GPU baseline, all behind least-loaded placement that retires each
+ * shard's modeled backlog at that shard's own backend cost-model
+ * estimate (so the dispatcher knows a Mesorasi shard drains slower
+ * than an HgPCN one). The merged ServingReport attributes frames,
+ * sustained FPS, tail latency and Section VII-E verdicts per
+ * backend — the streaming counterpart of the paper's Fig. 14
+ * comparison.
+ *
+ *   ./build/examples/heterogeneous_fleet [sensors] [shards]
+ *
+ * (shards is the total; the first half runs hgpcn, the rest
+ * mesorasi.)
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/hgpcn_system.h"
+#include "datasets/sensor_stream.h"
+#include "example_util.h"
+#include "serving/sharded_runner.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hgpcn;
+
+    const std::size_t n_sensors = examples::parsePositiveArg(
+        argc, argv, 1, /*fallback=*/4, "sensors");
+    const std::size_t n_shards = examples::parsePositiveArg(
+        argc, argv, 2, /*fallback=*/4, "shards");
+
+    MultiSensorConfig stream_cfg;
+    stream_cfg.sensors = n_sensors;
+    stream_cfg.framesPerSensor = 4;
+    stream_cfg.lidar.azimuthSteps = 500; // small frames, quick run
+    // Solid-state-class 120 Hz scanners: at 4 sensors the rig
+    // offers a frame every ~2 ms — past even the HgPCN half of the
+    // fleet's modeled capacity (~1/5 ms per shard), so the
+    // dispatcher has to spill onto the slower Mesorasi shards
+    // instead of parking them.
+    stream_cfg.lidar.frameRateHz = 120.0;
+    const SensorStream stream = makeLidarSensorStream(stream_cfg);
+    std::printf("rig: %zu sensors x %zu frames @ %.0f Hz each "
+                "(%zu tagged frames, interleaved)\n",
+                n_sensors, stream_cfg.framesPerSensor,
+                stream_cfg.lidar.frameRateHz, stream.size());
+
+    // First half of the fleet on HgPCN, the rest on Mesorasi.
+    std::vector<std::string> backends(n_shards, "mesorasi");
+    for (std::size_t s = 0; s < (n_shards + 1) / 2; ++s)
+        backends[s] = "hgpcn";
+
+    HgPcnSystem::Config system_cfg;
+    ShardedRunner::Config serving_cfg;
+    serving_cfg.shards = n_shards;
+    serving_cfg.placement = PlacementPolicy::LeastLoaded;
+    serving_cfg.backends = backends;
+    serving_cfg.runner.buildWorkers = 2;
+    ShardedRunner fleet(system_cfg,
+                        PointNet2Spec::semanticSegmentation(),
+                        serving_cfg);
+
+    std::printf("\nfleet:");
+    for (std::size_t s = 0; s < fleet.shardCount(); ++s) {
+        std::printf(" shard %zu = %s (est. %.2f ms/frame)%s", s,
+                    fleet.shardBackend(s).name().c_str(),
+                    fleet.shardBackend(s).estimateServiceSec() * 1e3,
+                    s + 1 < fleet.shardCount() ? "," : "\n");
+    }
+
+    std::printf("\n-- sensor-paced serve, least-loaded on "
+                "cost-model estimates --\n");
+    const ServingResult served = fleet.serve(stream);
+    std::printf("%s", served.report.toString().c_str());
+
+    std::printf("\nper-backend view: the dispatcher routed more "
+                "traffic to the backend whose modeled service time "
+                "is shorter, and each backend's real-time verdict "
+                "is judged against the traffic it actually "
+                "received.\n");
+    return 0;
+}

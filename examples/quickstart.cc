@@ -55,11 +55,12 @@ main(int argc, char **argv)
     std::printf("total:                     %8.3f ms\n",
                 result.preprocess.totalSec() * 1e3);
 
-    std::printf("\n-- inference (Inference Engine) --\n");
+    std::printf("\n-- inference (backend '%s') --\n",
+                result.inference.backend.c_str());
     std::printf("DSU (VEG data structuring):%8.3f ms\n",
-                result.inference.dsu.pipelinedSec * 1e3);
+                result.inference.dsSec * 1e3);
     std::printf("FCU (feature computation): %8.3f ms\n",
-                result.inference.fcu.totalSec() * 1e3);
+                result.inference.fcSec * 1e3);
     std::printf("total (overlapped):        %8.3f ms\n",
                 result.inference.totalSec() * 1e3);
 

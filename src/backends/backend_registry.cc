@@ -1,0 +1,110 @@
+#include "backends/backend_registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "backends/cpu_brute_backend.h"
+#include "backends/hgpcn_backend.h"
+#include "backends/mesorasi_backend.h"
+#include "backends/point_acc_backend.h"
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+BackendRegistry::BackendRegistry()
+{
+    factories["hgpcn"] = [](const InferenceEngine::Config &cfg,
+                            const PointNet2 &net) {
+        return std::make_unique<HgpcnBackend>(InferenceEngine(cfg),
+                                              net);
+    };
+    factories["mesorasi"] = [](const InferenceEngine::Config &cfg,
+                               const PointNet2 &net) {
+        return std::make_unique<MesorasiBackend>(cfg, net);
+    };
+    factories["pointacc"] = [](const InferenceEngine::Config &cfg,
+                               const PointNet2 &net) {
+        return std::make_unique<PointAccBackend>(cfg, net);
+    };
+    factories["cpu-brute"] = [](const InferenceEngine::Config &cfg,
+                                const PointNet2 &net) {
+        return std::make_unique<CpuBruteBackend>(cfg, net);
+    };
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+void
+BackendRegistry::registerFactory(const std::string &name,
+                                 BackendFactory factory)
+{
+    HGPCN_ASSERT(factory != nullptr, "null backend factory for '",
+                 name, "'");
+    std::lock_guard<std::mutex> lock(mu);
+    if (factories.count(name) != 0) {
+        fatal("backend '", name,
+              "' is already registered; pick a fresh name instead "
+              "of shadowing an existing model");
+    }
+    factories[name] = std::move(factory);
+}
+
+bool
+BackendRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return factories.count(name) != 0;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> out;
+    out.reserve(factories.size());
+    for (const auto &entry : factories)
+        out.push_back(entry.first); // std::map iterates sorted
+    return out;
+}
+
+std::unique_ptr<ExecutionBackend>
+BackendRegistry::create(const std::string &name,
+                        const InferenceEngine::Config &engine_cfg,
+                        const PointNet2 &net) const
+{
+    BackendFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = factories.find(name);
+        if (it != factories.end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::ostringstream known;
+        for (const std::string &n : names())
+            known << (known.tellp() > 0 ? ", " : "") << n;
+        fatal("unknown execution backend '", name,
+              "'; registered backends: ", known.str());
+    }
+    std::unique_ptr<ExecutionBackend> backend =
+        factory(engine_cfg, net);
+    HGPCN_ASSERT(backend != nullptr, "backend factory '", name,
+                 "' returned null");
+    return backend;
+}
+
+std::unique_ptr<ExecutionBackend>
+makeBackend(const std::string &name,
+            const InferenceEngine::Config &engine_cfg,
+            const PointNet2 &net)
+{
+    return BackendRegistry::instance().create(name, engine_cfg, net);
+}
+
+} // namespace hgpcn

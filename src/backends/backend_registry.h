@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Name -> factory registry for execution backends.
+ *
+ * ShardedRunner::Config names a backend per shard; the registry
+ * resolves those names when the fleet is built, so adding an
+ * accelerator model to a serving comparison is one registration,
+ * not a runtime patch. The four built-ins ("hgpcn", "mesorasi",
+ * "pointacc", "cpu-brute") are registered at construction; custom
+ * backends (a calibrated variant, a stub for tests) register under
+ * a fresh name via registerFactory — duplicate names are fatal, as
+ * is creating an unknown one (the error lists what is registered).
+ */
+
+#ifndef HGPCN_BACKENDS_BACKEND_REGISTRY_H
+#define HGPCN_BACKENDS_BACKEND_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backends/execution_backend.h"
+#include "core/inference_engine.h"
+
+namespace hgpcn
+{
+
+/** Builds one backend instance bound to a model replica. The
+ * engine config carries the platform (sim), functional (centroid,
+ * seed) and HgPCN-specific (ds) parameters backends draw from. */
+using BackendFactory = std::function<std::unique_ptr<ExecutionBackend>(
+    const InferenceEngine::Config &, const PointNet2 &)>;
+
+/** Process-wide backend catalogue (thread-safe). */
+class BackendRegistry
+{
+  public:
+    /** @return the process-wide instance, built-ins registered. */
+    static BackendRegistry &instance();
+
+    /** Register @p factory under @p name; a duplicate name is a
+     * user error (fatal) — shadowing a model silently would corrupt
+     * every comparison that names it. */
+    void registerFactory(const std::string &name,
+                         BackendFactory factory);
+
+    /** @return true when @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /** @return registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Instantiate backend @p name (fatal when unknown, listing the
+     * registered names).
+     *
+     * @param engine_cfg Platform/functional parameters.
+     * @param net Model replica the backend binds to (borrowed; must
+     *        outlive the backend).
+     */
+    std::unique_ptr<ExecutionBackend>
+    create(const std::string &name,
+           const InferenceEngine::Config &engine_cfg,
+           const PointNet2 &net) const;
+
+  private:
+    BackendRegistry(); // registers the built-ins
+
+    mutable std::mutex mu;
+    std::map<std::string, BackendFactory> factories;
+};
+
+/** Convenience: BackendRegistry::instance().create(...). */
+std::unique_ptr<ExecutionBackend>
+makeBackend(const std::string &name,
+            const InferenceEngine::Config &engine_cfg,
+            const PointNet2 &net);
+
+} // namespace hgpcn
+
+#endif // HGPCN_BACKENDS_BACKEND_REGISTRY_H

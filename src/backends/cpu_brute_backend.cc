@@ -1,0 +1,26 @@
+#include "backends/cpu_brute_backend.h"
+
+#include <utility>
+
+namespace hgpcn
+{
+
+BackendInference
+CpuBruteBackend::infer(const PointCloud &input) const
+{
+    RunOptions opts;
+    opts.ds = DsMethod::BruteKnn;
+    opts.centroid = centroid;
+    opts.seed = seed;
+    RunOutput out = net_.run(input, opts);
+
+    BackendInference result;
+    result.backend = nm;
+    result.dsSec = dev.dsSec(out.trace);
+    result.fcSec = dev.fcSec(out.trace);
+    result.dsFcOverlap = false; // serial on a general-purpose core
+    result.output = std::move(out);
+    return result;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CpuBruteBackend: host-CPU brute-force reference backend.
+ *
+ * The no-accelerator floor of every comparison: the real PointNet++
+ * functional path with brute-force KNN, timed by the host-CPU device
+ * model (effective rates over the recorded workload counters). DS
+ * and FC do not overlap on a general-purpose core, so the total is
+ * their serial sum — DeviceModel::inferenceSec exactly.
+ */
+
+#ifndef HGPCN_BACKENDS_CPU_BRUTE_BACKEND_H
+#define HGPCN_BACKENDS_CPU_BRUTE_BACKEND_H
+
+#include "backends/execution_backend.h"
+#include "core/inference_engine.h"
+#include "sim/device_model.h"
+
+namespace hgpcn
+{
+
+/** Brute-force PointNet++ on the host CPU behind the interface. */
+class CpuBruteBackend : public ExecutionBackend
+{
+  public:
+    /**
+     * @param engine_cfg Functional parameters (centroid/seed; the
+     *        ds method is forced to brute KNN).
+     * @param net Deployed network replica (borrowed).
+     * @param cpu Host device model (default: the paper's Xeon
+     *        W-2255 baseline).
+     */
+    CpuBruteBackend(const InferenceEngine::Config &engine_cfg,
+                    const PointNet2 &net,
+                    const DeviceSpec &cpu = DeviceModel::xeonW2255())
+        : dev(cpu), net_(net), centroid(engine_cfg.centroid),
+          seed(engine_cfg.seed)
+    {
+    }
+
+    const std::string &name() const override { return nm; }
+    /** A dedicated host core pool, separate from the octree-build
+     * workers' "cpu" resource. */
+    const std::string &resource() const override { return res; }
+    BackendInference infer(const PointCloud &input) const override;
+    const PointNet2 &model() const override { return net_; }
+
+  private:
+    DeviceModel dev;
+    const PointNet2 &net_;
+    CentroidMethod centroid;
+    std::uint64_t seed;
+    std::string nm = "cpu-brute";
+    std::string res = "cpu.brute";
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_BACKENDS_CPU_BRUTE_BACKEND_H

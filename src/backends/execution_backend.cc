@@ -1,0 +1,36 @@
+#include "backends/execution_backend.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hgpcn
+{
+
+PointCloud
+backendProbeCloud(std::size_t points)
+{
+    HGPCN_ASSERT(points >= 1, "probe cloud needs >= 1 point");
+    Rng rng(0x9bacULL); // fixed: estimates must be reproducible
+    PointCloud cloud;
+    cloud.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        cloud.add(Vec3{rng.uniform(0.0f, 1.0f),
+                       rng.uniform(0.0f, 1.0f),
+                       rng.uniform(0.0f, 1.0f)});
+    }
+    return cloud;
+}
+
+double
+ExecutionBackend::estimateServiceSec() const
+{
+    std::call_once(probe_once, [this] {
+        std::size_t k = model().spec().inputPoints;
+        if (k == 0)
+            k = 1024;
+        probe_sec = infer(backendProbeCloud(k)).totalSec();
+    });
+    return probe_sec;
+}
+
+} // namespace hgpcn

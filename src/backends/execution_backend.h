@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ExecutionBackend: a stream-servable inference accelerator.
+ *
+ * The paper's headline claims (Fig. 14, Section VII-D) are
+ * comparative — the FPGA DSU/FCU engine against Mesorasi-style GPU
+ * delayed aggregation and PointACC — and a backend's latency
+ * *shape*, not just its mean, decides real-time viability. A backend
+ * is therefore a first-class citizen of the streaming runtime: it
+ * executes the deployed PCN over one down-sampled frame (the real
+ * functional path, so outputs are comparable bit for bit) and
+ * returns the modeled latency its cycle model charges, split into
+ * the data-structuring and feature-computation sides every modeled
+ * accelerator has. InferenceStage/StreamRunner schedule whatever
+ * backend they are handed; ShardedRunner composes heterogeneous
+ * fleets of them (docs/RUNTIME.md §backends).
+ *
+ * Concrete backends: HgpcnBackend (DSU/FCU engine), MesorasiBackend
+ * (mobile-GPU delayed aggregation), PointAccBackend (full-range
+ * bitonic Mapping Unit) and CpuBruteBackend (host-CPU reference).
+ * backend_registry.h maps names to factories.
+ */
+
+#ifndef HGPCN_BACKENDS_EXECUTION_BACKEND_H
+#define HGPCN_BACKENDS_EXECUTION_BACKEND_H
+
+#include <mutex>
+#include <string>
+
+#include "geometry/point_cloud.h"
+#include "nn/pointnet2.h"
+
+namespace hgpcn
+{
+
+/**
+ * Result of one frame through an execution backend.
+ *
+ * Every modeled accelerator has a data-structuring side (neighbor
+ * search) and a feature-computation side (the PCN's GEMMs); whether
+ * the two overlap is an architectural property the backend reports,
+ * so totalSec() reproduces each batch model's arithmetic exactly.
+ */
+struct BackendInference
+{
+    /** Name of the producing backend ("hgpcn", "mesorasi", ...). */
+    std::string backend;
+
+    /** Network outputs (logits, labels) and the execution trace —
+     * the real functional result, identical across backends that
+     * execute the same data-structuring workload. */
+    RunOutput output;
+
+    /** Modeled data-structuring seconds (DSU / GPU DS / Mapping
+     * Unit / CPU KNN, per backend). */
+    double dsSec = 0.0;
+
+    /** Modeled feature-computation seconds. */
+    double fcSec = 0.0;
+
+    /** true: DS and FC overlap (total is the slower side), as on
+     * HgPCN, Mesorasi and PointACC; false: serial sum, as on the
+     * general-purpose CPU/GPU baselines. */
+    bool dsFcOverlap = true;
+
+    /** @return modeled end-to-end seconds of the inference phase. */
+    double
+    totalSec() const
+    {
+        if (dsFcOverlap)
+            return dsSec > fcSec ? dsSec : fcSec;
+        return dsSec + fcSec;
+    }
+};
+
+/**
+ * One inference accelerator, bound to a deployed network replica.
+ *
+ * Backends must be thread-safe: the streaming runtime calls infer()
+ * from a pool of workers, potentially on several frames at once
+ * (the PointNet2 functional path is const and thread-safe; cycle
+ * models are pure).
+ */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    /** @return registry name of this backend ("hgpcn", ...). */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * @return the device this backend occupies on the virtual
+     * timeline. "fpga" means the HgPCN fabric shared with the
+     * Down-sampling Unit (StreamRunner then applies its shareFpga
+     * semantics); any other name is the backend's own device and
+     * never contends with the pre-processing front end.
+     */
+    virtual const std::string &resource() const = 0;
+
+    /**
+     * Execute the deployed network over one frame.
+     *
+     * @param input The down-sampled, unit-cube-normalized cloud
+     *        (~K points) the pre-processing front end produced.
+     * @return functional output + modeled stage latencies.
+     */
+    virtual BackendInference infer(const PointCloud &input) const = 0;
+
+    /** @return the deployed network replica. */
+    virtual const PointNet2 &model() const = 0;
+
+    /**
+     * Deterministic cost-model estimate of this backend's per-frame
+     * inference service seconds — the number join-shortest-queue
+     * placement retires backlog with (serving/placement.h).
+     *
+     * Computed once, lazily, by running the backend's own cycle
+     * model over a seeded synthetic probe frame of the deployed
+     * network's input size; identical configurations therefore
+     * estimate identical service times.
+     */
+    double estimateServiceSec() const;
+
+  private:
+    mutable std::once_flag probe_once;
+    mutable double probe_sec = 0.0;
+};
+
+/** Seeded synthetic probe cloud: @p points uniform in the unit
+ * cube — the representative input estimateServiceSec() times. */
+PointCloud backendProbeCloud(std::size_t points);
+
+} // namespace hgpcn
+
+#endif // HGPCN_BACKENDS_EXECUTION_BACKEND_H

@@ -1,0 +1,25 @@
+#include "backends/hgpcn_backend.h"
+
+#include <utility>
+
+namespace hgpcn
+{
+
+BackendInference
+HgpcnBackend::infer(const PointCloud &input) const
+{
+    // Same conditioning as the pre-backend InferenceStage: the input
+    // is already normalized, so the model builds its own level-0
+    // octree (still costed in the trace) rather than reusing the
+    // pre-processing tree.
+    InferenceResult r = eng.run(net_, input, nullptr);
+    BackendInference out;
+    out.backend = nm;
+    out.dsSec = r.dsu.pipelinedSec;
+    out.fcSec = r.fcu.totalSec();
+    out.dsFcOverlap = true; // DSU/FCU overlap through the BF buffer
+    out.output = std::move(r.output);
+    return out;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * HgpcnBackend: the paper's Inference Engine as an ExecutionBackend.
+ *
+ * Wraps the DSU + FCU engine (core/inference_engine.h) without
+ * changing its numbers: dsSec is the DSU's pipelined latency, fcSec
+ * the FCU's, and the two overlap through the BF-stage buffer —
+ * exactly InferenceResult::totalSec(). A StreamRunner handed this
+ * backend reproduces the engine-owning runner bit for bit
+ * (tests/test_backends.cc pins it).
+ */
+
+#ifndef HGPCN_BACKENDS_HGPCN_BACKEND_H
+#define HGPCN_BACKENDS_HGPCN_BACKEND_H
+
+#include "backends/execution_backend.h"
+#include "core/inference_engine.h"
+
+namespace hgpcn
+{
+
+/** The FPGA DSU/FCU engine behind the backend interface. */
+class HgpcnBackend : public ExecutionBackend
+{
+  public:
+    /**
+     * @param engine Engine to wrap (copied; an InferenceEngine is
+     *        its configuration).
+     * @param net Deployed network replica (borrowed).
+     */
+    HgpcnBackend(const InferenceEngine &engine, const PointNet2 &net)
+        : eng(engine), net_(net)
+    {
+    }
+
+    const std::string &name() const override { return nm; }
+    /** Shares the HgPCN fabric with the Down-sampling Unit. */
+    const std::string &resource() const override { return res; }
+    BackendInference infer(const PointCloud &input) const override;
+    const PointNet2 &model() const override { return net_; }
+
+    /** @return the wrapped engine (e.g. for serial comparisons). */
+    const InferenceEngine &engine() const { return eng; }
+
+  private:
+    InferenceEngine eng;
+    const PointNet2 &net_;
+    std::string nm = "hgpcn";
+    std::string res = "fpga";
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_BACKENDS_HGPCN_BACKEND_H

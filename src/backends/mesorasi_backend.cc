@@ -1,0 +1,27 @@
+#include "backends/mesorasi_backend.h"
+
+#include <utility>
+
+namespace hgpcn
+{
+
+BackendInference
+MesorasiBackend::infer(const PointCloud &input) const
+{
+    RunOptions opts;
+    opts.ds = DsMethod::BruteKnn; // the GPU's DS workload
+    opts.centroid = centroid;
+    opts.seed = seed;
+    RunOutput out = net_.run(input, opts);
+
+    const MesorasiResult timed = sim.run(out.trace);
+    BackendInference result;
+    result.backend = nm;
+    result.dsSec = timed.dsSec;
+    result.fcSec = timed.fcSec;
+    result.dsFcOverlap = true; // DS/FC overlapped (Section VII-D)
+    result.output = std::move(out);
+    return result;
+}
+
+} // namespace hgpcn

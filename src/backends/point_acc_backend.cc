@@ -1,0 +1,27 @@
+#include "backends/point_acc_backend.h"
+
+#include <utility>
+
+namespace hgpcn
+{
+
+BackendInference
+PointAccBackend::infer(const PointCloud &input) const
+{
+    RunOptions opts;
+    opts.ds = DsMethod::BruteKnn; // the Mapping Unit's workload
+    opts.centroid = centroid;
+    opts.seed = seed;
+    RunOutput out = net_.run(input, opts);
+
+    const PointAccResult timed = sim.run(out.trace);
+    BackendInference result;
+    result.backend = nm;
+    result.dsSec = timed.mappingSec;
+    result.fcSec = timed.fcSec;
+    result.dsFcOverlap = true; // DS/FC overlapped
+    result.output = std::move(out);
+    return result;
+}
+
+} // namespace hgpcn

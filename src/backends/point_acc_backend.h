@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PointAccBackend: the PointACC [16] baseline lifted from a batch
+ * timing model (src/baselines/point_acc.h) into a stream-servable
+ * ExecutionBackend.
+ *
+ * Functional path: real PointNet++ with brute-force KNN — the exact
+ * DS workload PointACC's Mapping Unit executes (full-range distance
+ * + bitonic top-K per centroid). Latency: PointAccSim over that
+ * frame's trace, Mapping Unit overlapped with the shared 16x16
+ * systolic feature computation. Per-frame numbers match the batch
+ * model exactly (tests/test_backends.cc).
+ */
+
+#ifndef HGPCN_BACKENDS_POINT_ACC_BACKEND_H
+#define HGPCN_BACKENDS_POINT_ACC_BACKEND_H
+
+#include "backends/execution_backend.h"
+#include "baselines/point_acc.h"
+#include "core/inference_engine.h"
+
+namespace hgpcn
+{
+
+/** PointACC's Mapping Unit + systolic array behind the interface. */
+class PointAccBackend : public ExecutionBackend
+{
+  public:
+    /**
+     * @param engine_cfg Platform parameters (sim: fabric clock and
+     *        systolic geometry, shared with HgPCN so FC cancels out
+     *        of the comparison; centroid/seed: functional picks).
+     * @param net Deployed network replica (borrowed).
+     */
+    PointAccBackend(const InferenceEngine::Config &engine_cfg,
+                    const PointNet2 &net)
+        : sim(engine_cfg.sim), net_(net),
+          centroid(engine_cfg.centroid), seed(engine_cfg.seed)
+    {
+    }
+
+    const std::string &name() const override { return nm; }
+    /** Its own accelerator die — no contention with the front end. */
+    const std::string &resource() const override { return res; }
+    BackendInference infer(const PointCloud &input) const override;
+    const PointNet2 &model() const override { return net_; }
+
+  private:
+    PointAccSim sim;
+    const PointNet2 &net_;
+    CentroidMethod centroid;
+    std::uint64_t seed;
+    std::string nm = "pointacc";
+    std::string res = "pointacc";
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_BACKENDS_POINT_ACC_BACKEND_H

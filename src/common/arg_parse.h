@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Command-line argument parsing shared by the example and bench
+ * drivers (examples/example_util.h and bench/bench_util.h re-export
+ * it under their namespaces).
+ */
+
+#ifndef HGPCN_COMMON_ARG_PARSE_H
+#define HGPCN_COMMON_ARG_PARSE_H
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+/**
+ * Parse command-line argument @p index as a strictly positive
+ * count, or return @p fallback when absent.
+ *
+ * Replaces the old unchecked std::atoi pattern, where "-3" or
+ * "bogus" silently became a size_t wraparound or zero: any
+ * non-numeric, negative, zero or out-of-range value is a user
+ * error reported through fatal().
+ *
+ * @param argc/argv main()'s arguments.
+ * @param index Position of the argument (1-based, as in argv).
+ * @param fallback Value when fewer than @p index args were given.
+ * @param what Argument name for the error message.
+ */
+inline std::size_t
+parsePositiveArg(int argc, char **argv, int index,
+                 std::size_t fallback, const char *what)
+{
+    if (argc <= index)
+        return fallback;
+    const char *text = argv[index];
+    // strtoull itself skips whitespace and accepts a sign (negatives
+    // wrap), so require the token to start with a digit outright.
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        fatal(what, " must be a positive integer, got '", text, "'");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value == 0)
+        fatal(what, " must be a positive integer, got '", text, "'");
+    return static_cast<std::size_t>(value);
+}
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_ARG_PARSE_H

@@ -6,12 +6,18 @@
  * the serial system facade (core/hgpcn_system.h) and the streaming
  * runtime (runtime/) produce it: the runtime's pipeline stages fill
  * one E2eResult per frame as the frame traverses the stage graph.
+ *
+ * The inference half is a BackendInference — the generic
+ * output-plus-modeled-latency record every ExecutionBackend
+ * produces (backends/execution_backend.h) — so a frame served by
+ * the HgPCN engine, Mesorasi, PointACC or the CPU reference carries
+ * the same result shape through the runtime and serving layers.
  */
 
 #ifndef HGPCN_CORE_E2E_RESULT_H
 #define HGPCN_CORE_E2E_RESULT_H
 
-#include "core/inference_engine.h"
+#include "backends/execution_backend.h"
 #include "core/preprocessing_engine.h"
 
 namespace hgpcn
@@ -21,7 +27,7 @@ namespace hgpcn
 struct E2eResult
 {
     PreprocessResult preprocess;
-    InferenceResult inference;
+    BackendInference inference;
 
     /** @return end-to-end seconds for this frame. */
     double

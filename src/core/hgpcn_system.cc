@@ -9,7 +9,8 @@ namespace hgpcn
 
 HgPcnSystem::HgPcnSystem(const Config &config, const PointNet2Spec &spec)
     : cfg(config), net(std::make_unique<PointNet2>(spec)),
-      preproc(config.preprocess), infer(config.inference)
+      preproc(config.preprocess), infer(config.inference),
+      be(std::make_unique<HgpcnBackend>(infer, *net))
 {
     if (spec.inputPoints != 0)
         cfg.inputPoints = spec.inputPoints;
@@ -28,7 +29,7 @@ HgPcnSystem::processFrame(const PointCloud &raw) const
     // model, still costed in the trace.
     PointCloud input = result.preprocess.sampled;
     input.normalizeToUnitCube();
-    result.inference = infer.run(*net, input, nullptr);
+    result.inference = be->infer(input);
     return result;
 }
 
@@ -38,7 +39,7 @@ HgPcnSystem::runStream(const std::vector<Frame> &frames,
 {
     if (runner_cfg.inputPoints == 0)
         runner_cfg.inputPoints = cfg.inputPoints;
-    StreamRunner runner(preproc, infer, *net, runner_cfg);
+    StreamRunner runner(preproc, *be, runner_cfg);
     return runner.run(frames);
 }
 

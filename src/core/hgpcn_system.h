@@ -20,6 +20,7 @@
 
 #include <memory>
 
+#include "backends/hgpcn_backend.h"
 #include "core/e2e_result.h"
 #include "core/inference_engine.h"
 #include "core/preprocessing_engine.h"
@@ -108,6 +109,11 @@ class HgPcnSystem
     /** @return the inference engine (for composing runners). */
     const InferenceEngine &inferencer() const { return infer; }
 
+    /** @return the engine as an ExecutionBackend — what this
+     * system's serial and streamed paths both execute on, and what
+     * a heterogeneous fleet swaps out per shard. */
+    const ExecutionBackend &backend() const { return *be; }
+
     /** @return system parameters. */
     const Config &config() const { return cfg; }
 
@@ -116,6 +122,9 @@ class HgPcnSystem
     std::unique_ptr<PointNet2> net;
     PreprocessingEngine preproc;
     InferenceEngine infer;
+    /** The engine behind the backend interface; references *net,
+     * which the unique_ptr keeps address-stable. */
+    std::unique_ptr<HgpcnBackend> be;
 };
 
 } // namespace hgpcn

@@ -53,6 +53,19 @@ mergeSensorStreams(std::vector<std::vector<Frame>> per_sensor)
         if (!stream.frames.empty() &&
             per_sensor[best][cursor[best]].timestamp <=
                 stream.frames.back().timestamp) {
+            // Same-sensor ties only get here when every stamp of
+            // that sensor is identical (an unstamped sequence —
+            // partial duplicates already died in the strictly-
+            // increasing pre-check above): distinguish them, since
+            // "add phase offsets" is not the fix for a sensor that
+            // carries no timing at all.
+            if (stream.sensors.back() == best) {
+                fatal("sensor ", best, " repeats timestamp ",
+                      per_sensor[best][cursor[best]].timestamp,
+                      "s; an unstamped sequence cannot be merged "
+                      "into a paced interleave — stamp its frames "
+                      "with the capture times");
+            }
             fatal("sensor streams share a timestamp (",
                   per_sensor[best][cursor[best]].timestamp,
                   "s, sensors ", stream.sensors.back(), " and ",

@@ -27,11 +27,11 @@ InferenceStage::process(FrameTask &task) const
     // Same input conditioning as HgPcnSystem::processFrame: the
     // sampled cloud is normalized for the radius-based layers, so
     // the pre-processing octree (raw coordinates) is not reusable
-    // and the model builds its own level-0 tree, still costed in
-    // the trace.
+    // and backends build their own structures, still costed in the
+    // trace.
     PointCloud input = task.result.preprocess.sampled;
     input.normalizeToUnitCube();
-    task.result.inference = infer.run(net, input, nullptr);
+    task.result.inference = be.infer(input);
     return task.result.inference.totalSec();
 }
 

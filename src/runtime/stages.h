@@ -5,13 +5,18 @@
  * The serial HgPcnSystem::processFrame flow of Fig. 4 split at its
  * two natural device boundaries:
  *
- *   OctreeBuildStage (CPU)   - Octree-build Unit: octree + table
- *   DownSampleStage  (FPGA)  - Down-sampling Unit: OIS-FPS to K
- *   InferenceStage   (FPGA)  - DSU + FCU: VEG + systolic compute
+ *   OctreeBuildStage (CPU)     - Octree-build Unit: octree + table
+ *   DownSampleStage  (FPGA)    - Down-sampling Unit: OIS-FPS to K
+ *   InferenceStage   (backend) - whatever ExecutionBackend is
+ *                                deployed (HgPCN DSU+FCU, Mesorasi,
+ *                                PointACC, CPU reference, ...)
  *
  * Each stage wraps the existing engine without changing its cycle
  * model; the modeled per-stage cost it returns is exactly the term
- * that engine already contributed to the serial E2E latency.
+ * that engine already contributed to the serial E2E latency. The
+ * inference stage is backend-parameterized (src/backends): it
+ * executes on the backend it is handed and occupies that backend's
+ * device on the virtual timeline.
  */
 
 #ifndef HGPCN_RUNTIME_STAGES_H
@@ -19,10 +24,9 @@
 
 #include <string>
 
+#include "backends/execution_backend.h"
 #include "common/stats.h"
-#include "core/inference_engine.h"
 #include "core/preprocessing_engine.h"
-#include "nn/pointnet2.h"
 #include "runtime/stage.h"
 
 namespace hgpcn
@@ -83,16 +87,23 @@ class DownSampleStage : public PipelineStage
     std::string nm = "down-sample";
 };
 
-/** Inference Engine (DSU + FCU) on the FPGA. */
+/** Inference on the deployed execution backend. */
 class InferenceStage : public PipelineStage
 {
   public:
-    /** @param engine Inference engine and @p model network
-     * (borrowed; PointNet2::run is const and thread-safe). */
-    InferenceStage(const InferenceEngine &engine,
-                   const PointNet2 &model,
-                   std::string stage_resource = "fpga")
-        : infer(engine), net(model), res(std::move(stage_resource))
+    /**
+     * @param execution_backend Backend to execute on (borrowed;
+     *        backends are thread-safe by contract).
+     * @param stage_resource Device occupied on the virtual
+     *        timeline; defaults to the backend's own resource.
+     *        StreamRunner overrides it to model the shared HgPCN
+     *        fabric ("fpga" / "fpga.fcu").
+     */
+    explicit InferenceStage(const ExecutionBackend &execution_backend,
+                            std::string stage_resource = "")
+        : be(execution_backend),
+          res(stage_resource.empty() ? execution_backend.resource()
+                                     : std::move(stage_resource))
     {
     }
 
@@ -100,9 +111,11 @@ class InferenceStage : public PipelineStage
     const std::string &resource() const override { return res; }
     double process(FrameTask &task) const override;
 
+    /** @return the backend this stage executes on. */
+    const ExecutionBackend &backend() const { return be; }
+
   private:
-    const InferenceEngine &infer;
-    const PointNet2 &net;
+    const ExecutionBackend &be;
     std::string res;
     std::string nm = "inference";
 };

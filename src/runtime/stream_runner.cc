@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "backends/hgpcn_backend.h"
 #include "common/logging.h"
 
 namespace hgpcn
@@ -18,6 +19,29 @@ makeSpecs(const OctreeBuildStage &build, const DownSampleStage &sample,
     return {{&build, cfg.buildWorkers},
             {&sample, cfg.fpgaUnits},
             {&infer, cfg.fpgaUnits}};
+}
+
+/** Down-sampling device: the FPGA, split into its DSU half only
+ * when an FPGA-resident backend runs unshared. */
+std::string
+sampleResource(const ExecutionBackend &backend,
+               const StreamRunner::Config &cfg)
+{
+    if (backend.resource() == "fpga" && !cfg.shareFpga)
+        return "fpga.dsu";
+    return "fpga";
+}
+
+/** Inference device: an FPGA-resident backend follows the shareFpga
+ * semantics (the one fabric of Fig. 4, or its FCU half); any other
+ * backend occupies its own device. */
+std::string
+inferResource(const ExecutionBackend &backend,
+              const StreamRunner::Config &cfg)
+{
+    if (backend.resource() == "fpga")
+        return cfg.shareFpga ? "fpga" : "fpga.fcu";
+    return backend.resource();
 }
 
 StagePipeline::Config
@@ -71,21 +95,42 @@ RuntimeReport::toString() const
 }
 
 StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
-                           const InferenceEngine &inference,
-                           const PointNet2 &model,
+                           std::unique_ptr<ExecutionBackend>
+                               owned_backend,
+                           const ExecutionBackend *borrowed_backend,
                            const Config &config)
-    : cfg(config), build(preprocess),
+    : cfg(config), owned(std::move(owned_backend)),
+      build(preprocess),
       sample(preprocess, config.inputPoints,
-             config.shareFpga ? "fpga" : "fpga.dsu",
+             sampleResource(owned ? *owned : *borrowed_backend,
+                            config),
              &streamWorkload),
-      infer(inference, model,
-            config.shareFpga ? "fpga" : "fpga.fcu"),
+      infer(owned ? *owned : *borrowed_backend,
+            inferResource(owned ? *owned : *borrowed_backend,
+                          config)),
       pipeline(makeSpecs(build, sample, infer, config),
                pipelineConfig(config))
 {
     HGPCN_ASSERT(cfg.inputPoints >= 1, "inputPoints must be >= 1");
     HGPCN_ASSERT(cfg.buildWorkers >= 1, "buildWorkers must be >= 1");
     HGPCN_ASSERT(cfg.fpgaUnits >= 1, "fpgaUnits must be >= 1");
+}
+
+StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
+                           const ExecutionBackend &backend,
+                           const Config &config)
+    : StreamRunner(preprocess, nullptr, &backend, config)
+{
+}
+
+StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
+                           const InferenceEngine &inference,
+                           const PointNet2 &model,
+                           const Config &config)
+    : StreamRunner(preprocess,
+                   std::make_unique<HgpcnBackend>(inference, model),
+                   nullptr, config)
+{
 }
 
 StreamRunner::Config
@@ -176,12 +221,10 @@ StreamRunner::run(const std::vector<Frame> &frames,
                  {sample.name(), sample.resource()},
                  {infer.name(), infer.resource()}};
     tl.resourceUnits["cpu"] = cfg.buildWorkers;
-    if (cfg.shareFpga) {
-        tl.resourceUnits["fpga"] = cfg.fpgaUnits;
-    } else {
-        tl.resourceUnits["fpga.dsu"] = cfg.fpgaUnits;
-        tl.resourceUnits["fpga.fcu"] = cfg.fpgaUnits;
-    }
+    // Collapses to one "fpga" entry when the backend shares the
+    // fabric with the down-sampler (the Fig. 4 platform).
+    tl.resourceUnits[sample.resource()] = cfg.fpgaUnits;
+    tl.resourceUnits[infer.resource()] = cfg.fpgaUnits;
     tl.queueCapacity = cfg.queueCapacity;
     tl.policy = cfg.policy;
     tl.maxInFlight = cfg.maxInFlight;

@@ -3,16 +3,23 @@
  * StreamRunner: source-paced, multi-frame-in-flight E2E execution.
  *
  * The front door of the streaming runtime (docs/RUNTIME.md). A
- * runner owns the three HgPCN stages — OctreeBuildStage (CPU),
- * DownSampleStage (FPGA) and InferenceStage (FPGA) — admits a frame
- * stream at the sensor rate, executes the functional work on a real
- * concurrent StagePipeline, schedules the recorded cycle-model
- * costs on the virtual timeline and reports sustained throughput,
- * tail latency, per-stage occupancy/utilization, drops and the
- * Section VII-E real-time verdict. This RuntimeReport supersedes
- * StreamReport's single-number pipelinedFps estimate;
- * HgPcnSystem::processStream remains as a compatibility wrapper
- * over a single-worker runner.
+ * runner owns the three stages — OctreeBuildStage (CPU),
+ * DownSampleStage (FPGA) and a backend-parameterized InferenceStage
+ * (src/backends) — admits a frame stream at the sensor rate,
+ * executes the functional work on a real concurrent StagePipeline,
+ * schedules the recorded cycle-model costs on the virtual timeline
+ * and reports sustained throughput, tail latency, per-stage
+ * occupancy/utilization, drops and the Section VII-E real-time
+ * verdict. This RuntimeReport supersedes StreamReport's
+ * single-number pipelinedFps estimate; HgPcnSystem::processStream
+ * remains as a compatibility wrapper over a single-worker runner.
+ *
+ * Device mapping: a backend on the HgPCN fabric (resource "fpga",
+ * i.e. HgpcnBackend) follows the shareFpga semantics — inference
+ * contends with OIS down-sampling for the one FPGA of Fig. 4, or
+ * splits onto fpga.dsu/fpga.fcu. Any other backend (Mesorasi's GPU,
+ * PointACC's die, the CPU reference) occupies its own device with
+ * fpgaUnits units while the down-sampler keeps the FPGA to itself.
  */
 
 #ifndef HGPCN_RUNTIME_STREAM_RUNNER_H
@@ -31,6 +38,8 @@
 
 namespace hgpcn
 {
+
+class InferenceEngine; // compat constructor only (core/)
 
 /** One frame that completed the pipeline (not dropped). */
 struct ProcessedFrame
@@ -129,10 +138,18 @@ class StreamRunner
 
     /**
      * @param preprocess Pre-processing engine (borrowed).
-     * @param inference Inference engine (borrowed).
-     * @param model Network to deploy (borrowed; run() is const and
-     *        thread-safe, so workers may share it).
+     * @param backend Execution backend to infer on (borrowed; binds
+     *        its own model replica and is thread-safe by contract).
      * @param config Runner parameters.
+     */
+    StreamRunner(const PreprocessingEngine &preprocess,
+                 const ExecutionBackend &backend,
+                 const Config &config);
+
+    /**
+     * Compatibility constructor: wrap @p inference and @p model in
+     * an owned HgpcnBackend — byte-identical schedule and outputs
+     * to the pre-backend engine-owning runner.
      */
     StreamRunner(const PreprocessingEngine &preprocess,
                  const InferenceEngine &inference,
@@ -169,8 +186,20 @@ class StreamRunner
     /** @return runner parameters. */
     const Config &config() const { return cfg; }
 
+    /** @return the backend this runner infers on. */
+    const ExecutionBackend &backend() const { return infer.backend(); }
+
   private:
+    /** Shared delegate of the two public constructors. */
+    StreamRunner(const PreprocessingEngine &preprocess,
+                 std::unique_ptr<ExecutionBackend> owned_backend,
+                 const ExecutionBackend *borrowed_backend,
+                 const Config &config);
+
     Config cfg;
+    /** Set only by the compatibility constructor (declared before
+     * the stages so the InferenceStage can reference it). */
+    std::unique_ptr<ExecutionBackend> owned;
     /** Cross-frame workload aggregate, merged into by down-sample
      * workers concurrently; snapshot into RuntimeResult::workload. */
     ConcurrentStatSet streamWorkload;

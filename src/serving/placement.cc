@@ -40,19 +40,21 @@ namespace
 
 std::vector<std::size_t>
 assignLeastLoaded(const SensorStream &stream,
-                  std::size_t shard_count, double service_sec)
+                  std::size_t shard_count,
+                  const std::vector<double> &service_sec)
 {
     // Each shard is modeled as one serial server: an assigned frame
     // starts when the shard's previous frame retires (or at its own
-    // arrival) and occupies the shard for service_sec. Backlog at
-    // time t = assigned frames not yet retired; join the shortest.
+    // arrival) and occupies the shard for that shard's service
+    // time. Backlog at time t = assigned frames not yet retired;
+    // join the shortest.
     std::vector<std::deque<double>> retire_at(shard_count);
     std::vector<std::size_t> assignment(stream.size());
     for (std::size_t i = 0; i < stream.size(); ++i) {
         const double t = stream.frames[i].timestamp;
         std::size_t best = 0;
         for (std::size_t s = 0; s < shard_count; ++s) {
-            if (service_sec > 0.0) {
+            if (service_sec[s] > 0.0) {
                 while (!retire_at[s].empty() &&
                        retire_at[s].front() <= t)
                     retire_at[s].pop_front();
@@ -64,7 +66,7 @@ assignLeastLoaded(const SensorStream &stream,
             retire_at[best].empty()
                 ? t
                 : std::max(t, retire_at[best].back());
-        retire_at[best].push_back(start + service_sec);
+        retire_at[best].push_back(start + service_sec[best]);
         assignment[i] = best;
     }
     return assignment;
@@ -88,13 +90,19 @@ autoServiceSec(const SensorStream &stream, std::size_t shard_count)
 
 std::vector<std::size_t>
 assignShards(const SensorStream &stream, std::size_t shard_count,
-             PlacementPolicy policy, double assumed_service_sec)
+             PlacementPolicy policy,
+             const std::vector<double> &service_sec_per_shard)
 {
     HGPCN_ASSERT(shard_count >= 1, "need at least one shard");
     HGPCN_ASSERT(stream.frames.size() == stream.sensors.size(),
                  "frames/sensors tags out of sync: ",
                  stream.frames.size(), " vs ",
                  stream.sensors.size());
+    HGPCN_ASSERT(service_sec_per_shard.empty() ||
+                     service_sec_per_shard.size() == shard_count,
+                 "per-shard service times (",
+                 service_sec_per_shard.size(),
+                 ") must match the shard count (", shard_count, ")");
     for (const std::size_t sensor : stream.sensors) {
         HGPCN_ASSERT(sensor < stream.sensorCount,
                      "sensor tag ", sensor, " out of range (",
@@ -112,15 +120,28 @@ assignShards(const SensorStream &stream, std::size_t shard_count,
             assignment[i] = static_cast<std::size_t>(
                 placementHash(stream.sensors[i]) % shard_count);
         break;
-      case PlacementPolicy::LeastLoaded:
-        assignment = assignLeastLoaded(
-            stream, shard_count,
-            assumed_service_sec > 0.0
-                ? assumed_service_sec
-                : autoServiceSec(stream, shard_count));
+      case PlacementPolicy::LeastLoaded: {
+        std::vector<double> service(shard_count, 0.0);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            if (s < service_sec_per_shard.size())
+                service[s] = service_sec_per_shard[s];
+            if (service[s] <= 0.0)
+                service[s] = autoServiceSec(stream, shard_count);
+        }
+        assignment = assignLeastLoaded(stream, shard_count, service);
         break;
+      }
     }
     return assignment;
+}
+
+std::vector<std::size_t>
+assignShards(const SensorStream &stream, std::size_t shard_count,
+             PlacementPolicy policy, double assumed_service_sec)
+{
+    return assignShards(
+        stream, shard_count, policy,
+        std::vector<double>(shard_count, assumed_service_sec));
 }
 
 } // namespace hgpcn

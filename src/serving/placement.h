@@ -14,10 +14,16 @@
  *    per-frame order is preserved end to end.
  *  - LeastLoaded joins the shortest queue: shard load is modeled at
  *    dispatch time as the outstanding assigned frames, each retiring
- *    after an assumed service time on the shard's virtual clock
- *    (true queue depths live on the runtime's virtual timeline,
- *    which is only known after execution — the dispatch-time model
- *    is the deterministic stand-in a front-end would track).
+ *    after that shard's service time on its virtual clock (true
+ *    queue depths live on the runtime's virtual timeline, which is
+ *    only known after execution — the dispatch-time model is the
+ *    deterministic stand-in a front-end would track). Service times
+ *    are per shard, so a heterogeneous fleet (serving/sharded_runner.h)
+ *    is modeled faithfully: a shard running a slower backend drains
+ *    its backlog slower and is joined less often. ShardedRunner
+ *    derives each shard's service time from its backend's
+ *    cost-model estimate (ExecutionBackend::estimateServiceSec)
+ *    unless explicitly overridden.
  */
 
 #ifndef HGPCN_SERVING_PLACEMENT_H
@@ -51,18 +57,28 @@ std::uint64_t placementHash(std::size_t sensor);
  * @param stream Tagged multi-sensor stream (interleaved order).
  * @param shard_count Number of shards (>= 1).
  * @param policy Dispatch policy.
- * @param assumed_service_sec LeastLoaded only: modeled per-frame
- *        service time after which an assigned frame retires from a
- *        shard's backlog. <= 0 selects an automatic estimate (the
- *        stream's mean inter-arrival scaled by shard_count); with
- *        no derivable estimate either, frames never retire and the
- *        policy degrades to pure join-shortest-queue by count.
+ * @param service_sec_per_shard LeastLoaded only: modeled per-frame
+ *        service time of each shard, after which an assigned frame
+ *        retires from that shard's backlog — heterogeneous fleets
+ *        pass each backend's cost-model estimate here. Empty, or
+ *        any entry <= 0, selects the automatic estimate for that
+ *        shard (the stream's mean inter-arrival scaled by
+ *        shard_count); with no derivable estimate either, frames
+ *        never retire and the policy degrades to pure
+ *        join-shortest-queue by count. When non-empty, the size
+ *        must equal @p shard_count.
  * @return shard index per frame, parallel to stream.frames.
  */
 std::vector<std::size_t>
 assignShards(const SensorStream &stream, std::size_t shard_count,
              PlacementPolicy policy,
-             double assumed_service_sec = 0.0);
+             const std::vector<double> &service_sec_per_shard = {});
+
+/** Convenience overload: one @p assumed_service_sec for every
+ * shard (the homogeneous-fleet model). */
+std::vector<std::size_t>
+assignShards(const SensorStream &stream, std::size_t shard_count,
+             PlacementPolicy policy, double assumed_service_sec);
 
 } // namespace hgpcn
 

@@ -54,7 +54,10 @@ ServingReport::toString() const
     oss.precision(1);
     for (std::size_t s = 0; s < shardReports.size(); ++s) {
         const RuntimeReport &r = shardReports[s];
-        oss << "shard " << s << ": " << r.framesProcessed << "/"
+        oss << "shard " << s;
+        if (s < shardBackends.size() && !shardBackends[s].empty())
+            oss << " [" << shardBackends[s] << "]";
+        oss << ": " << r.framesProcessed << "/"
             << r.framesIn << " processed | sustained "
             << r.sustainedFps << " FPS";
         for (const TimelineStageStats &st : r.stages) {
@@ -75,6 +78,19 @@ ServingReport::toString() const
         oss << " | p99 " << sr.p99LatencySec * 1e3 << " ms";
         oss.precision(1);
         oss << " | real-time: " << realTimeVerdictName(sr.realTime)
+            << "\n";
+    }
+    for (const BackendServingReport &br : backends) {
+        oss << "backend " << br.backend << " [" << br.shards
+            << " shard" << (br.shards == 1 ? "" : "s")
+            << "]: " << br.framesDone << "/" << br.framesIn;
+        if (br.offeredFps > 0.0)
+            oss << " | offered " << br.offeredFps << " FPS";
+        oss << " | sustained " << br.sustainedFps << " FPS";
+        oss.precision(2);
+        oss << " | p99 " << br.p99LatencySec * 1e3 << " ms";
+        oss.precision(1);
+        oss << " | real-time: " << realTimeVerdictName(br.realTime)
             << "\n";
     }
     return oss.str();
@@ -110,6 +126,7 @@ mergeShardOutcomes(const SensorStream &stream,
         if (r.framesIn > 0)
             rep.paced = rep.paced && r.paced;
         rep.shardReports.push_back(r);
+        rep.shardBackends.push_back(oc.backend);
     }
 
     // Re-anchor every shard clock onto the global timeline and
@@ -217,6 +234,84 @@ mergeShardOutcomes(const SensorStream &stream,
         // sensor, so the verdict is n/a, never a vacuous YES.
         sr.realTime = evaluateRealTime(
             sr.sustainedFps, rep.paced ? sr.generationFps : 0.0);
+    }
+
+    // Per-backend slices: group shards by attributed backend name
+    // (first-shard order) and aggregate each group the same way a
+    // sensor slice is — dispatched stamps give the offered rate,
+    // completions the sustained rate and the latency distribution.
+    std::vector<std::size_t> backend_of(outcomes.size(), 0);
+    for (std::size_t s = 0; s < outcomes.size(); ++s) {
+        const std::string &name = outcomes[s].backend;
+        if (name.empty()) {
+            backend_of[s] = rep.backends.size(); // sentinel: none
+            continue;
+        }
+        std::size_t b = 0;
+        while (b < rep.backends.size() &&
+               rep.backends[b].backend != name)
+            ++b;
+        if (b == rep.backends.size()) {
+            BackendServingReport br;
+            br.backend = name;
+            rep.backends.push_back(std::move(br));
+        }
+        backend_of[s] = b;
+        rep.backends[b].shards++;
+    }
+    if (!rep.backends.empty()) {
+        const std::size_t n_backends = rep.backends.size();
+        std::vector<std::vector<double>> offered(n_backends);
+        std::vector<std::vector<double>> lat(n_backends);
+        std::vector<double> last_done(
+            n_backends, -std::numeric_limits<double>::infinity());
+        for (std::size_t s = 0; s < outcomes.size(); ++s) {
+            if (outcomes[s].backend.empty())
+                continue;
+            BackendServingReport &br =
+                rep.backends[backend_of[s]];
+            br.framesIn += outcomes[s].globalIndex.size();
+            for (const std::size_t g : outcomes[s].globalIndex)
+                offered[backend_of[s]].push_back(
+                    stream.frames[g].timestamp);
+        }
+        for (const ServedFrame &sf : out.frames) {
+            if (outcomes[sf.shard].backend.empty())
+                continue;
+            const std::size_t b = backend_of[sf.shard];
+            BackendServingReport &br = rep.backends[b];
+            br.framesDone++;
+            br.maxLatencySec =
+                std::max(br.maxLatencySec, sf.latencySec);
+            lat[b].push_back(sf.latencySec);
+            last_done[b] = std::max(last_done[b], sf.doneSec);
+        }
+        for (std::size_t b = 0; b < n_backends; ++b) {
+            BackendServingReport &br = rep.backends[b];
+            br.framesMissed = br.framesIn - br.framesDone;
+            std::sort(offered[b].begin(), offered[b].end());
+            br.offeredFps = generationFpsOf(offered[b]);
+            if (br.framesDone > 0) {
+                const double first_offer =
+                    rep.paced && !offered[b].empty()
+                        ? offered[b].front()
+                        : 0.0;
+                const double span = last_done[b] - first_offer;
+                br.sustainedFps =
+                    span > 0.0
+                        ? static_cast<double>(br.framesDone) / span
+                        : 0.0;
+                std::sort(lat[b].begin(), lat[b].end());
+                br.p50LatencySec =
+                    percentileNearestRank(lat[b], 0.50);
+                br.p95LatencySec =
+                    percentileNearestRank(lat[b], 0.95);
+                br.p99LatencySec =
+                    percentileNearestRank(lat[b], 0.99);
+            }
+            br.realTime = evaluateRealTime(
+                br.sustainedFps, rep.paced ? br.offeredFps : 0.0);
+        }
     }
     return out;
 }

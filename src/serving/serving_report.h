@@ -12,7 +12,11 @@
  *  - the per-sensor view: offered/processed counts, the sensor's
  *    own generation rate and a Section VII-E verdict computed with
  *    the tri-state semantics (common/real_time.h) — NotApplicable
- *    for unpaced serves, never a vacuous YES.
+ *    for unpaced serves, never a vacuous YES;
+ *  - the per-backend view (heterogeneous fleets): each distinct
+ *    execution backend's dispatched/completed counts, sustained
+ *    FPS, latency percentiles and its own Section VII-E verdict
+ *    against the rate of the traffic routed to it.
  *
  * mergeShardOutcomes is a pure function of the shard outcomes so
  * the arithmetic is unit-testable without running a fleet.
@@ -58,7 +62,34 @@ struct SensorServingReport
     RealTimeVerdict realTime = RealTimeVerdict::NotApplicable;
 };
 
-/** Aggregate + per-shard + per-sensor serving report. */
+/** One execution backend's slice of a serve (union of the shards
+ * that run it). */
+struct BackendServingReport
+{
+    std::string backend;        //!< registry name ("hgpcn", ...)
+    std::size_t shards = 0;     //!< fleet replicas of this backend
+    std::size_t framesIn = 0;   //!< dispatched to those shards
+    std::size_t framesDone = 0; //!< completed the pipeline
+    std::size_t framesMissed = 0; //!< dropped or abandoned
+
+    /** Generation rate of the traffic routed to this backend
+     * ((n-1)/span of its dispatched stamps; 0 when underivable). */
+    double offeredFps = 0;
+    /** Completed / (first dispatch -> last completion), global
+     * clock. */
+    double sustainedFps = 0;
+
+    double p50LatencySec = 0;
+    double p95LatencySec = 0;
+    double p99LatencySec = 0;
+    double maxLatencySec = 0;
+
+    /** Section VII-E against the routed traffic's rate;
+     * NotApplicable when unpaced. */
+    RealTimeVerdict realTime = RealTimeVerdict::NotApplicable;
+};
+
+/** Aggregate + per-shard + per-sensor + per-backend serving report. */
 struct ServingReport
 {
     PlacementPolicy placement = PlacementPolicy::HashBySensor;
@@ -86,8 +117,14 @@ struct ServingReport
 
     /** Per-shard reports, indexed by shard, on shard-local clocks. */
     std::vector<RuntimeReport> shardReports;
+    /** Backend name of each shard, parallel to shardReports (empty
+     * strings when the outcomes carried no attribution). */
+    std::vector<std::string> shardBackends;
     /** Per-sensor slices, indexed by sensor. */
     std::vector<SensorServingReport> sensors;
+    /** Per-backend slices, one per distinct named backend, in
+     * first-shard order; empty when no outcome was attributed. */
+    std::vector<BackendServingReport> backends;
 
     /** Render a multi-line human-readable summary. */
     std::string toString() const;
@@ -123,6 +160,9 @@ struct ShardOutcome
     double anchorSec = 0;
     /** Sub-stream index -> global stream index. */
     std::vector<std::size_t> globalIndex;
+    /** Execution backend the shard ran (registry name); empty
+     * outcomes are excluded from the per-backend view. */
+    std::string backend;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "serving/sharded_runner.h"
 
+#include <map>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -25,13 +27,32 @@ resolveRunnerConfig(const HgPcnSystem::Config &system,
     return runner_cfg;
 }
 
+/** Backend name of every shard: empty = all-"hgpcn", one entry = a
+ * homogeneous fleet of it, otherwise one name per shard. */
+std::vector<std::string>
+resolveBackends(const std::vector<std::string> &names,
+                std::size_t shards)
+{
+    if (names.empty())
+        return std::vector<std::string>(shards, "hgpcn");
+    if (names.size() == 1)
+        return std::vector<std::string>(shards, names.front());
+    HGPCN_ASSERT(names.size() == shards,
+                 "backend list (", names.size(),
+                 ") must be empty, one name, or one per shard (",
+                 shards, ")");
+    return names;
+}
+
 } // namespace
 
 ShardedRunner::Shard::Shard(const HgPcnSystem::Config &system,
                             const PointNet2Spec &spec,
+                            const std::string &backend_name,
                             const StreamRunner::Config &runner_cfg)
-    : preprocess(system.preprocess), inference(system.inference),
-      model(spec), runner(preprocess, inference, model, runner_cfg)
+    : preprocess(system.preprocess), model(spec),
+      backend(makeBackend(backend_name, system.inference, model)),
+      runner(preprocess, *backend, runner_cfg)
 {
 }
 
@@ -43,10 +64,20 @@ ShardedRunner::ShardedRunner(const HgPcnSystem::Config &system,
     HGPCN_ASSERT(cfg.shards >= 1, "need at least one shard");
     const StreamRunner::Config runner_cfg =
         resolveRunnerConfig(system, spec, cfg.runner);
+    const std::vector<std::string> backends =
+        resolveBackends(cfg.backends, cfg.shards);
     fleet.reserve(cfg.shards);
     for (std::size_t s = 0; s < cfg.shards; ++s)
-        fleet.push_back(
-            std::make_unique<Shard>(system, spec, runner_cfg));
+        fleet.push_back(std::make_unique<Shard>(
+            system, spec, backends[s], runner_cfg));
+}
+
+const ExecutionBackend &
+ShardedRunner::shardBackend(std::size_t shard) const
+{
+    HGPCN_ASSERT(shard < fleet.size(), "shard ", shard,
+                 " out of range (", fleet.size(), " shards)");
+    return *fleet[shard]->backend;
 }
 
 ServingResult
@@ -60,6 +91,8 @@ ShardedRunner::serve(const SensorStream &stream,
 
     const std::size_t n_shards = fleet.size();
     std::vector<ShardOutcome> outcomes(n_shards);
+    for (std::size_t s = 0; s < n_shards; ++s)
+        outcomes[s].backend = fleet[s]->backend->name();
     if (stream.size() == 0) {
         ServingResult out = mergeShardOutcomes(
             stream, std::move(outcomes), cfg.placement);
@@ -67,8 +100,34 @@ ShardedRunner::serve(const SensorStream &stream,
     }
 
     // Dispatch: deterministic placement over the tagged stream.
+    // LeastLoaded retires each shard's modeled backlog at that
+    // shard's service time: the explicit override when set, else
+    // each backend's own cost-model estimate — so join-shortest-
+    // queue stops assuming homogeneous shards. Every shard is built
+    // from the same engine config and spec, so same-named backends
+    // estimate identically: probe once per distinct backend name.
+    std::vector<double> service_sec;
+    if (cfg.placement == PlacementPolicy::LeastLoaded) {
+        service_sec.reserve(n_shards);
+        std::map<std::string, double> estimate_of;
+        for (std::size_t s = 0; s < n_shards; ++s) {
+            if (cfg.assumedServiceSec > 0.0) {
+                service_sec.push_back(cfg.assumedServiceSec);
+                continue;
+            }
+            const std::string &name = fleet[s]->backend->name();
+            auto it = estimate_of.find(name);
+            if (it == estimate_of.end()) {
+                it = estimate_of
+                         .emplace(name, fleet[s]->backend
+                                            ->estimateServiceSec())
+                         .first;
+            }
+            service_sec.push_back(it->second);
+        }
+    }
     const std::vector<std::size_t> assignment = assignShards(
-        stream, n_shards, cfg.placement, cfg.assumedServiceSec);
+        stream, n_shards, cfg.placement, service_sec);
     std::vector<std::vector<Frame>> sub(n_shards);
     for (std::size_t i = 0; i < stream.size(); ++i) {
         const std::size_t s = assignment[i];

@@ -3,18 +3,27 @@
  * ShardedRunner: the multi-sensor serving layer.
  *
  * N independent shards — each with its own PreprocessingEngine,
- * InferenceEngine, model replica and StreamRunner pipeline — behind
- * a front-end dispatcher that demultiplexes a tagged SensorStream
- * across them under a pluggable placement policy
- * (serving/placement.h). Shard results merge into one
- * ServingReport: global sustained FPS, per-shard and per-sensor
- * latency percentiles, drops, utilization and a per-sensor Section
- * VII-E verdict with the tri-state semantics.
+ * execution backend (src/backends), model replica and StreamRunner
+ * pipeline — behind a front-end dispatcher that demultiplexes a
+ * tagged SensorStream across them under a pluggable placement
+ * policy (serving/placement.h). Shard results merge into one
+ * ServingReport: global sustained FPS, per-shard / per-sensor /
+ * per-backend latency percentiles, drops, utilization and Section
+ * VII-E verdicts with the tri-state semantics.
  *
- * Every shard replica is seeded identically, so which shard serves
- * a frame never changes its functional output — placement is purely
- * a performance decision, exactly as in a replicated model-serving
- * fleet.
+ * Fleets may be heterogeneous: Config::backends names each shard's
+ * execution backend (registry names — "hgpcn", "mesorasi",
+ * "pointacc", "cpu-brute", or anything registered), so 2 HgPCN
+ * shards + 2 Mesorasi shards is one config line. LeastLoaded
+ * placement then retires each shard's modeled backlog at that
+ * shard's backend cost-model estimate, not a global constant.
+ *
+ * Every shard replica is seeded identically, so within one backend
+ * which shard serves a frame never changes its functional output —
+ * placement is purely a performance decision, exactly as in a
+ * replicated model-serving fleet. (Across backends the functional
+ * outputs still agree whenever the backends execute the same
+ * data-structuring workload.)
  *
  * Restart contract (same as StagePipeline/StreamRunner):
  * requestStop()/requestStopShard() abort the serve in progress; a
@@ -27,8 +36,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "backends/backend_registry.h"
 #include "core/hgpcn_system.h"
 #include "datasets/sensor_stream.h"
 #include "serving/placement.h"
@@ -58,8 +69,15 @@ class ShardedRunner
          * system/spec K, as HgPcnSystem::runStream does. */
         StreamRunner::Config runner;
 
-        /** LeastLoaded backlog-retirement estimate; <= 0 = auto
-         * (see assignShards). */
+        /** Execution backend per shard (registry names). Empty:
+         * every shard runs "hgpcn". One entry: a homogeneous fleet
+         * of that backend. Otherwise the size must equal shards —
+         * backends[s] is shard s's backend. */
+        std::vector<std::string> backends;
+
+        /** LeastLoaded backlog-retirement estimate override; <= 0 =
+         * derive per shard from each backend's cost-model estimate
+         * (ExecutionBackend::estimateServiceSec). */
         double assumedServiceSec = 0.0;
     };
 
@@ -103,16 +121,20 @@ class ShardedRunner
     /** @return number of shards. */
     std::size_t shardCount() const { return fleet.size(); }
 
+    /** @return shard @p shard's execution backend. */
+    const ExecutionBackend &shardBackend(std::size_t shard) const;
+
     /** @return serving parameters. */
     const Config &config() const { return cfg; }
 
   private:
-    /** One shard: a full replica of the single-runner stack. */
+    /** One shard: a full replica of the single-runner stack, on
+     * its named execution backend. */
     struct Shard
     {
         PreprocessingEngine preprocess;
-        InferenceEngine inference;
         PointNet2 model;
+        std::unique_ptr<ExecutionBackend> backend;
         StreamRunner runner;
         /** Per-shard stop latch for the serve in progress — the
          * runner's own stop flag resets on run() entry, so a stop
@@ -122,6 +144,7 @@ class ShardedRunner
 
         Shard(const HgPcnSystem::Config &system,
               const PointNet2Spec &spec,
+              const std::string &backend_name,
               const StreamRunner::Config &runner_cfg);
     };
 

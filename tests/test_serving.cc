@@ -106,6 +106,79 @@ TEST(SensorStream, MergeRejectsSharedTimestamps)
                 ::testing::ExitedWithCode(1), "phase offsets");
 }
 
+TEST(SensorStream, MergeOfNothingYieldsEmptyStream)
+{
+    // Degenerate inputs are valid, not fatal: no sensors at all,
+    // and sensors that offered no frames.
+    const SensorStream none = mergeSensorStreams({});
+    EXPECT_EQ(none.size(), 0u);
+    EXPECT_EQ(none.sensorCount, 0u);
+
+    const SensorStream idle =
+        mergeSensorStreams(std::vector<std::vector<Frame>>(3));
+    EXPECT_EQ(idle.size(), 0u);
+    EXPECT_EQ(idle.sensorCount, 3u);
+    EXPECT_TRUE(idle.framesOfSensor(1).empty());
+    // Placement over an empty stream is an empty assignment.
+    EXPECT_TRUE(assignShards(idle, 2, PlacementPolicy::LeastLoaded)
+                    .empty());
+}
+
+TEST(SensorStream, SingleSensorMergeIsIdentity)
+{
+    std::vector<std::vector<Frame>> per_sensor(1);
+    for (std::size_t f = 0; f < 3; ++f) {
+        Frame frame;
+        frame.name = "f" + std::to_string(f);
+        frame.timestamp = 0.1 * static_cast<double>(f);
+        per_sensor[0].push_back(std::move(frame));
+    }
+    const SensorStream stream =
+        mergeSensorStreams(std::move(per_sensor));
+    ASSERT_EQ(stream.size(), 3u);
+    EXPECT_EQ(stream.sensorCount, 1u);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(stream.sensors[i], 0u);
+        EXPECT_EQ(stream.frames[i].name,
+                  "f" + std::to_string(i));
+    }
+    EXPECT_NEAR(sensorGenerationFps(stream, 0), 10.0, 1e-9);
+}
+
+TEST(SensorStream, DuplicateTimestampWithinSensorIsFatal)
+{
+    // A sensor that repeats a stamp mid-sequence is a corrupt
+    // capture log: the strictly-increasing pre-check rejects it
+    // before any merging happens.
+    std::vector<std::vector<Frame>> per_sensor(1);
+    for (const double t : {0.0, 0.1, 0.1}) {
+        Frame frame;
+        frame.timestamp = t;
+        per_sensor[0].push_back(std::move(frame));
+    }
+    EXPECT_EXIT(mergeSensorStreams(std::move(per_sensor)),
+                ::testing::ExitedWithCode(1),
+                "strictly increasing");
+}
+
+TEST(SensorStream, UnstampedSensorCannotBeMerged)
+{
+    // All-identical stamps read as "unstamped" (the non-LiDAR
+    // generators leave 0.0), which the strictly-increasing
+    // pre-check deliberately tolerates for batch runs — but an
+    // unstamped sequence cannot take part in a paced interleave,
+    // and the error must say so rather than suggest phase offsets.
+    std::vector<std::vector<Frame>> per_sensor(1);
+    for (std::size_t f = 0; f < 2; ++f) {
+        Frame frame;
+        frame.timestamp = 0.0;
+        per_sensor[0].push_back(std::move(frame));
+    }
+    EXPECT_EXIT(mergeSensorStreams(std::move(per_sensor)),
+                ::testing::ExitedWithCode(1),
+                "sensor 0 repeats timestamp");
+}
+
 // --------------------------------------------------------- Placement
 
 TEST(Placement, RoundRobinCyclesShards)
