@@ -12,9 +12,13 @@
 #define HGPCN_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/arg_parse.h"
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "sim/sim_config.h"
 
@@ -46,6 +50,164 @@ inline void
 section(const std::string &name)
 {
     std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/**
+ * Minimal JSON emitter for the machine-readable perf trajectory
+ * (BENCH_kernels.json / BENCH_runtime.json, docs/PERFORMANCE.md).
+ *
+ * Usage: obj() / arr() open containers, key()+value or field()
+ * write members, close() pops one level, writeTo() flushes. No
+ * escaping beyond quotes/backslashes — keys and values are bench-
+ * controlled identifiers.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    JsonWriter &obj() { open('{'); return *this; }
+    JsonWriter &arr() { open('['); return *this; }
+
+    JsonWriter &
+    close()
+    {
+        HGPCN_ASSERT(!stack.empty(), "json: close without open");
+        out << (stack.back() == '{' ? '}' : ']');
+        stack.pop_back();
+        fresh = false;
+        return *this;
+    }
+
+    JsonWriter &
+    key(const std::string &k)
+    {
+        comma();
+        out << '"' << escaped(k) << "\":";
+        fresh = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        comma();
+        out << '"' << escaped(v) << '"';
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    JsonWriter &
+    value(double v)
+    {
+        comma();
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        out << buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        comma();
+        out << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        comma();
+        out << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        comma();
+        out << (v ? "true" : "false");
+        return *this;
+    }
+
+    template <class V>
+    JsonWriter &
+    field(const std::string &k, V v)
+    {
+        return key(k).value(v);
+    }
+
+    /** Write the document to @p path (fatal on failure). */
+    void
+    writeTo(const std::string &path) const
+    {
+        HGPCN_ASSERT(stack.empty(), "json: unclosed containers");
+        std::ofstream f(path);
+        HGPCN_ASSERT(f.good(), "cannot write ", path);
+        f << out.str() << "\n";
+    }
+
+    /** @return the document as a string. */
+    std::string str() const { return out.str(); }
+
+  private:
+    void
+    open(char c)
+    {
+        comma();
+        out << c;
+        stack.push_back(c);
+        fresh = true;
+    }
+
+    void
+    comma()
+    {
+        if (!fresh && !stack.empty())
+            out << ',';
+        fresh = false;
+    }
+
+    static std::string
+    escaped(const std::string &s)
+    {
+        std::string r;
+        r.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                r.push_back('\\');
+            r.push_back(c);
+        }
+        return r;
+    }
+
+    std::ostringstream out;
+    std::vector<char> stack;
+    bool fresh = true;
+};
+
+/**
+ * Parse an optional `--json <path>` flag out of (argc, argv),
+ * compacting the remaining positional arguments in place.
+ * @return the path, or "" when the flag is absent.
+ */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            HGPCN_ASSERT(i + 1 < argc, "--json needs a path");
+            path = argv[++i];
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return path;
 }
 
 } // namespace bench

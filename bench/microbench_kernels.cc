@@ -1,16 +1,33 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the core kernels: Morton
- * encoding, octree construction, OIS sampling, VEG gathering and
- * the brute-force baselines. These are the software costs behind
- * Figs. 9-12; wall-clock per-kernel numbers on the build machine.
+ * encoding, octree construction, OIS sampling, VEG gathering, the
+ * brute-force baselines, the spatial-hash KNN index (src/knn) and
+ * the blocked GEMM. These are the software costs behind Figs. 9-12
+ * and the host hot path (docs/PERFORMANCE.md); wall-clock per-kernel
+ * numbers on the build machine.
+ *
+ * `--json <path>` additionally writes a BENCH_kernels.json record
+ * (kernel, ns/op, items/s) for the machine-readable perf trajectory,
+ * including the spatial-hash-vs-brute KNN speedup on the KITTI-scale
+ * case; `--assert-knn-speedup <x>` exits nonzero when that speedup
+ * falls below x (the CI perf-smoke guard — coarse on purpose).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
 #include "common/rng.h"
+#include "core/frame_workspace.h"
 #include "gather/brute_gatherers.h"
 #include "gather/veg_gatherer.h"
+#include "knn/spatial_hash_knn.h"
+#include "nn/mlp.h"
 #include "sampling/fps_sampler.h"
 #include "sampling/ois_fps_sampler.h"
 
@@ -30,6 +47,16 @@ randomCloud(std::size_t n, std::uint64_t seed = 1)
                    rng.uniform(0.0f, 1.0f)});
     }
     return cloud;
+}
+
+std::vector<PointIndex>
+randomCentrals(std::size_t count, std::size_t n, std::uint64_t seed)
+{
+    std::vector<PointIndex> centrals(count);
+    Rng rng(seed);
+    for (auto &c : centrals)
+        c = static_cast<PointIndex>(rng.below(n));
+    return centrals;
 }
 
 void
@@ -99,32 +126,175 @@ BM_VegGather(benchmark::State &state)
     tree_cfg.maxDepth = 9;
     const Octree tree = Octree::build(cloud, tree_cfg);
     VegKnn veg(tree);
-    std::vector<PointIndex> centrals(512);
-    Rng rng(3);
-    for (auto &c : centrals)
-        c = static_cast<PointIndex>(rng.below(4096));
+    const std::vector<PointIndex> centrals = randomCentrals(512, 4096, 3);
     for (auto _ : state)
         benchmark::DoNotOptimize(veg.gather(centrals, 32));
     state.SetItemsProcessed(state.iterations() * centrals.size());
 }
 BENCHMARK(BM_VegGather);
 
+/** Brute KNN at SA-layer scale: args are (n, centrals). The 16384
+ * case is the KITTI-scale SA0 workload — the denominator of the
+ * spatial-hash speedup guard. */
 void
 BM_BruteKnnGather(benchmark::State &state)
 {
-    const PointCloud cloud = randomCloud(4096);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t m = static_cast<std::size_t>(state.range(1));
+    const PointCloud cloud = randomCloud(n);
     BruteKnn knn(cloud);
-    std::vector<PointIndex> centrals(512);
-    Rng rng(4);
-    for (auto &c : centrals)
-        c = static_cast<PointIndex>(rng.below(4096));
+    const std::vector<PointIndex> centrals = randomCentrals(m, n, 4);
     for (auto _ : state)
         benchmark::DoNotOptimize(knn.gather(centrals, 32));
     state.SetItemsProcessed(state.iterations() * centrals.size());
 }
-BENCHMARK(BM_BruteKnnGather);
+BENCHMARK(BM_BruteKnnGather)
+    ->Args({4096, 512})
+    ->Args({16384, 4096});
+
+/** The exact spatial-hash index on the same workloads (same
+ * neighbor sets bit for bit — tests/test_knn_index.cc). */
+void
+BM_SpatialHashKnnGather(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t m = static_cast<std::size_t>(state.range(1));
+    const PointCloud cloud = randomCloud(n);
+    const std::vector<PointIndex> centrals = randomCentrals(m, n, 4);
+    FrameWorkspace ws;
+    for (auto _ : state) {
+        ws.beginFrame();
+        SpatialHashKnn index(cloud.positions(), &ws);
+        benchmark::DoNotOptimize(index.gather(
+            centrals, 32, SpatialHashKnn::Accounting::ModeledBrute));
+    }
+    state.SetItemsProcessed(state.iterations() * centrals.size());
+}
+BENCHMARK(BM_SpatialHashKnnGather)
+    ->Args({4096, 512})
+    ->Args({16384, 4096});
+
+/** Blocked GEMM at the Pointnet++(s) SA0 shape (nn/tensor.cc). */
+void
+BM_BlockedMatmul(benchmark::State &state)
+{
+    Rng rng(5);
+    Tensor a(32768, 32), b(32, 64);
+    a.randomize(rng, 0.5f);
+    a.reluInPlace(); // post-ReLU sparsity, like layer 2+ inputs
+    b.randomize(rng, 0.5f);
+    Tensor out;
+    for (auto _ : state) {
+        Tensor::matmulInto(a, b, out);
+        benchmark::DoNotOptimize(out.row(0));
+    }
+    state.SetItemsProcessed(state.iterations() * a.rows() * a.cols() *
+                            b.cols());
+}
+BENCHMARK(BM_BlockedMatmul);
+
+/** Capture every finished run so --json can replay it. */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        double nsPerOp = 0;
+        double itemsPerSec = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            Entry e;
+            e.nsPerOp = run.GetAdjustedRealTime();
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                e.itemsPerSec = it->second;
+            results[run.benchmark_name()] = e;
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::map<std::string, Entry> results;
+};
+
+int
+runBenchmarks(int argc, char **argv)
+{
+    std::string json_path = bench::extractJsonPath(argc, argv);
+    double assert_speedup = 0.0;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--assert-knn-speedup") == 0) {
+            HGPCN_ASSERT(i + 1 < argc,
+                         "--assert-knn-speedup needs a value");
+            assert_speedup = std::atof(argv[++i]);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    const std::string brute = "BM_BruteKnnGather/16384/4096";
+    const std::string hashed = "BM_SpatialHashKnnGather/16384/4096";
+    double speedup = 0.0;
+    if (reporter.results.count(brute) &&
+        reporter.results.count(hashed) &&
+        reporter.results[hashed].nsPerOp > 0.0) {
+        speedup = reporter.results[brute].nsPerOp /
+                  reporter.results[hashed].nsPerOp;
+        std::printf("\nspatial-hash KNN speedup vs brute "
+                    "(KITTI-scale, n=16384, q=4096, k=32): %.1fx\n",
+                    speedup);
+    }
+
+    if (!json_path.empty()) {
+        bench::JsonWriter json;
+        json.obj()
+            .field("bench", "microbench_kernels")
+            .field("schema", "hgpcn-bench-kernels/1")
+            .key("records")
+            .arr();
+        for (const auto &[name, e] : reporter.results) {
+            json.obj()
+                .field("kernel", name)
+                .field("ns_per_op", e.nsPerOp)
+                .field("items_per_sec", e.itemsPerSec)
+                .close();
+        }
+        json.close(); // records
+        json.field("knn_speedup_kitti", speedup);
+        json.close(); // root
+        json.writeTo(json_path);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (assert_speedup > 0.0 && speedup < assert_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: spatial-hash KNN speedup %.2fx below the "
+                     "%.2fx guard\n",
+                     speedup, assert_speedup);
+        return 1;
+    }
+    benchmark::Shutdown();
+    return 0;
+}
 
 } // namespace
 } // namespace hgpcn
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return hgpcn::runBenchmarks(argc, argv);
+}

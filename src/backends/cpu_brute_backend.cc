@@ -1,17 +1,23 @@
 #include "backends/cpu_brute_backend.h"
 
+#include "core/frame_workspace.h"
+
 #include <utility>
 
 namespace hgpcn
 {
 
 BackendInference
-CpuBruteBackend::infer(const PointCloud &input) const
+CpuBruteBackend::infer(const PointCloud &input,
+                       FrameWorkspace *workspace) const
 {
     RunOptions opts;
     opts.ds = DsMethod::BruteKnn;
     opts.centroid = centroid;
     opts.seed = seed;
+    opts.workspace = workspace;
+    if (workspace != nullptr)
+        opts.intraOpThreads = workspace->intraOpThreads;
     RunOutput out = net_.run(input, opts);
 
     BackendInference result;

@@ -42,7 +42,9 @@ class CpuBruteBackend : public ExecutionBackend
     /** A dedicated host core pool, separate from the octree-build
      * workers' "cpu" resource. */
     const std::string &resource() const override { return res; }
-    BackendInference infer(const PointCloud &input) const override;
+    BackendInference infer(const PointCloud &input,
+                           FrameWorkspace *workspace =
+                               nullptr) const override;
     const PointNet2 &model() const override { return net_; }
 
   private:

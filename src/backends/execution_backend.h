@@ -33,6 +33,8 @@
 namespace hgpcn
 {
 
+class FrameWorkspace;
+
 /**
  * Result of one frame through an execution backend.
  *
@@ -103,9 +105,16 @@ class ExecutionBackend
      *
      * @param input The down-sampled, unit-cube-normalized cloud
      *        (~K points) the pre-processing front end produced.
+     * @param workspace Optional reusable scratch arena leased by
+     *        the calling pipeline worker (core/frame_workspace.h):
+     *        zero-alloc steady state and the worker's intra-op
+     *        thread budget. Null runs with per-call scratch — same
+     *        results.
      * @return functional output + modeled stage latencies.
      */
-    virtual BackendInference infer(const PointCloud &input) const = 0;
+    virtual BackendInference
+    infer(const PointCloud &input,
+          FrameWorkspace *workspace = nullptr) const = 0;
 
     /** @return the deployed network replica. */
     virtual const PointNet2 &model() const = 0;

@@ -1,18 +1,23 @@
 #include "backends/hgpcn_backend.h"
 
+#include "core/frame_workspace.h"
+
 #include <utility>
 
 namespace hgpcn
 {
 
 BackendInference
-HgpcnBackend::infer(const PointCloud &input) const
+HgpcnBackend::infer(const PointCloud &input,
+                    FrameWorkspace *workspace) const
 {
     // Same conditioning as the pre-backend InferenceStage: the input
     // is already normalized, so the model builds its own level-0
     // octree (still costed in the trace) rather than reusing the
     // pre-processing tree.
-    InferenceResult r = eng.run(net_, input, nullptr);
+    InferenceResult r =
+        eng.run(net_, input, nullptr, workspace,
+                workspace != nullptr ? workspace->intraOpThreads : 1);
     BackendInference out;
     out.backend = nm;
     out.dsSec = r.dsu.pipelinedSec;

@@ -36,7 +36,9 @@ class HgpcnBackend : public ExecutionBackend
     const std::string &name() const override { return nm; }
     /** Shares the HgPCN fabric with the Down-sampling Unit. */
     const std::string &resource() const override { return res; }
-    BackendInference infer(const PointCloud &input) const override;
+    BackendInference infer(const PointCloud &input,
+                           FrameWorkspace *workspace =
+                               nullptr) const override;
     const PointNet2 &model() const override { return net_; }
 
     /** @return the wrapped engine (e.g. for serial comparisons). */

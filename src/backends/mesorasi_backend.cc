@@ -1,17 +1,23 @@
 #include "backends/mesorasi_backend.h"
 
+#include "core/frame_workspace.h"
+
 #include <utility>
 
 namespace hgpcn
 {
 
 BackendInference
-MesorasiBackend::infer(const PointCloud &input) const
+MesorasiBackend::infer(const PointCloud &input,
+                       FrameWorkspace *workspace) const
 {
     RunOptions opts;
     opts.ds = DsMethod::BruteKnn; // the GPU's DS workload
     opts.centroid = centroid;
     opts.seed = seed;
+    opts.workspace = workspace;
+    if (workspace != nullptr)
+        opts.intraOpThreads = workspace->intraOpThreads;
     RunOutput out = net_.run(input, opts);
 
     const MesorasiResult timed = sim.run(out.trace);

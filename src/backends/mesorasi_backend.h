@@ -47,7 +47,9 @@ class MesorasiBackend : public ExecutionBackend
     const std::string &name() const override { return nm; }
     /** Its own GPU — never contends with the HgPCN fabric. */
     const std::string &resource() const override { return res; }
-    BackendInference infer(const PointCloud &input) const override;
+    BackendInference infer(const PointCloud &input,
+                           FrameWorkspace *workspace =
+                               nullptr) const override;
     const PointNet2 &model() const override { return net_; }
 
   private:

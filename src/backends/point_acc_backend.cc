@@ -1,17 +1,23 @@
 #include "backends/point_acc_backend.h"
 
+#include "core/frame_workspace.h"
+
 #include <utility>
 
 namespace hgpcn
 {
 
 BackendInference
-PointAccBackend::infer(const PointCloud &input) const
+PointAccBackend::infer(const PointCloud &input,
+                       FrameWorkspace *workspace) const
 {
     RunOptions opts;
     opts.ds = DsMethod::BruteKnn; // the Mapping Unit's workload
     opts.centroid = centroid;
     opts.seed = seed;
+    opts.workspace = workspace;
+    if (workspace != nullptr)
+        opts.intraOpThreads = workspace->intraOpThreads;
     RunOutput out = net_.run(input, opts);
 
     const PointAccResult timed = sim.run(out.trace);

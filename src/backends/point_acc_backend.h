@@ -42,7 +42,9 @@ class PointAccBackend : public ExecutionBackend
     const std::string &name() const override { return nm; }
     /** Its own accelerator die — no contention with the front end. */
     const std::string &resource() const override { return res; }
-    BackendInference infer(const PointCloud &input) const override;
+    BackendInference infer(const PointCloud &input,
+                           FrameWorkspace *workspace =
+                               nullptr) const override;
     const PointNet2 &model() const override { return net_; }
 
   private:

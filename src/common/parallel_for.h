@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Blocked parallel-for over an index range.
+ *
+ * Intra-frame parallelism for the MLP kernels: rows of a GEMM are
+ * independent, so splitting the row range across threads changes
+ * nothing numerically — each output element is still accumulated in
+ * the same order by exactly one thread. Threads are spawned per
+ * call, which only pays off for chunky bodies (>= ~1 ms); callers
+ * gate on work size. threads <= 1 (or a range smaller than the
+ * thread count) degrades to a plain serial loop with zero overhead.
+ */
+
+#ifndef HGPCN_COMMON_PARALLEL_FOR_H
+#define HGPCN_COMMON_PARALLEL_FOR_H
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace hgpcn
+{
+
+/**
+ * Run fn(begin, end) over [0, n) split into @p threads contiguous
+ * blocks. fn must be thread-safe across disjoint ranges. The calling
+ * thread executes the first block.
+ */
+template <class Fn>
+void
+parallelFor(std::size_t n, int threads, const Fn &fn)
+{
+    if (threads <= 1 || n < static_cast<std::size_t>(threads) * 2) {
+        if (n > 0)
+            fn(std::size_t{0}, n);
+        return;
+    }
+    const std::size_t t = static_cast<std::size_t>(threads);
+    const std::size_t chunk = (n + t - 1) / t;
+    std::vector<std::thread> pool;
+    pool.reserve(t - 1);
+    for (std::size_t w = 1; w < t; ++w) {
+        const std::size_t begin = w * chunk;
+        if (begin >= n)
+            break;
+        const std::size_t end = begin + chunk < n ? begin + chunk : n;
+        pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    fn(std::size_t{0}, chunk < n ? chunk : n);
+    for (std::thread &th : pool)
+        th.join();
+}
+
+} // namespace hgpcn
+
+#endif // HGPCN_COMMON_PARALLEL_FOR_H

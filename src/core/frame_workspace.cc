@@ -1,0 +1,8 @@
+#include "core/frame_workspace.h"
+
+namespace hgpcn
+{
+
+std::atomic<std::uint64_t> FrameWorkspace::growth_count{0};
+
+} // namespace hgpcn

@@ -29,7 +29,11 @@ HgPcnSystem::processFrame(const PointCloud &raw) const
     // model, still costed in the trace.
     PointCloud input = result.preprocess.sampled;
     input.normalizeToUnitCube();
-    result.inference = be->infer(input);
+    // Serial calls reuse the system's workspace pool: frame 2
+    // onwards runs allocation-free in the model (thread-safe — the
+    // pool hands concurrent callers distinct arenas).
+    WorkspacePool::Lease ws = serialWorkspaces.acquire();
+    result.inference = be->infer(input, ws.get());
     return result;
 }
 

@@ -22,6 +22,7 @@
 
 #include "backends/hgpcn_backend.h"
 #include "core/e2e_result.h"
+#include "core/frame_workspace.h"
 #include "core/inference_engine.h"
 #include "core/preprocessing_engine.h"
 #include "datasets/frame.h"
@@ -125,6 +126,9 @@ class HgPcnSystem
     /** The engine behind the backend interface; references *net,
      * which the unique_ptr keeps address-stable. */
     std::unique_ptr<HgpcnBackend> be;
+    /** Warm scratch arenas for the serial processFrame() path
+     * (streamed runs use the StreamRunner's own pool). */
+    mutable WorkspacePool serialWorkspaces;
 };
 
 } // namespace hgpcn

@@ -5,7 +5,9 @@ namespace hgpcn
 
 InferenceResult
 InferenceEngine::run(const PointNet2 &model, const PointCloud &input,
-                     const Octree *input_octree) const
+                     const Octree *input_octree,
+                     FrameWorkspace *workspace,
+                     int intra_op_threads) const
 {
     InferenceResult result;
 
@@ -14,6 +16,8 @@ InferenceEngine::run(const PointNet2 &model, const PointCloud &input,
     opts.ds = cfg.ds;
     opts.seed = cfg.seed;
     opts.inputOctree = input_octree;
+    opts.workspace = workspace;
+    opts.intraOpThreads = intra_op_threads;
     result.output = model.run(input, opts);
 
     // DSU: time every gather of the network on the pipeline model.

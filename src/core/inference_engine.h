@@ -22,6 +22,8 @@
 namespace hgpcn
 {
 
+class FrameWorkspace;
+
 /** Result of one inference pass on the Inference Engine. */
 struct InferenceResult
 {
@@ -76,9 +78,15 @@ class InferenceEngine
      * @param input_octree Optional pre-processing octree to reuse
      *        for the first SA level's VEG (input must be its
      *        reordered cloud).
+     * @param workspace Optional reusable scratch arena
+     *        (core/frame_workspace.h) — zero-alloc steady state.
+     * @param intra_op_threads Host threads splitting MLP rows
+     *        (>= 1; bit-identical output at any value).
      */
     InferenceResult run(const PointNet2 &model, const PointCloud &input,
-                        const Octree *input_octree = nullptr) const;
+                        const Octree *input_octree = nullptr,
+                        FrameWorkspace *workspace = nullptr,
+                        int intra_op_threads = 1) const;
 
     /** @return configured parameters. */
     const Config &config() const { return cfg; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "knn/top_k.h"
 
 namespace hgpcn
 {
@@ -20,7 +21,7 @@ BruteKnn::gather(std::span<const PointIndex> centrals, std::size_t k)
     std::uint64_t dist_computes = 0;
     std::uint64_t sort_candidates = 0;
 
-    std::vector<std::pair<float, PointIndex>> scored(n);
+    std::vector<ScoredNeighbor> scored(n);
     for (PointIndex c : centrals) {
         const Vec3 anchor = points.position(c);
         for (std::size_t i = 0; i < n; ++i) {
@@ -31,8 +32,9 @@ BruteKnn::gather(std::span<const PointIndex> centrals, std::size_t k)
         }
         dist_computes += n;
         sort_candidates += n;
-        std::partial_sort(scored.begin(), scored.begin() + k,
-                          scored.end());
+        // Shared top-K selection with the (distSq, index) tie-break
+        // (knn/top_k.h; heap select — see there before changing it).
+        selectTopK(scored, k);
         for (std::size_t j = 0; j < k; ++j)
             result.neighbors.push_back(scored[j].second);
     }

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/frame_workspace.h"
+#include "knn/top_k.h"
 
 namespace hgpcn
 {
@@ -25,8 +27,9 @@ toString(VegMode mode)
 
 VegKnn::VegKnn(const Octree &tree) : VegKnn(tree, Config{}) {}
 
-VegKnn::VegKnn(const Octree &tree, const Config &config)
-    : octree(tree), cfg(config),
+VegKnn::VegKnn(const Octree &tree, const Config &config,
+               FrameWorkspace *ws)
+    : octree(tree), cfg(config), workspace(ws),
       grids(static_cast<std::size_t>(tree.config().maxDepth) + 1)
 {
     HGPCN_ASSERT(cfg.gridLevel <= tree.config().maxDepth,
@@ -92,9 +95,15 @@ VegKnn::gatherAt(std::span<const Vec3> anchors, std::size_t k)
 
     Rng rng(cfg.seed);
 
-    std::vector<PointIndex> inner;
-    std::vector<PointIndex> last_ring;
-    std::vector<std::pair<float, PointIndex>> scored;
+    std::vector<PointIndex> own_inner;
+    std::vector<PointIndex> own_last_ring;
+    std::vector<std::pair<float, PointIndex>> own_scored;
+    std::vector<PointIndex> &inner =
+        workspace != nullptr ? workspace->knn.inner : own_inner;
+    std::vector<PointIndex> &last_ring =
+        workspace != nullptr ? workspace->knn.lastRing : own_last_ring;
+    std::vector<std::pair<float, PointIndex>> &scored =
+        workspace != nullptr ? workspace->knn.scored : own_scored;
 
     for (const Vec3 &anchor : anchors) {
         // Stage 1-2 (FP, LV): fetch the centroid, locate its voxel.
@@ -127,10 +136,7 @@ VegKnn::gatherAt(std::span<const Vec3> anchors, std::size_t k)
                         cloud.position(p).distSq(anchor), p);
                 dist_computes += last_ring.size();
                 if (scored.size() >= k) {
-                    std::nth_element(scored.begin(),
-                                     scored.begin() + (k - 1),
-                                     scored.end());
-                    kth_dist = scored[k - 1].first;
+                    kth_dist = kthSmallest(scored, k).first;
                     const float ring_min =
                         static_cast<float>(r) * cell; // next ring
                     if (ring_min * ring_min > kth_dist)
@@ -144,8 +150,7 @@ VegKnn::gatherAt(std::span<const Vec3> anchors, std::size_t k)
             trace.lastRingPoints =
                 static_cast<std::uint32_t>(scored.size());
             sort_candidates += scored.size();
-            std::partial_sort(scored.begin(), scored.begin() + k,
-                              scored.end());
+            selectTopK(scored, k);
             for (std::size_t j = 0; j < k; ++j)
                 result.neighbors.push_back(scored[j].second);
         } else {
@@ -155,10 +160,10 @@ VegKnn::gatherAt(std::span<const Vec3> anchors, std::size_t k)
             while (r <= max_ring) {
                 const std::uint32_t ring_count =
                     grid.ringPointCount(seed_cell, r);
-                // Counting touches each ring cell once.
+                // Counting touches each in-grid ring cell once (the
+                // closed-form count: the host need not walk them).
                 trace.tableLookups += static_cast<std::uint32_t>(
-                    grid.forEachRingCell(seed_cell, r,
-                                         [](const GridCell &) {}));
+                    grid.shellCellCount(seed_cell, r));
                 if (total + ring_count >= k) {
                     // Stage 4 (GP): inner rings gathered blind.
                     last_ring.clear();
@@ -201,8 +206,7 @@ VegKnn::gatherAt(std::span<const Vec3> anchors, std::size_t k)
                         cloud.position(p).distSq(anchor), p);
                 dist_computes += last_ring.size();
                 sort_candidates += last_ring.size();
-                std::partial_sort(scored.begin(),
-                                  scored.begin() + need, scored.end());
+                selectTopK(scored, need);
                 for (std::size_t j = 0; j < need; ++j)
                     result.neighbors.push_back(scored[j].second);
             }

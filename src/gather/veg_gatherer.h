@@ -40,6 +40,8 @@
 namespace hgpcn
 {
 
+class FrameWorkspace;
+
 /** Gathering flavor; see file comment. */
 enum class VegMode
 {
@@ -83,7 +85,13 @@ class VegKnn : public Gatherer
     /** Create with default configuration. */
     explicit VegKnn(const Octree &tree);
 
-    VegKnn(const Octree &tree, const Config &config);
+    /**
+     * @param workspace Optional scratch arena: ring/score buffers
+     * come from the workspace instead of per-gather allocations
+     * (core/frame_workspace.h).
+     */
+    VegKnn(const Octree &tree, const Config &config,
+           FrameWorkspace *workspace = nullptr);
 
     GatherResult gather(std::span<const PointIndex> centrals,
                         std::size_t k) override;
@@ -104,6 +112,7 @@ class VegKnn : public Gatherer
   private:
     const Octree &octree;
     Config cfg;
+    FrameWorkspace *workspace;
     /** One grid view per level, created on first use. */
     mutable std::vector<std::unique_ptr<VoxelGrid>> grids;
 

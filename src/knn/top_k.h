@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic partial top-K selection for neighbor ranking.
+ *
+ * Every place the reproduction ranks scored neighbor candidates —
+ * the brute-force gatherers, the FP-interpolation lookups, the
+ * spatial-hash index and the VEG sort stage — selects the K
+ * smallest (distance, index) pairs through this one helper.
+ * Ordering is the lexicographic pair order: ties in distance break
+ * toward the smaller point index, which makes every kernel's output
+ * deterministic and lets the spatial-hash index be pinned
+ * bit-identical against the brute oracle (tests/test_knn_index.cc).
+ *
+ * Kernel choice (measured, docs/PERFORMANCE.md): for the k << n of
+ * every PCN layer (k = 3..64, n up to 16K), partial_sort's
+ * heap-select — n comparisons against a k-element heap that almost
+ * never updates — beats nth_element's quickselect (expected O(n)
+ * but with full partition passes moving 8-byte pairs) by 3-9x.
+ * Asymptotic complexity is not the constant; never replace this
+ * with nth_element+sort without re-running the selection bench.
+ */
+
+#ifndef HGPCN_KNN_TOP_K_H
+#define HGPCN_KNN_TOP_K_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "geometry/point_cloud.h"
+
+namespace hgpcn
+{
+
+/** A neighbor candidate: squared distance + point index. */
+using ScoredNeighbor = std::pair<float, PointIndex>;
+
+/**
+ * Reorder @p scored so its first @p k entries are the k smallest
+ * candidates in ascending (distance, index) order. O(n log k) heap
+ * select (see file comment for why this beats nth_element here);
+ * the tail order is unspecified. @p k must not exceed scored.size().
+ */
+inline void
+selectTopK(std::vector<ScoredNeighbor> &scored, std::size_t k)
+{
+    if (k == 0)
+        return;
+    std::partial_sort(scored.begin(),
+                      scored.begin() + std::min(k, scored.size()),
+                      scored.end());
+}
+
+/**
+ * @return the k-th smallest candidate of @p scored (1-based: k = 1
+ * is the minimum) without fully ordering the winners. Expected
+ * O(n). @p k must be in [1, scored.size()].
+ */
+inline ScoredNeighbor
+kthSmallest(std::vector<ScoredNeighbor> &scored, std::size_t k)
+{
+    std::nth_element(scored.begin(), scored.begin() + (k - 1),
+                     scored.end());
+    return scored[k - 1];
+}
+
+} // namespace hgpcn
+
+#endif // HGPCN_KNN_TOP_K_H

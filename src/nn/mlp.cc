@@ -3,9 +3,33 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
+#include "core/frame_workspace.h"
 
 namespace hgpcn
 {
+
+namespace
+{
+
+/** Only fan work out when a layer is chunky enough to amortize the
+ * per-call thread spawn (~50 us each). */
+constexpr std::uint64_t kMinMacsPerThread = 2'000'000;
+
+int
+effectiveThreads(std::uint64_t macs, int threads)
+{
+    if (threads <= 1)
+        return 1;
+    const std::uint64_t cap = macs / kMinMacsPerThread;
+    if (cap <= 1)
+        return 1;
+    return cap < static_cast<std::uint64_t>(threads)
+               ? static_cast<int>(cap)
+               : threads;
+}
+
+} // namespace
 
 Linear::Linear(std::size_t in, std::size_t out, Rng &rng)
     : weight(in, out), bias(out, 0.0f)
@@ -21,11 +45,31 @@ Tensor
 Linear::forward(const Tensor &x, const std::string &layer_name,
                 ExecutionTrace &trace) const
 {
-    Tensor out = Tensor::matmul(x, weight);
-    out.addRowBias(bias);
+    Tensor out;
+    forwardInto(x, out, /*relu=*/false, /*threads=*/1, layer_name,
+                trace);
+    return out;
+}
+
+void
+Linear::forwardInto(const Tensor &x, Tensor &out, bool relu,
+                    int threads, const std::string &layer_name,
+                    ExecutionTrace &trace) const
+{
+    out.resizeUninit(x.rows(), weight.cols());
+    const std::uint64_t macs =
+        static_cast<std::uint64_t>(x.rows()) * x.cols() *
+        weight.cols();
+    const int t = effectiveThreads(macs, threads);
+    parallelFor(x.rows(), t,
+                [&](std::size_t begin, std::size_t end) {
+                    Tensor::matmulRowsInto(x, weight, out, begin, end);
+                    out.addRowBias(bias, begin, end);
+                    if (relu)
+                        out.reluRows(begin, end);
+                });
     trace.gemms.push_back(
         GemmOp{layer_name, x.rows(), x.cols(), weight.cols()});
-    return out;
 }
 
 Mlp::Mlp(std::size_t in, const std::vector<std::size_t> &widths, Rng &rng,
@@ -45,14 +89,35 @@ Tensor
 Mlp::forward(const Tensor &x, const std::string &name_prefix,
              ExecutionTrace &trace) const
 {
-    Tensor cur = x;
+    Tensor bufs[2];
+    const Tensor *cur = &x;
     for (std::size_t i = 0; i < layers.size(); ++i) {
-        cur = layers[i].forward(
-            cur, name_prefix + ".fc" + std::to_string(i), trace);
-        if (i + 1 < layers.size() || relu_last)
-            cur.reluInPlace();
+        Tensor &dst = bufs[i % 2];
+        const bool relu = i + 1 < layers.size() || relu_last;
+        layers[i].forwardInto(*cur, dst, relu, /*threads=*/1,
+                              name_prefix + ".fc" + std::to_string(i),
+                              trace);
+        cur = &dst;
     }
-    return cur;
+    return std::move(bufs[(layers.size() - 1) % 2]);
+}
+
+const Tensor &
+Mlp::forwardArena(const Tensor &x, const std::string &name_prefix,
+                  ExecutionTrace &trace, FrameWorkspace &ws,
+                  int threads) const
+{
+    const Tensor *cur = &x;
+    Tensor *dst = nullptr;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        dst = &ws.tensor(cur->rows(), layers[i].weight.cols());
+        const bool relu = i + 1 < layers.size() || relu_last;
+        layers[i].forwardInto(*cur, *dst, relu, threads,
+                              name_prefix + ".fc" + std::to_string(i),
+                              trace);
+        cur = dst;
+    }
+    return *dst;
 }
 
 } // namespace hgpcn

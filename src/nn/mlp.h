@@ -5,6 +5,14 @@
  * PointNet++ applies the same small MLP to every point of every
  * gathered neighborhood; on hardware this is one batched GEMM per
  * layer, which is what the trace records.
+ *
+ * The host execution path is the blocked GEMM kernel of
+ * nn/tensor.cc. forwardArena() is the hot-path entry: activations
+ * ping-pong between FrameWorkspace arena tensors (no per-frame heap
+ * traffic once warm) and rows may be split across intra-op threads —
+ * both bit-identical to the plain forward(), since rows are
+ * independent and each element keeps its ascending-k accumulation
+ * order.
  */
 
 #ifndef HGPCN_NN_MLP_H
@@ -19,6 +27,8 @@
 namespace hgpcn
 {
 
+class FrameWorkspace;
+
 /** One fully-connected layer with bias. */
 struct Linear
 {
@@ -31,6 +41,14 @@ struct Linear
     /** @return x * W + b, recording the GEMM into @p trace. */
     Tensor forward(const Tensor &x, const std::string &layer_name,
                    ExecutionTrace &trace) const;
+
+    /**
+     * out = x * W + b (+ ReLU when @p relu) into a preallocated
+     * tensor, rows split over @p threads. Records the GEMM.
+     */
+    void forwardInto(const Tensor &x, Tensor &out, bool relu,
+                     int threads, const std::string &layer_name,
+                     ExecutionTrace &trace) const;
 };
 
 /**
@@ -52,6 +70,17 @@ class Mlp
     /** @return network output; GEMMs recorded into @p trace. */
     Tensor forward(const Tensor &x, const std::string &name_prefix,
                    ExecutionTrace &trace) const;
+
+    /**
+     * Hot-path forward: activations come from @p ws's bump arena
+     * and rows are split across @p threads. The returned tensor
+     * lives in the arena — valid until the workspace's next
+     * beginFrame(). Output values are bit-identical to forward().
+     */
+    const Tensor &forwardArena(const Tensor &x,
+                               const std::string &name_prefix,
+                               ExecutionTrace &trace,
+                               FrameWorkspace &ws, int threads) const;
 
     /** @return output feature width. */
     std::size_t outWidth() const { return out_width; }

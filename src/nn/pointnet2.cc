@@ -4,8 +4,11 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "core/frame_workspace.h"
 #include "gather/brute_gatherers.h"
 #include "gather/veg_gatherer.h"
+#include "knn/spatial_hash_knn.h"
+#include "knn/top_k.h"
 #include "sampling/fps_sampler.h"
 
 namespace hgpcn
@@ -152,11 +155,13 @@ PointNet2::PointNet2(const PointNet2Spec &spec, std::uint64_t weight_seed)
 namespace
 {
 
-/** Pick @p m distinct indices out of @p n uniformly. */
-std::vector<PointIndex>
-randomCentroids(std::size_t n, std::size_t m, Rng &rng)
+/** Pick @p m distinct indices out of @p n uniformly, into a
+ * workspace buffer. */
+std::vector<PointIndex> &
+randomCentroids(std::size_t n, std::size_t m, Rng &rng,
+                FrameWorkspace &ws)
 {
-    std::vector<PointIndex> all(n);
+    std::vector<PointIndex> &all = ws.indices(n);
     std::iota(all.begin(), all.end(), 0u);
     for (std::size_t i = 0; i < m; ++i) {
         const std::size_t j = i + rng.below(n - i);
@@ -168,7 +173,7 @@ randomCentroids(std::size_t n, std::size_t m, Rng &rng)
 
 /** Build a coordinates-only PointCloud from positions. */
 PointCloud
-cloudFromPositions(const std::vector<Vec3> &positions)
+cloudFromPositions(std::span<const Vec3> positions)
 {
     PointCloud cloud;
     cloud.reserve(positions.size());
@@ -177,11 +182,12 @@ cloudFromPositions(const std::vector<Vec3> &positions)
     return cloud;
 }
 
-/** Inverse of an index permutation. */
-std::vector<PointIndex>
-invertPermutation(const std::vector<PointIndex> &perm)
+/** Inverse of an index permutation, into a workspace buffer. */
+std::vector<PointIndex> &
+invertPermutation(const std::vector<PointIndex> &perm,
+                  FrameWorkspace &ws)
 {
-    std::vector<PointIndex> inv(perm.size());
+    std::vector<PointIndex> &inv = ws.indices(perm.size());
     for (std::size_t i = 0; i < perm.size(); ++i)
         inv[perm[i]] = static_cast<PointIndex>(i);
     return inv;
@@ -189,26 +195,25 @@ invertPermutation(const std::vector<PointIndex> &perm)
 
 /**
  * Brute-force k-NN of arbitrary query coordinates against a cloud
- * (queries need not be cloud members, unlike BruteKnn). Distance
- * workload is recorded into @p stats.
+ * (queries need not be cloud members). The oracle path behind
+ * opts.fastKnn == false; the spatial-hash index reproduces it
+ * bit for bit. Distance workload is recorded into @p stats.
  */
 GatherResult
-bruteNnAt(const PointCloud &cloud, std::span<const Vec3> queries,
+bruteNnAt(std::span<const Vec3> points, std::span<const Vec3> queries,
           std::size_t k, StatSet &stats)
 {
-    const std::size_t n = cloud.size();
+    const std::size_t n = points.size();
     GatherResult result;
     result.k = k;
     result.neighbors.reserve(queries.size() * k);
-    std::vector<std::pair<float, PointIndex>> scored(n);
+    std::vector<ScoredNeighbor> scored(n);
     for (const Vec3 &q : queries) {
         for (std::size_t i = 0; i < n; ++i) {
-            scored[i] = {
-                cloud.position(static_cast<PointIndex>(i)).distSq(q),
-                static_cast<PointIndex>(i)};
+            scored[i] = {points[i].distSq(q),
+                         static_cast<PointIndex>(i)};
         }
-        std::partial_sort(scored.begin(), scored.begin() + k,
-                          scored.end());
+        selectTopK(scored, k);
         for (std::size_t j = 0; j < k; ++j)
             result.neighbors.push_back(scored[j].second);
     }
@@ -223,11 +228,11 @@ PointNet2::Level
 PointNet2::runSaLayer(std::size_t layer, const Level &in,
                       const RunOptions &opts, Rng &rng,
                       const Octree *reusable_tree,
-                      ExecutionTrace &trace) const
+                      ExecutionTrace &trace, FrameWorkspace &ws) const
 {
     const SaLayerSpec &spec = arch.sa[layer];
     const std::size_t n = in.positions.size();
-    const std::size_t c_in = in.features.cols();
+    const std::size_t c_in = in.features->cols();
     const std::string name = "sa" + std::to_string(layer);
 
     if (spec.npoint == 0) {
@@ -237,7 +242,7 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
         for (const Vec3 &p : in.positions)
             mean += p;
         mean = mean / static_cast<float>(n);
-        Tensor grouped(n, 3 + c_in);
+        Tensor &grouped = ws.tensor(n, 3 + c_in);
         for (std::size_t i = 0; i < n; ++i) {
             float *row = grouped.row(i);
             const Vec3 rel = in.positions[i] - mean;
@@ -245,12 +250,17 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
             row[1] = rel.y;
             row[2] = rel.z;
             for (std::size_t c = 0; c < c_in; ++c)
-                row[3 + c] = in.features.at(i, c);
+                row[3 + c] = in.features->at(i, c);
         }
-        Tensor out = sa_mlps[layer].forward(grouped, name, trace);
+        const Tensor &out = sa_mlps[layer].forwardArena(
+            grouped, name, trace, ws, opts.intraOpThreads);
         Level next;
-        next.positions = {mean};
-        next.features = out.maxPoolGroups(n);
+        std::vector<Vec3> &center = ws.positions(1);
+        center[0] = mean;
+        next.positions = center;
+        Tensor &pooled = ws.tensor(1, out.cols());
+        out.maxPoolGroupsInto(n, pooled);
+        next.features = &pooled;
         return next;
     }
 
@@ -260,14 +270,20 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
                  spec.k, " vs level size ", n);
 
     // --- Central point selection (Fig. 2, step 1). -------------------
-    std::vector<PointIndex> centroids;
+    std::vector<PointIndex> *centroid_buf = nullptr;
     if (opts.centroid == CentroidMethod::Random) {
-        centroids = randomCentroids(n, spec.npoint, rng);
+        centroid_buf = &randomCentroids(n, spec.npoint, rng, ws);
     } else {
         PointCloud level_cloud = cloudFromPositions(in.positions);
         FpsSampler fps(opts.seed + layer);
-        centroids = fps.sample(level_cloud, spec.npoint).indices;
+        std::vector<PointIndex> &buf = ws.indices(spec.npoint);
+        SampleResult fps_result =
+            fps.sample(level_cloud, spec.npoint, &ws);
+        std::copy(fps_result.indices.begin(), fps_result.indices.end(),
+                  buf.begin());
+        centroid_buf = &buf;
     }
+    const std::vector<PointIndex> &centroids = *centroid_buf;
 
     // --- Data structuring (Fig. 2, step 2). --------------------------
     GatherOp op;
@@ -298,8 +314,9 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
             tree = &local_tree;
         }
         const std::vector<PointIndex> &perm = tree->permutation();
-        const std::vector<PointIndex> inv = invertPermutation(perm);
-        std::vector<PointIndex> centrals_reordered(centroids.size());
+        const std::vector<PointIndex> &inv = invertPermutation(perm, ws);
+        std::vector<PointIndex> &centrals_reordered =
+            ws.indices(centroids.size());
         for (std::size_t i = 0; i < centroids.size(); ++i)
             centrals_reordered[i] = inv[centroids[i]];
 
@@ -314,28 +331,34 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
                                ? VegMode::Strict
                                : VegMode::Paper;
             knn_cfg.seed = opts.seed;
-            VegKnn knn(*tree, knn_cfg);
+            VegKnn knn(*tree, knn_cfg, &ws);
             gathered = knn.gather(centrals_reordered, spec.k);
         }
         // Map neighbors back to level index space.
         for (auto &idx : gathered.neighbors)
             idx = perm[idx];
+    } else if (opts.ds == DsMethod::BruteBq) {
+        PointCloud level_cloud = cloudFromPositions(in.positions);
+        BruteBallQuery bq(level_cloud, spec.radius);
+        gathered = bq.gather(centroids, spec.k);
+    } else if (opts.fastKnn) {
+        // Exact spatial-hash KNN on the host; the modeled device
+        // still runs the full scan, so the trace carries the brute
+        // workload (knn/spatial_hash_knn.h).
+        SpatialHashKnn index(in.positions, &ws);
+        gathered = index.gather(
+            centroids, spec.k, SpatialHashKnn::Accounting::ModeledBrute);
     } else {
         PointCloud level_cloud = cloudFromPositions(in.positions);
-        if (opts.ds == DsMethod::BruteBq) {
-            BruteBallQuery bq(level_cloud, spec.radius);
-            gathered = bq.gather(centroids, spec.k);
-        } else {
-            BruteKnn knn(level_cloud);
-            gathered = knn.gather(centroids, spec.k);
-        }
+        BruteKnn knn(level_cloud);
+        gathered = knn.gather(centroids, spec.k);
     }
     op.stats.merge(gathered.stats);
     op.traces = std::move(gathered.traces);
     trace.gathers.push_back(std::move(op));
 
     // --- Feature computation (Fig. 2, step 3). -----------------------
-    Tensor grouped(spec.npoint * spec.k, 3 + c_in);
+    Tensor &grouped = ws.tensor(spec.npoint * spec.k, 3 + c_in);
     for (std::size_t m = 0; m < spec.npoint; ++m) {
         const Vec3 center = in.positions[centroids[m]];
         const auto neigh = gathered.of(m);
@@ -347,28 +370,32 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
             row[1] = rel.y;
             row[2] = rel.z;
             for (std::size_t c = 0; c < c_in; ++c)
-                row[3 + c] = in.features.at(pi, c);
+                row[3 + c] = in.features->at(pi, c);
         }
     }
-    Tensor out = sa_mlps[layer].forward(grouped, name, trace);
+    const Tensor &out = sa_mlps[layer].forwardArena(
+        grouped, name, trace, ws, opts.intraOpThreads);
 
     Level next;
-    next.positions.reserve(spec.npoint);
-    for (PointIndex ci : centroids)
-        next.positions.push_back(in.positions[ci]);
-    next.features = out.maxPoolGroups(spec.k);
+    std::vector<Vec3> &next_pos = ws.positions(spec.npoint);
+    for (std::size_t i = 0; i < spec.npoint; ++i)
+        next_pos[i] = in.positions[centroids[i]];
+    next.positions = next_pos;
+    Tensor &pooled = ws.tensor(spec.npoint, out.cols());
+    out.maxPoolGroupsInto(spec.k, pooled);
+    next.features = &pooled;
     return next;
 }
 
-Tensor
+const Tensor &
 PointNet2::runFpLayer(std::size_t layer, const Level &fine,
                       const Level &coarse, const RunOptions &opts,
-                      ExecutionTrace &trace) const
+                      ExecutionTrace &trace, FrameWorkspace &ws) const
 {
     const std::size_t n_f = fine.positions.size();
     const std::size_t n_c = coarse.positions.size();
-    const std::size_t c_coarse = coarse.features.cols();
-    const std::size_t c_skip = fine.features.cols();
+    const std::size_t c_coarse = coarse.features->cols();
+    const std::size_t c_skip = fine.features->cols();
     const std::string name = "fp" + std::to_string(layer);
     const std::size_t k = std::min<std::size_t>(3, n_c);
 
@@ -382,7 +409,6 @@ PointNet2::runFpLayer(std::size_t layer, const Level &fine,
     op.k = k;
     op.inputPoints = n_c;
 
-    PointCloud coarse_cloud = cloudFromPositions(coarse.positions);
     GatherResult nn;
 
     const bool veg = (opts.ds == DsMethod::Veg ||
@@ -392,26 +418,32 @@ PointNet2::runFpLayer(std::size_t layer, const Level &fine,
     if (veg) {
         // VEG-strict keeps interpolation exact while the octree
         // bounds the search locally (the DSU serves FP lookups too).
+        PointCloud coarse_cloud = cloudFromPositions(coarse.positions);
         Octree::Config tree_cfg;
         tree_cfg.maxDepth = 12;
         Octree tree = Octree::build(coarse_cloud, tree_cfg);
         op.stats.merge(tree.buildStats());
         VegKnn::Config knn_cfg;
         knn_cfg.mode = VegMode::Strict;
-        VegKnn knn(tree, knn_cfg);
+        VegKnn knn(tree, knn_cfg, &ws);
         nn = knn.gatherAt(fine.positions, k);
         // Back to coarse-level index space.
         for (auto &idx : nn.neighbors)
             idx = tree.permutation()[idx];
         op.stats.merge(nn.stats);
+    } else if (opts.fastKnn) {
+        SpatialHashKnn index(coarse.positions, &ws);
+        nn = index.gatherAt(fine.positions, k,
+                            SpatialHashKnn::Accounting::ModeledBrute);
+        op.stats.merge(nn.stats);
     } else {
-        nn = bruteNnAt(coarse_cloud, fine.positions, k, op.stats);
+        nn = bruteNnAt(coarse.positions, fine.positions, k, op.stats);
     }
     op.traces = std::move(nn.traces);
     trace.gathers.push_back(std::move(op));
 
     // Inverse-distance-weighted feature interpolation.
-    Tensor fused(n_f, c_coarse + c_skip);
+    Tensor &fused = ws.tensor(n_f, c_coarse + c_skip);
     for (std::size_t i = 0; i < n_f; ++i) {
         const auto neigh = nn.of(i);
         float weights[3] = {0, 0, 0};
@@ -426,13 +458,15 @@ PointNet2::runFpLayer(std::size_t layer, const Level &fine,
         for (std::size_t c = 0; c < c_coarse; ++c) {
             float v = 0.0f;
             for (std::size_t j = 0; j < k; ++j)
-                v += weights[j] / total * coarse.features.at(neigh[j], c);
+                v += weights[j] / total *
+                     coarse.features->at(neigh[j], c);
             row[c] = v;
         }
         for (std::size_t c = 0; c < c_skip; ++c)
-            row[c_coarse + c] = fine.features.at(i, c);
+            row[c_coarse + c] = fine.features->at(i, c);
     }
-    return fp_mlps[layer].forward(fused, name, trace);
+    return fp_mlps[layer].forwardArena(fused, name, trace, ws,
+                                       opts.intraOpThreads);
 }
 
 RunOutput
@@ -442,11 +476,18 @@ PointNet2::run(const PointCloud &input, const RunOptions &opts) const
     HGPCN_ASSERT(input.featureDim() == arch.inputFeatureDim,
                  "input feature width ", input.featureDim(),
                  " != spec width ", arch.inputFeatureDim);
+    HGPCN_ASSERT(opts.intraOpThreads >= 1, "intraOpThreads must be >= 1");
     if (opts.inputOctree) {
         HGPCN_ASSERT(opts.inputOctree->reorderedCloud().size() ==
                          input.size(),
                      "input octree does not match the input cloud");
     }
+
+    // Private fallback arena: same path, per-call allocation.
+    FrameWorkspace local_ws;
+    FrameWorkspace &ws =
+        opts.workspace != nullptr ? *opts.workspace : local_ws;
+    ws.beginFrame();
 
     RunOutput out;
     Rng rng(opts.seed);
@@ -456,32 +497,37 @@ PointNet2::run(const PointCloud &input, const RunOptions &opts) const
     {
         Level l0;
         l0.positions = input.positions();
-        l0.features = Tensor(input.size(), arch.inputFeatureDim);
+        Tensor &f0 = ws.tensor(input.size(), arch.inputFeatureDim);
         for (std::size_t i = 0; i < input.size(); ++i) {
             const auto f = input.feature(static_cast<PointIndex>(i));
             for (std::size_t c = 0; c < f.size(); ++c)
-                l0.features.at(i, c) = f[c];
+                f0.at(i, c) = f[c];
         }
-        levels.push_back(std::move(l0));
+        l0.features = &f0;
+        levels.push_back(l0);
     }
 
     for (std::size_t i = 0; i < arch.sa.size(); ++i) {
         levels.push_back(runSaLayer(i, levels.back(), opts, rng,
-                                    opts.inputOctree, out.trace));
+                                    opts.inputOctree, out.trace, ws));
     }
 
     if (!arch.segmentation) {
-        out.logits = head_mlp->forward(levels.back().features, "head",
-                                       out.trace);
+        out.logits = head_mlp->forwardArena(*levels.back().features,
+                                            "head", out.trace, ws,
+                                            opts.intraOpThreads);
     } else {
-        Tensor carried = levels.back().features;
+        const Tensor *carried = levels.back().features;
         for (std::size_t t = arch.sa.size(); t-- > 0;) {
             Level coarse;
             coarse.positions = levels[t + 1].positions;
-            coarse.features = std::move(carried);
-            carried = runFpLayer(t, levels[t], coarse, opts, out.trace);
+            coarse.features = carried;
+            carried = &runFpLayer(t, levels[t], coarse, opts,
+                                  out.trace, ws);
         }
-        out.logits = head_mlp->forward(carried, "head", out.trace);
+        out.logits = head_mlp->forwardArena(*carried, "head",
+                                            out.trace, ws,
+                                            opts.intraOpThreads);
     }
 
     out.labels.resize(out.logits.rows());

@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,8 @@ struct PointNet2Spec
         std::size_t num_classes = 4);
 };
 
+class FrameWorkspace;
+
 /** Inference options. */
 struct RunOptions
 {
@@ -110,6 +113,28 @@ struct RunOptions
      * reordered cloud must be the cloud passed to run().
      */
     const Octree *inputOctree = nullptr;
+
+    /**
+     * Reusable scratch arena (core/frame_workspace.h). When null,
+     * run() uses a private per-call workspace — same results, plus
+     * per-frame allocation. Must not be shared by concurrent runs.
+     */
+    FrameWorkspace *workspace = nullptr;
+
+    /**
+     * Host threads splitting MLP rows within this frame (>= 1).
+     * Bit-identical output at any value: rows are independent.
+     */
+    int intraOpThreads = 1;
+
+    /**
+     * Serve DsMethod::BruteKnn through the exact spatial-hash index
+     * (src/knn) instead of the full-scan kernel. Identical neighbor
+     * sets and identical modeled workload (the index reports the
+     * brute counters it stands in for); false keeps the oracle
+     * kernel on the host — tests and A/B checks.
+     */
+    bool fastKnn = true;
 };
 
 /** Inference output. */
@@ -150,20 +175,24 @@ class PointNet2
     std::vector<Mlp> fp_mlps;
     std::unique_ptr<Mlp> head_mlp;
 
+    /** One resolution level; storage lives in the frame workspace
+     * (or the caller) and stays valid for the whole frame. */
     struct Level
     {
-        std::vector<Vec3> positions;
-        Tensor features; //!< [points, C]; C may be 0
+        std::span<const Vec3> positions;
+        const Tensor *features = nullptr; //!< [points, C]; C may be 0
     };
 
     Level runSaLayer(std::size_t layer, const Level &in,
                      const RunOptions &opts, Rng &rng,
-                     const Octree *reusable_tree,
-                     ExecutionTrace &trace) const;
+                     const Octree *reusable_tree, ExecutionTrace &trace,
+                     FrameWorkspace &ws) const;
 
-    Tensor runFpLayer(std::size_t layer, const Level &fine,
-                      const Level &coarse, const RunOptions &opts,
-                      ExecutionTrace &trace) const;
+    const Tensor &runFpLayer(std::size_t layer, const Level &fine,
+                             const Level &coarse,
+                             const RunOptions &opts,
+                             ExecutionTrace &trace,
+                             FrameWorkspace &ws) const;
 };
 
 } // namespace hgpcn

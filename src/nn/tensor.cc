@@ -21,60 +21,154 @@ Tensor::reluInPlace()
         v = v > 0.0f ? v : 0.0f;
 }
 
-Tensor
-Tensor::matmul(const Tensor &a, const Tensor &b)
+void
+Tensor::reluRows(std::size_t row_begin, std::size_t row_end)
+{
+    float *p = store.data() + row_begin * n_cols;
+    float *const end = store.data() + row_end * n_cols;
+    for (; p != end; ++p)
+        *p = *p > 0.0f ? *p : 0.0f;
+}
+
+/*
+ * The GEMM micro-kernel. Register-blocked over 4 rows of `a` so each
+ * loaded row of `b` feeds 4 accumulator rows from L1; `restrict`
+ * pointers let the compiler keep the j-loop vectorized. Accumulation
+ * stays in ascending-k order per output element (one `+=` per k, no
+ * split accumulators), so the result is bit-identical to the naive
+ * triple loop — blocking reorders memory access, never the floating-
+ * point sums.
+ */
+namespace
+{
+
+constexpr std::size_t kRowBlock = 4;
+
+inline void
+gemmRowBlock(const float *__restrict a0, const float *__restrict a1,
+             const float *__restrict a2, const float *__restrict a3,
+             const float *__restrict b, float *__restrict o0,
+             float *__restrict o1, float *__restrict o2,
+             float *__restrict o3, std::size_t kk, std::size_t n)
+{
+    std::fill(o0, o0 + n, 0.0f);
+    std::fill(o1, o1 + n, 0.0f);
+    std::fill(o2, o2 + n, 0.0f);
+    std::fill(o3, o3 + n, 0.0f);
+    for (std::size_t k = 0; k < kk; ++k) {
+        const float *__restrict b_row = b + k * n;
+        const float s0 = a0[k];
+        const float s1 = a1[k];
+        const float s2 = a2[k];
+        const float s3 = a3[k];
+        for (std::size_t j = 0; j < n; ++j) {
+            o0[j] += s0 * b_row[j];
+            o1[j] += s1 * b_row[j];
+            o2[j] += s2 * b_row[j];
+            o3[j] += s3 * b_row[j];
+        }
+    }
+}
+
+inline void
+gemmOneRow(const float *__restrict a_row, const float *__restrict b,
+           float *__restrict out_row, std::size_t kk, std::size_t n)
+{
+    std::fill(out_row, out_row + n, 0.0f);
+    for (std::size_t k = 0; k < kk; ++k) {
+        const float s = a_row[k];
+        const float *__restrict b_row = b + k * n;
+        for (std::size_t j = 0; j < n; ++j)
+            out_row[j] += s * b_row[j];
+    }
+}
+
+} // namespace
+
+void
+Tensor::matmulRowsInto(const Tensor &a, const Tensor &b, Tensor &out,
+                       std::size_t row_begin, std::size_t row_end)
 {
     HGPCN_ASSERT(a.cols() == b.rows(), "matmul shape mismatch: [",
                  a.rows(), ",", a.cols(), "] x [", b.rows(), ",",
                  b.cols(), "]");
-    Tensor out(a.rows(), b.cols());
-    const std::size_t m = a.rows();
+    HGPCN_ASSERT(out.rows() == a.rows() && out.cols() == b.cols(),
+                 "matmul output shape mismatch");
+    HGPCN_ASSERT(row_begin <= row_end && row_end <= a.rows(),
+                 "matmul row range out of bounds");
     const std::size_t kk = a.cols();
     const std::size_t n = b.cols();
-    for (std::size_t i = 0; i < m; ++i) {
-        float *out_row = out.row(i);
-        const float *a_row = a.row(i);
-        for (std::size_t k = 0; k < kk; ++k) {
-            const float a_ik = a_row[k];
-            if (a_ik == 0.0f)
-                continue;
-            const float *b_row = b.row(k);
-            for (std::size_t j = 0; j < n; ++j)
-                out_row[j] += a_ik * b_row[j];
-        }
+    const float *b_data = b.store.data();
+
+    std::size_t i = row_begin;
+    for (; i + kRowBlock <= row_end; i += kRowBlock) {
+        gemmRowBlock(a.row(i), a.row(i + 1), a.row(i + 2),
+                     a.row(i + 3), b_data, out.row(i), out.row(i + 1),
+                     out.row(i + 2), out.row(i + 3), kk, n);
     }
+    for (; i < row_end; ++i)
+        gemmOneRow(a.row(i), b_data, out.row(i), kk, n);
+}
+
+void
+Tensor::matmulInto(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    out.resizeUninit(a.rows(), b.cols());
+    matmulRowsInto(a, b, out, 0, a.rows());
+}
+
+Tensor
+Tensor::matmul(const Tensor &a, const Tensor &b)
+{
+    Tensor out(a.rows(), b.cols());
+    matmulRowsInto(a, b, out, 0, a.rows());
     return out;
 }
 
 void
 Tensor::addRowBias(const std::vector<float> &bias)
 {
+    addRowBias(bias, 0, n_rows);
+}
+
+void
+Tensor::addRowBias(const std::vector<float> &bias,
+                   std::size_t row_begin, std::size_t row_end)
+{
     HGPCN_ASSERT(bias.size() == n_cols, "bias width mismatch");
-    for (std::size_t r = 0; r < n_rows; ++r) {
-        float *row_ptr = row(r);
+    const float *__restrict b = bias.data();
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        float *__restrict row_ptr = row(r);
         for (std::size_t c = 0; c < n_cols; ++c)
-            row_ptr[c] += bias[c];
+            row_ptr[c] += b[c];
     }
 }
 
 Tensor
 Tensor::maxPoolGroups(std::size_t group) const
 {
+    Tensor out;
+    maxPoolGroupsInto(group, out);
+    return out;
+}
+
+void
+Tensor::maxPoolGroupsInto(std::size_t group, Tensor &out) const
+{
     HGPCN_ASSERT(group >= 1 && n_rows % group == 0,
                  "rows ", n_rows, " not a multiple of group ", group);
     const std::size_t out_rows = n_rows / group;
-    Tensor out(out_rows, n_cols);
+    out.resizeUninit(out_rows, n_cols);
     for (std::size_t g = 0; g < out_rows; ++g) {
-        float *dst = out.row(g);
-        const float *first = row(g * group);
+        float *__restrict dst = out.row(g);
+        const float *__restrict first = row(g * group);
         std::copy(first, first + n_cols, dst);
         for (std::size_t i = 1; i < group; ++i) {
-            const float *src = row(g * group + i);
+            const float *__restrict src = row(g * group + i);
             for (std::size_t c = 0; c < n_cols; ++c)
                 dst[c] = std::max(dst[c], src[c]);
         }
     }
-    return out;
 }
 
 std::size_t

@@ -60,6 +60,23 @@ class Tensor
     /** @return underlying storage. */
     const std::vector<float> &data() const { return store; }
 
+    /**
+     * Reshape to [rows, cols] without initializing the contents
+     * (unspecified stale values). Backing capacity is reused — the
+     * FrameWorkspace arena's steady-state path. Callers must write
+     * every element before reading.
+     */
+    void
+    resizeUninit(std::size_t rows, std::size_t cols)
+    {
+        n_rows = rows;
+        n_cols = cols;
+        store.resize(rows * cols);
+    }
+
+    /** @return float capacity of the backing store. */
+    std::size_t capacityFloats() const { return store.capacity(); }
+
     /** Fill with He-style scaled uniform random weights. */
     void randomize(Rng &rng, float scale);
 
@@ -71,8 +88,31 @@ class Tensor
      */
     static Tensor matmul(const Tensor &a, const Tensor &b);
 
+    /**
+     * out = a * b into a preallocated tensor (resized in place, no
+     * heap traffic once warm). Row range [row_begin, row_end) of a
+     * only — rows are independent, so disjoint ranges may run on
+     * different threads. Bit-identical to matmul(): every output
+     * element accumulates its K products in the same ascending-k
+     * order.
+     */
+    static void matmulRowsInto(const Tensor &a, const Tensor &b,
+                               Tensor &out, std::size_t row_begin,
+                               std::size_t row_end);
+
+    /** out = a * b over all rows (out resized in place). */
+    static void matmulInto(const Tensor &a, const Tensor &b,
+                           Tensor &out);
+
     /** Add a length-cols() bias vector to every row. */
     void addRowBias(const std::vector<float> &bias);
+
+    /** addRowBias() over rows [row_begin, row_end) only. */
+    void addRowBias(const std::vector<float> &bias,
+                    std::size_t row_begin, std::size_t row_end);
+
+    /** reluInPlace() over rows [row_begin, row_end) only. */
+    void reluRows(std::size_t row_begin, std::size_t row_end);
 
     /**
      * Column-wise max over groups of @p group rows: input [G*group,
@@ -80,6 +120,9 @@ class Tensor
      * gathered neighborhood.
      */
     Tensor maxPoolGroups(std::size_t group) const;
+
+    /** maxPoolGroups() into a preallocated tensor. */
+    void maxPoolGroupsInto(std::size_t group, Tensor &out) const;
 
     /** @return index of the maximum element of row @p r. */
     std::size_t argmaxRow(std::size_t r) const;

@@ -1,6 +1,8 @@
 #include "octree/voxel_grid.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -98,13 +100,122 @@ VoxelGrid::forEachRingCell(
     return visited;
 }
 
+std::size_t
+VoxelGrid::boxCellCount(const GridCell &center,
+                        std::int32_t radius) const
+{
+    if (radius < 0)
+        return 0;
+    const auto span = [radius](std::int32_t c, std::int32_t n) {
+        const std::int32_t lo = std::max(c - radius, std::int32_t{0});
+        const std::int32_t hi = std::min(c + radius, n - 1);
+        return hi >= lo ? static_cast<std::size_t>(hi - lo + 1)
+                        : std::size_t{0};
+    };
+    return span(center.x, axis_cells) * span(center.y, axis_cells) *
+           span(center.z, axis_cells);
+}
+
+std::size_t
+VoxelGrid::shellCellCount(const GridCell &center, int ring) const
+{
+    HGPCN_ASSERT(ring >= 0, "negative ring");
+    if (ring == 0)
+        return inGrid(center) ? 1 : 0;
+    return boxCellCount(center, ring) -
+           boxCellCount(center, ring - 1);
+}
+
+const std::vector<OccupiedCell> &
+VoxelGrid::occupiedCells() const
+{
+    if (occ_built)
+        return occ;
+    occ_built = true;
+    const std::vector<morton::Code> &codes = octree.pointCodes();
+    const std::size_t n = codes.size();
+    if (lvl == 0) {
+        if (n > 0) {
+            occ.push_back({GridCell{0, 0, 0}, 0,
+                           static_cast<PointIndex>(n)});
+        }
+        return occ;
+    }
+    // Points are sorted by full-depth m-code, so every level-lvl
+    // cell is one contiguous run of equal code prefixes.
+    const int shift = 3 * (octree.config().maxDepth - lvl);
+    std::size_t i = 0;
+    while (i < n) {
+        const morton::Code prefix = codes[i] >> shift;
+        std::size_t j = i + 1;
+        while (j < n && (codes[j] >> shift) == prefix)
+            ++j;
+        morton::CellCoord x = 0, y = 0, z = 0;
+        morton::decode3(prefix, lvl, x, y, z);
+        occ.push_back({GridCell{static_cast<std::int32_t>(x),
+                                static_cast<std::int32_t>(y),
+                                static_cast<std::int32_t>(z)},
+                       static_cast<PointIndex>(i),
+                       static_cast<PointIndex>(j)});
+        i = j;
+    }
+    // Ring scans must emit cells in the same (x, y, z) order the
+    // per-cell walk visits them in.
+    std::sort(occ.begin(), occ.end(),
+              [](const OccupiedCell &a, const OccupiedCell &b) {
+                  if (a.cell.x != b.cell.x)
+                      return a.cell.x < b.cell.x;
+                  if (a.cell.y != b.cell.y)
+                      return a.cell.y < b.cell.y;
+                  return a.cell.z < b.cell.z;
+              });
+    return occ;
+}
+
+namespace
+{
+
+/** Chebyshev distance between two cells. */
+inline std::int32_t
+chebDist(const GridCell &a, const GridCell &b)
+{
+    const std::int32_t dx = std::abs(a.x - b.x);
+    const std::int32_t dy = std::abs(a.y - b.y);
+    const std::int32_t dz = std::abs(a.z - b.z);
+    return std::max(dx, std::max(dy, dz));
+}
+
+} // namespace
+
+/*
+ * Ring serving is hybrid: small shells walk their cells (one
+ * Octree-Table range lookup per cell, cheap when r is small); large
+ * shells — deep levels over sparse or clustered clouds, where
+ * almost every shell cell is empty — scan the occupied-cell list
+ * instead, touching only cells that can contribute points. Both
+ * paths produce identical points in identical (x, y, z) order, and
+ * both report the full in-grid shell cell count: that is what the
+ * modeled hardware's table walk costs, regardless of the host
+ * shortcut (see docs/PERFORMANCE.md).
+ */
+
 std::uint32_t
 VoxelGrid::ringPointCount(const GridCell &center, int ring) const
 {
+    const std::size_t shell = shellCellCount(center, ring);
+    const std::vector<OccupiedCell> &cells = occupiedCells();
+    if (shell <= cells.size() / 2) {
+        std::uint32_t total = 0;
+        forEachRingCell(center, ring, [&](const GridCell &c) {
+            total += cellCount(c);
+        });
+        return total;
+    }
     std::uint32_t total = 0;
-    forEachRingCell(center, ring, [&](const GridCell &c) {
-        total += cellCount(c);
-    });
+    for (const OccupiedCell &c : cells) {
+        if (chebDist(c.cell, center) == ring)
+            total += c.last - c.first;
+    }
     return total;
 }
 
@@ -112,11 +223,22 @@ std::size_t
 VoxelGrid::gatherRingPoints(const GridCell &center, int ring,
                             std::vector<PointIndex> &out) const
 {
-    return forEachRingCell(center, ring, [&](const GridCell &c) {
-        const auto [first, last] = cellRange(c);
-        for (PointIndex i = first; i < last; ++i)
-            out.push_back(i);
-    });
+    const std::size_t shell = shellCellCount(center, ring);
+    const std::vector<OccupiedCell> &cells = occupiedCells();
+    if (shell <= cells.size() / 2) {
+        return forEachRingCell(center, ring, [&](const GridCell &c) {
+            const auto [first, last] = cellRange(c);
+            for (PointIndex i = first; i < last; ++i)
+                out.push_back(i);
+        });
+    }
+    for (const OccupiedCell &c : cells) {
+        if (chebDist(c.cell, center) == ring) {
+            for (PointIndex i = c.first; i < c.last; ++i)
+                out.push_back(i);
+        }
+    }
+    return shell;
 }
 
 int

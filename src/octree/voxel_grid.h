@@ -36,6 +36,14 @@ struct GridCell
     }
 };
 
+/** One occupied cell of a level: coordinates + reordered range. */
+struct OccupiedCell
+{
+    GridCell cell;
+    PointIndex first = 0; //!< reordered range start
+    PointIndex last = 0;  //!< reordered range end (exclusive)
+};
+
 /**
  * A read-only uniform-grid view over one level of an octree.
  */
@@ -94,6 +102,26 @@ class VoxelGrid
                                  std::vector<PointIndex> &out) const;
 
     /**
+     * @return in-grid cell count of the shell at @p ring — the
+     * number forEachRingCell() would visit — in O(1) (clipped-box
+     * difference). This is the table-lookup cost the DSU model
+     * charges for the ring, independent of how the host computed
+     * the ring's points.
+     */
+    std::size_t shellCellCount(const GridCell &center, int ring) const;
+
+    /**
+     * @return the level's occupied cells with their reordered
+     * ranges, sorted by (x, y, z); built lazily in one O(n) pass
+     * over the point codes. The host-side shortcut behind
+     * ringPointCount()/gatherRingPoints(): sparse or deep levels
+     * serve rings by scanning this list instead of visiting every
+     * (mostly empty) shell cell — same points, same order, same
+     * modeled lookup counts (docs/PERFORMANCE.md).
+     */
+    const std::vector<OccupiedCell> &occupiedCells() const;
+
+    /**
      * Pick a gathering level such that the expected voxel occupancy
      * suits K-neighbor gathering: roughly one to two points per
      * voxel, clamped to the octree's built depth.
@@ -101,9 +129,18 @@ class VoxelGrid
     static int autoLevel(std::size_t n_points, int max_level);
 
   private:
+    /** @return in-grid cells within Chebyshev distance @p radius of
+     * @p center (clipped box volume); 0 when radius < 0. */
+    std::size_t boxCellCount(const GridCell &center,
+                             std::int32_t radius) const;
+
     const Octree &octree;
     int lvl;
     std::int32_t axis_cells;
+    /** Lazy occupied-cell list (single-threaded use, like the
+     * gatherers that own grid views). */
+    mutable std::vector<OccupiedCell> occ;
+    mutable bool occ_built = false;
 };
 
 } // namespace hgpcn

@@ -31,7 +31,15 @@ InferenceStage::process(FrameTask &task) const
     // trace.
     PointCloud input = task.result.preprocess.sampled;
     input.normalizeToUnitCube();
-    task.result.inference = be.infer(input);
+    if (workspaces != nullptr) {
+        // Lease a warm scratch arena for this frame; the pool keeps
+        // it across frames and runs (zero-alloc steady state).
+        WorkspacePool::Lease ws = workspaces->acquire();
+        ws->intraOpThreads = intraOp;
+        task.result.inference = be.infer(input, ws.get());
+    } else {
+        task.result.inference = be.infer(input);
+    }
     return task.result.inference.totalSec();
 }
 

@@ -26,6 +26,7 @@
 
 #include "backends/execution_backend.h"
 #include "common/stats.h"
+#include "core/frame_workspace.h"
 #include "core/preprocessing_engine.h"
 #include "runtime/stage.h"
 
@@ -98,12 +99,21 @@ class InferenceStage : public PipelineStage
      *        timeline; defaults to the backend's own resource.
      *        StreamRunner overrides it to model the shared HgPCN
      *        fabric ("fpga" / "fpga.fcu").
+     * @param workspace_pool Optional pool of reusable frame
+     *        workspaces (borrowed): each process() call leases one,
+     *        giving the backend a warm scratch arena — the
+     *        zero-alloc steady state (core/frame_workspace.h).
+     * @param intra_op_threads Host threads splitting MLP rows per
+     *        frame (>= 1; output is bit-identical at any value).
      */
     explicit InferenceStage(const ExecutionBackend &execution_backend,
-                            std::string stage_resource = "")
+                            std::string stage_resource = "",
+                            WorkspacePool *workspace_pool = nullptr,
+                            int intra_op_threads = 1)
         : be(execution_backend),
           res(stage_resource.empty() ? execution_backend.resource()
-                                     : std::move(stage_resource))
+                                     : std::move(stage_resource)),
+          workspaces(workspace_pool), intraOp(intra_op_threads)
     {
     }
 
@@ -117,6 +127,8 @@ class InferenceStage : public PipelineStage
   private:
     const ExecutionBackend &be;
     std::string res;
+    WorkspacePool *workspaces;
+    int intraOp;
     std::string nm = "inference";
 };
 

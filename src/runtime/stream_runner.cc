@@ -107,13 +107,16 @@ StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
              &streamWorkload),
       infer(owned ? *owned : *borrowed_backend,
             inferResource(owned ? *owned : *borrowed_backend,
-                          config)),
+                          config),
+            &workspacePool, config.intraOpThreads),
       pipeline(makeSpecs(build, sample, infer, config),
                pipelineConfig(config))
 {
     HGPCN_ASSERT(cfg.inputPoints >= 1, "inputPoints must be >= 1");
     HGPCN_ASSERT(cfg.buildWorkers >= 1, "buildWorkers must be >= 1");
     HGPCN_ASSERT(cfg.fpgaUnits >= 1, "fpgaUnits must be >= 1");
+    HGPCN_ASSERT(cfg.intraOpThreads >= 1,
+                 "intraOpThreads must be >= 1");
 }
 
 StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,

@@ -134,6 +134,13 @@ class StreamRunner
         /** true: admit each frame at its sensor timestamp; false:
          * batch mode, every frame available at t=0. */
         bool paceBySensor = true;
+
+        /** Host threads splitting MLP rows within one frame's
+         * inference (>= 1). Wall-clock only — the modeled schedule
+         * and every output bit are identical at any value; size it
+         * against buildWorkers/fpgaUnits so intra- and inter-frame
+         * parallelism share the host sensibly. */
+        int intraOpThreads = 1;
     };
 
     /**
@@ -203,6 +210,10 @@ class StreamRunner
     /** Cross-frame workload aggregate, merged into by down-sample
      * workers concurrently; snapshot into RuntimeResult::workload. */
     ConcurrentStatSet streamWorkload;
+    /** Reusable frame workspaces leased by inference workers; warm
+     * across frames and runs (declared before the stages that
+     * borrow it). */
+    WorkspacePool workspacePool;
     OctreeBuildStage build;
     DownSampleStage sample;
     InferenceStage infer;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/frame_workspace.h"
 
 namespace hgpcn
 {
@@ -26,6 +27,13 @@ FpsSampler::predictStats(std::uint64_t n, std::uint64_t k)
 SampleResult
 FpsSampler::sample(const PointCloud &cloud, std::size_t k)
 {
+    return sample(cloud, k, nullptr);
+}
+
+SampleResult
+FpsSampler::sample(const PointCloud &cloud, std::size_t k,
+                   FrameWorkspace *workspace)
+{
     const std::size_t n = cloud.size();
     HGPCN_ASSERT(k >= 1 && k <= n, "k=", k, " n=", n);
 
@@ -34,7 +42,13 @@ FpsSampler::sample(const PointCloud &cloud, std::size_t k)
 
     // Initialize the per-point minimum-distance array (intermediate
     // data written to memory, re-read every iteration).
-    std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+    std::vector<float> own_min_dist;
+    std::vector<float> &min_dist =
+        workspace != nullptr ? workspace->sampling.minDist
+                             : own_min_dist;
+    if (workspace != nullptr)
+        workspace->ensure(min_dist, n);
+    min_dist.assign(n, std::numeric_limits<float>::max());
 
     // Workload counters, accumulated locally so the accounting does
     // not distort wall-clock measurements of the algorithm itself.

@@ -18,6 +18,8 @@
 namespace hgpcn
 {
 
+class FrameWorkspace;
+
 /**
  * Exact farthest-point sampling with per-point cached minimum
  * distances (the strongest software formulation of Algorithm 1).
@@ -29,6 +31,14 @@ class FpsSampler : public Sampler
     explicit FpsSampler(std::uint64_t seed = 1) : rng_seed(seed) {}
 
     SampleResult sample(const PointCloud &cloud, std::size_t k) override;
+
+    /**
+     * sample() with the per-point minimum-distance array taken from
+     * @p workspace (core/frame_workspace.h) instead of a per-call
+     * allocation. Identical picks and counters.
+     */
+    SampleResult sample(const PointCloud &cloud, std::size_t k,
+                        FrameWorkspace *workspace);
 
     std::string name() const override { return "FPS"; }
 

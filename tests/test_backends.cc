@@ -133,7 +133,7 @@ TEST(BackendRegistry, CustomBackendRoundTrips)
         const std::string &name() const override { return nm; }
         const std::string &resource() const override { return res; }
         BackendInference
-        infer(const PointCloud &) const override
+        infer(const PointCloud &, FrameWorkspace *) const override
         {
             BackendInference out;
             out.backend = nm;

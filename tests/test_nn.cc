@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "nn/mlp.h"
 #include "nn/pointnet2.h"
+#include "core/frame_workspace.h"
 #include "nn/tensor.h"
 
 namespace hgpcn
@@ -471,6 +472,110 @@ TEST(PointNet2, FeatureCloudSupported)
     }
     const RunOutput out = net.run(cloud);
     EXPECT_EQ(out.logits.cols(), 3u);
+}
+
+// ------------------------------------------- blocked kernels (perf PR)
+
+TEST(Tensor, MatmulIntoMatchesMatmulBitForBit)
+{
+    // The blocked kernel reorders memory access, never the
+    // floating-point sums: any (rows, k, n), including remainder
+    // rows outside the 4-row blocks, must reproduce matmul exactly.
+    Rng rng(3);
+    for (const std::size_t m : {1u, 3u, 4u, 7u, 64u}) {
+        for (const std::size_t k : {1u, 3u, 32u}) {
+            for (const std::size_t n : {1u, 5u, 33u}) {
+                Tensor a(m, k), b(k, n);
+                a.randomize(rng, 1.0f);
+                b.randomize(rng, 1.0f);
+                const Tensor expect = Tensor::matmul(a, b);
+                Tensor got;
+                Tensor::matmulInto(a, b, got);
+                ASSERT_EQ(got.data(), expect.data())
+                    << m << "x" << k << "x" << n;
+            }
+        }
+    }
+}
+
+TEST(Tensor, MatmulRowRangesComposeExactly)
+{
+    Rng rng(5);
+    Tensor a(10, 8), b(8, 6);
+    a.randomize(rng, 1.0f);
+    b.randomize(rng, 1.0f);
+    const Tensor whole = Tensor::matmul(a, b);
+    Tensor split(10, 6);
+    Tensor::matmulRowsInto(a, b, split, 0, 4);
+    Tensor::matmulRowsInto(a, b, split, 4, 9);
+    Tensor::matmulRowsInto(a, b, split, 9, 10);
+    EXPECT_EQ(split.data(), whole.data());
+}
+
+TEST(Tensor, MaxPoolGroupsIntoReusesBuffer)
+{
+    Rng rng(7);
+    Tensor x(12, 5);
+    x.randomize(rng, 1.0f);
+    const Tensor expect = x.maxPoolGroups(4);
+    Tensor out(99, 2); // wrong shape on purpose: resized in place
+    x.maxPoolGroupsInto(4, out);
+    EXPECT_EQ(out.rows(), 3u);
+    EXPECT_EQ(out.data(), expect.data());
+}
+
+TEST(Mlp, ForwardArenaMatchesForwardBitForBit)
+{
+    Rng wr(42);
+    const Mlp mlp(6, {16, 16, 4}, wr, /*final_relu=*/false);
+    Rng xr(1);
+    Tensor x(37, 6);
+    x.randomize(xr, 1.0f);
+
+    ExecutionTrace ta, tb;
+    const Tensor plain = mlp.forward(x, "t", ta);
+    FrameWorkspace ws;
+    ws.beginFrame();
+    const Tensor &arena = mlp.forwardArena(x, "t", tb, ws, 1);
+    EXPECT_EQ(arena.data(), plain.data());
+    EXPECT_EQ(ta.gemms.size(), tb.gemms.size());
+
+    // Intra-op row splitting is bit-identical too (rows are
+    // independent; k-order accumulation per element is unchanged).
+    ExecutionTrace tc;
+    ws.beginFrame();
+    const Tensor &threaded = mlp.forwardArena(x, "t", tc, ws, 3);
+    EXPECT_EQ(threaded.data(), plain.data());
+}
+
+TEST(PointNet2, WorkspaceAndThreadsDoNotChangeOutputs)
+{
+    PointNet2Spec spec = PointNet2Spec::classification(4);
+    spec.sa[0].npoint = 32;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 8;
+    spec.sa[1].k = 4;
+    const PointNet2 net(spec, 42);
+    PointCloud cloud;
+    Rng rng(23);
+    for (int i = 0; i < 128; ++i) {
+        cloud.add({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+                   rng.uniform(0.0f, 1.0f)});
+    }
+
+    RunOptions base; // private per-call workspace
+    const RunOutput a = net.run(cloud, base);
+
+    FrameWorkspace ws;
+    RunOptions pooled = base;
+    pooled.workspace = &ws;
+    pooled.intraOpThreads = 2;
+    const RunOutput b = net.run(cloud, pooled);
+    const RunOutput c = net.run(cloud, pooled); // arena now warm
+
+    EXPECT_EQ(a.logits.data(), b.logits.data());
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(b.logits.data(), c.logits.data());
 }
 
 } // namespace

@@ -579,5 +579,28 @@ TEST(StreamRunner, RunAfterStopProcessesFullStream)
     EXPECT_EQ(second.frames.size(), frames.size());
 }
 
+TEST(StreamRunner, SteadyStateIsArenaAllocationFree)
+{
+    // The zero-alloc regression pin (core/frame_workspace.h): after
+    // a warm-up run grows the runner's workspace arenas once, a
+    // steady-state run over the same stream must not grow them
+    // again — the counting hook on the arena backing stores is the
+    // witness. Single-worker config so exactly one workspace serves
+    // every frame deterministically.
+    const std::vector<Frame> frames = smallKittiStream(3);
+    HgPcnSystem::Config cfg;
+    const HgPcnSystem system(cfg, tinyClassifier());
+    StreamRunner::Config rc = StreamRunner::compat(frames.size(), 0);
+    rc.inputPoints = system.config().inputPoints;
+    StreamRunner runner(system.preprocessor(), system.backend(), rc);
+
+    runner.run(frames); // warm-up: arenas size themselves
+    const std::uint64_t warm = FrameWorkspace::backingGrowths();
+    const RuntimeResult steady = runner.run(frames);
+    EXPECT_EQ(steady.frames.size(), frames.size());
+    EXPECT_EQ(FrameWorkspace::backingGrowths(), warm)
+        << "steady-state frames grew a workspace arena";
+}
+
 } // namespace
 } // namespace hgpcn

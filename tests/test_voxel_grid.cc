@@ -230,5 +230,84 @@ TEST(VoxelGrid, LevelZeroSingleCellHoldsAll)
     EXPECT_EQ(grid.cellCount({0, 0, 0}), 250u);
 }
 
+// ------------------------------------- fast ring serving (src/knn PR)
+
+TEST(VoxelGrid, ShellCellCountMatchesEnumeration)
+{
+    // shellCellCount is the O(1) closed form of forEachRingCell's
+    // visit count — the DSU's modeled table-lookup cost. Pin them
+    // equal across interior, edge and corner centers, clipped and
+    // unclipped rings.
+    const Octree tree = makeTree(500, 21);
+    for (const int level : {1, 2, 4}) {
+        const VoxelGrid grid(tree, level);
+        const std::int32_t n = grid.cellsPerAxis();
+        const GridCell centers[] = {
+            {0, 0, 0},
+            {n - 1, n - 1, n - 1},
+            {n / 2, n / 2, n / 2},
+            {0, n / 2, n - 1},
+        };
+        for (const GridCell &c : centers) {
+            for (int r = 0; r <= n + 1; ++r) {
+                EXPECT_EQ(grid.shellCellCount(c, r),
+                          grid.forEachRingCell(
+                              c, r, [](const GridCell &) {}))
+                    << "level " << level << " ring " << r;
+            }
+        }
+    }
+}
+
+TEST(VoxelGrid, OccupiedScanMatchesPerCellWalk)
+{
+    // ringPointCount / gatherRingPoints switch between walking the
+    // shell's cells and scanning the occupied-cell list. Both paths
+    // must yield identical points in identical order and identical
+    // lookup counts; compare against the raw enumeration at deep
+    // levels where the fast path engages.
+    const Octree tree = makeTree(400, 33, /*depth=*/10);
+    const VoxelGrid grid(tree, 7); // deep: shells >> occupied cells
+    const GridCell center = grid.cellOf({0.4f, 0.6f, 0.5f});
+    for (int r = 0; r < 24; ++r) {
+        std::vector<PointIndex> naive;
+        const std::size_t visited =
+            grid.forEachRingCell(center, r, [&](const GridCell &c) {
+                const auto [first, last] = grid.cellRange(c);
+                for (PointIndex i = first; i < last; ++i)
+                    naive.push_back(i);
+            });
+        std::vector<PointIndex> fast;
+        const std::size_t lookups =
+            grid.gatherRingPoints(center, r, fast);
+        EXPECT_EQ(fast, naive) << "ring " << r;
+        EXPECT_EQ(lookups, visited) << "ring " << r;
+        EXPECT_EQ(grid.ringPointCount(center, r), naive.size());
+    }
+}
+
+TEST(VoxelGrid, OccupiedCellsCoverEveryPoint)
+{
+    const Octree tree = makeTree(600, 41);
+    const VoxelGrid grid(tree, 3);
+    const auto &occ = grid.occupiedCells();
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < occ.size(); ++i) {
+        EXPECT_LT(occ[i].first, occ[i].last);
+        EXPECT_EQ(grid.cellCount(occ[i].cell),
+                  occ[i].last - occ[i].first);
+        covered += occ[i].last - occ[i].first;
+        if (i > 0) {
+            const GridCell &a = occ[i - 1].cell;
+            const GridCell &b = occ[i].cell;
+            const bool lex_ordered =
+                a.x != b.x ? a.x < b.x
+                           : (a.y != b.y ? a.y < b.y : a.z < b.z);
+            EXPECT_TRUE(lex_ordered) << "occupied list unsorted";
+        }
+    }
+    EXPECT_EQ(covered, 600u);
+}
+
 } // namespace
 } // namespace hgpcn
