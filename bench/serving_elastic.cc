@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Elastic serving under a city-scale traffic generator: autoscaler
+ * + admission control vs a statically provisioned fleet
+ * (docs/RUNTIME.md §elastic-serving).
+ *
+ * A seeded TrafficGen trace — diurnal swell, per-sensor bursts,
+ * hot-plug/drop churn — is served twice: by a static 4-shard fleet
+ * in one continuous serve, and by the ElasticRunner control loop
+ * (scale between minShards and maxShards at epoch boundaries). The
+ * trace is calibrated against the backend's own modeled service
+ * time, so the load pattern — and therefore every number printed —
+ * is machine-independent: the diurnal peak lands at the end of the
+ * trace at ~4.6x one shard's capacity, above the static fleet's
+ * headroom, while the trough dips to ~0.7x.
+ *
+ * Everything reported is virtual-timeline arithmetic: two runs of
+ * the same seed produce byte-identical output (CI diffs the JSON
+ * records of a double run).
+ *
+ *   ./build/bench/serving_elastic [duration_scale] [sensors]
+ *                                 [--json path] [--assert-elastic]
+ *
+ * `--json <path>` writes a BENCH_serving.json record including the
+ * full per-epoch decision log. `--assert-elastic` exits nonzero
+ * unless the elastic fleet sustains at least the static fleet's
+ * FPS on fewer shard-seconds (the PR acceptance gate; CI runs it).
+ *
+ * CI smoke-runs `serving_elastic 2 64` (.github/workflows/ci.yml).
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/hgpcn_system.h"
+#include "datasets/traffic_gen.h"
+#include "serving/autoscaler.h"
+#include "serving/sharded_runner.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+constexpr std::size_t kStaticShards = 4;
+
+PointNet2Spec
+cityClassifier()
+{
+    // Small per-frame network: city scale means many sensors, not
+    // heavy frames.
+    PointNet2Spec spec = PointNet2Spec::classification(8);
+    spec.inputPoints = 256;
+    spec.sa[0].npoint = 64;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 16;
+    spec.sa[1].k = 8;
+    return spec;
+}
+
+ElasticRunner::Config
+elasticConfig(double epoch_sec)
+{
+    ElasticRunner::Config cfg;
+    cfg.epochSec = epoch_sec;
+    cfg.fleet.shards = 2;
+    cfg.fleet.placement = PlacementPolicy::HashBySensor;
+    cfg.autoscaler.minShards = 1;
+    cfg.autoscaler.maxShards = 8;
+    // Grow fast (the final peak is what bounds the makespan),
+    // shrink promptly (idle width in the trough is what costs
+    // shard-seconds).
+    cfg.autoscaler.upStep = 2;
+    cfg.autoscaler.downStep = 2;
+    cfg.autoscaler.upHoldEpochs = 1;
+    cfg.autoscaler.downHoldEpochs = 1;
+    cfg.autoscaler.cooldownEpochs = 1;
+    // Tight occupancy band: the fleet settles near 70% busy, so
+    // its width tracks the diurnal swell instead of ratcheting up
+    // to the peak and staying there.
+    cfg.autoscaler.upUtilization = 0.80;
+    cfg.autoscaler.downUtilization = 0.60;
+    // Headline comparison sheds nothing: both fleets must process
+    // every frame for sustained-FPS parity to be meaningful.
+    cfg.admission.enabled = false;
+    return cfg;
+}
+
+int
+run(std::size_t duration_scale, std::size_t sensors,
+    const std::string &json_path, bool assert_elastic)
+{
+    bench::banner(
+        "SERVING: ELASTIC AUTOSCALER VS STATIC FLEET",
+        "city-scale seeded traffic (diurnal + bursts + churn) "
+        "through the epoch control loop");
+
+    HgPcnSystem::Config system;
+    const PointNet2Spec spec = cityClassifier();
+
+    // Calibrate the trace to the modeled per-frame service time,
+    // so the offered-load pattern is the same on every machine.
+    ElasticRunner probe(system, spec, elasticConfig(1.0));
+    const double svc =
+        probe.fleet().shardBackend(0).estimateServiceSec();
+    const double cap1 = 1.0 / svc; // one shard's modeled FPS
+
+    const double epoch_sec = 40.0 * svc;
+    const double duration =
+        static_cast<double>(duration_scale) * 8.0 * epoch_sec;
+
+    TrafficGen::Config traffic;
+    traffic.sensors = sensors;
+    traffic.durationSec = duration;
+    // Fleet-wide diurnal swell, ending ON the peak: period 4/5 of
+    // the trace puts sin at +1 exactly at the end, so the static
+    // fleet finishes the trace under-provisioned and drains late,
+    // while the autoscaler rides the swell up.
+    traffic.diurnalAmplitude = 0.75;
+    traffic.diurnalPeriodSec = duration * 0.8;
+    // Per-sensor burst texture (phases independent per sensor).
+    traffic.burstFactor = 1.6;
+    traffic.burstDuty = 0.25;
+    traffic.burstPeriodSec = 2.0 * epoch_sec;
+    traffic.rateJitter = 0.2;
+    traffic.hotPlugFraction = 0.15;
+    traffic.dropFraction = 0.10;
+    traffic.priorityTiers = 3;
+    traffic.cloudPoints = 300;
+    traffic.seed = 1234;
+    // Average offered load ~2.6x one shard (mean burst multiplier
+    // 1.15, mean diurnal 1 over the windowed trace): the static
+    // fleet is sized for the ~4.6x peak, so it idles through the
+    // trough the autoscaler shrinks into.
+    traffic.baseRateHz =
+        2.6 * cap1 /
+        (static_cast<double>(sensors) * 1.15);
+    const TrafficGen gen(traffic);
+    const TrafficTrace trace = gen.generate();
+
+    std::printf("trace: %zu frames from %zu sensors over %.3f s "
+                "(modeled), service %.4g s/frame, epoch %.3f s\n",
+                trace.stream.size(), trace.stream.sensorCount,
+                duration, svc, epoch_sec);
+    std::printf("load: avg ~2.6x / peak ~4.6x / trough ~0.7x one "
+                "shard's capacity (%.1f FPS); the peak lands at "
+                "the end of the trace\n\n",
+                cap1);
+
+    // --- Static baseline: 4 shards, one continuous serve. -------
+    bench::section("static fleet (4 shards, hash affinity)");
+    ShardedRunner::Config static_cfg;
+    static_cfg.shards = kStaticShards;
+    static_cfg.placement = PlacementPolicy::HashBySensor;
+    ShardedRunner static_fleet(system, spec, static_cfg);
+    const ServingResult static_result =
+        static_fleet.serve(trace.stream);
+    const double static_fps = static_result.report.sustainedFps;
+    const double static_shard_sec =
+        static_cast<double>(kStaticShards) *
+        static_result.report.makespanSec;
+    std::printf("sustained %.1f FPS | makespan %.3f s | p99 %.2f "
+                "ms | %zu/%zu processed | %.2f shard-seconds\n",
+                static_fps, static_result.report.makespanSec,
+                static_result.report.p99LatencySec * 1e3,
+                static_result.report.framesProcessed,
+                static_result.report.framesIn, static_shard_sec);
+
+    // --- Elastic fleet: the epoch control loop. ------------------
+    bench::section("elastic fleet (autoscaler 1..8 shards)");
+    ElasticRunner elastic(system, spec, elasticConfig(epoch_sec));
+    const ElasticResult er = elastic.serve(trace.stream);
+    const double elastic_fps = er.serving.report.sustainedFps;
+    std::printf("sustained %.1f FPS | makespan %.3f s | p99 %.2f "
+                "ms | %zu/%zu processed | %.2f shard-seconds\n",
+                elastic_fps, er.serving.report.makespanSec,
+                er.serving.report.p99LatencySec * 1e3,
+                er.serving.report.framesProcessed,
+                er.serving.report.framesIn, er.shardSeconds);
+    std::printf("%zu scale events over %zu epochs:\n",
+                er.events.size(), er.epochs.size());
+    for (const ScaleEvent &event : er.events) {
+        std::printf("  epoch %zu: %zu -> %zu shards (%s)\n",
+                    event.epoch, event.fromShards, event.toShards,
+                    event.reason.c_str());
+    }
+
+    bench::section("verdict");
+    TablePrinter table({"fleet", "sustained FPS", "shard-seconds",
+                        "p99 latency"});
+    table.addRow({"static 4", TablePrinter::fmt(static_fps, 1),
+                  TablePrinter::fmt(static_shard_sec, 2),
+                  TablePrinter::fmtTime(
+                      static_result.report.p99LatencySec)});
+    table.addRow({"elastic 1..8",
+                  TablePrinter::fmt(elastic_fps, 1),
+                  TablePrinter::fmt(er.shardSeconds, 2),
+                  TablePrinter::fmtTime(
+                      er.serving.report.p99LatencySec)});
+    table.print();
+    std::printf("elastic/static: %.3fx FPS on %.3fx the "
+                "shard-seconds\n",
+                elastic_fps / static_fps,
+                er.shardSeconds / static_shard_sec);
+
+    // --- Graceful degradation: admission on a frozen fleet. ------
+    bench::section("admission control (frozen 1-shard fleet, "
+                   "priority tiers)");
+    ElasticRunner::Config frozen_cfg = elasticConfig(epoch_sec);
+    frozen_cfg.fleet.shards = 1;
+    frozen_cfg.autoscaler.minShards = 1;
+    frozen_cfg.autoscaler.maxShards = 1;
+    frozen_cfg.admission.enabled = true;
+    frozen_cfg.admission.headroom = 0.9;
+    ElasticRunner frozen(system, spec, frozen_cfg);
+    const ElasticResult shed =
+        frozen.serve(trace.stream, trace.priority);
+    std::vector<std::size_t> shed_by_tier(traffic.priorityTiers,
+                                          0);
+    std::vector<std::size_t> in_by_tier(traffic.priorityTiers, 0);
+    for (const SensorServingReport &sr :
+         shed.serving.report.sensors) {
+        const int tier = trace.priority[sr.sensor];
+        shed_by_tier[static_cast<std::size_t>(tier)] +=
+            sr.framesShed;
+        in_by_tier[static_cast<std::size_t>(tier)] += sr.framesIn;
+    }
+    std::printf("offered %zu frames at ~2.6x a single shard: shed "
+                "%zu, processed %zu (conservation holds)\n",
+                shed.serving.report.framesIn,
+                shed.serving.report.framesShed,
+                shed.serving.report.framesProcessed);
+    for (std::size_t t = 0; t < shed_by_tier.size(); ++t) {
+        std::printf("  priority %zu: shed %zu/%zu frames%s\n", t,
+                    shed_by_tier[t], in_by_tier[t],
+                    t == 0 ? "  (lowest tier sheds first)" : "");
+    }
+
+    // --- Machine-readable record. --------------------------------
+    if (!json_path.empty()) {
+        bench::JsonWriter json;
+        json.obj()
+            .field("bench", "serving_elastic")
+            .field("durationScale",
+                   static_cast<std::uint64_t>(duration_scale))
+            .field("sensors", static_cast<std::uint64_t>(sensors))
+            .field("seed",
+                   static_cast<std::uint64_t>(traffic.seed))
+            .field("serviceSec", svc)
+            .field("epochSec", epoch_sec)
+            .field("frames",
+                   static_cast<std::uint64_t>(trace.stream.size()));
+        json.key("static")
+            .obj()
+            .field("shards",
+                   static_cast<std::uint64_t>(kStaticShards))
+            .field("sustainedFps", static_fps)
+            .field("shardSeconds", static_shard_sec)
+            .field("p99LatencySec",
+                   static_result.report.p99LatencySec)
+            .field("processed",
+                   static_cast<std::uint64_t>(
+                       static_result.report.framesProcessed))
+            .close();
+        json.key("elastic")
+            .obj()
+            .field("sustainedFps", elastic_fps)
+            .field("shardSeconds", er.shardSeconds)
+            .field("p99LatencySec",
+                   er.serving.report.p99LatencySec)
+            .field("processed",
+                   static_cast<std::uint64_t>(
+                       er.serving.report.framesProcessed))
+            .field("epochs",
+                   static_cast<std::uint64_t>(er.epochs.size()))
+            .field("scaleEvents",
+                   static_cast<std::uint64_t>(er.events.size()));
+        json.key("widthTrajectory").arr();
+        for (const EpochLog &ep : er.epochs)
+            json.value(
+                static_cast<std::uint64_t>(ep.activeShards));
+        json.close();
+        json.key("decisionLog").arr();
+        {
+            const std::string log = er.decisionLog();
+            std::size_t pos = 0;
+            while (pos < log.size()) {
+                const std::size_t nl = log.find('\n', pos);
+                json.value(log.substr(pos, nl - pos));
+                if (nl == std::string::npos)
+                    break;
+                pos = nl + 1;
+            }
+        }
+        json.close().close();
+        json.key("admission")
+            .obj()
+            .field("shed",
+                   static_cast<std::uint64_t>(
+                       shed.serving.report.framesShed))
+            .field("processed",
+                   static_cast<std::uint64_t>(
+                       shed.serving.report.framesProcessed));
+        json.key("shedByTier").arr();
+        for (const std::size_t count : shed_by_tier)
+            json.value(static_cast<std::uint64_t>(count));
+        json.close().close().close();
+        json.writeTo(json_path);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    if (assert_elastic) {
+        bench::section("acceptance (--assert-elastic)");
+        bool ok = true;
+        if (elastic_fps < static_fps) {
+            std::printf("FAIL: elastic sustained %.3f FPS < "
+                        "static %.3f FPS\n",
+                        elastic_fps, static_fps);
+            ok = false;
+        }
+        if (er.shardSeconds >= static_shard_sec) {
+            std::printf("FAIL: elastic %.3f shard-seconds >= "
+                        "static %.3f\n",
+                        er.shardSeconds, static_shard_sec);
+            ok = false;
+        }
+        if (er.serving.report.framesProcessed +
+                er.serving.report.framesShed !=
+            er.serving.report.framesIn) {
+            std::printf("FAIL: conservation violated\n");
+            ok = false;
+        }
+        std::printf("%s\n", ok ? "PASS: elastic sustains >= "
+                                 "static FPS on fewer "
+                                 "shard-seconds"
+                               : "acceptance failed");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        hgpcn::bench::extractJsonPath(argc, argv);
+    bool assert_elastic = false;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--assert-elastic") == 0) {
+            assert_elastic = true;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    const std::size_t duration_scale =
+        hgpcn::bench::parsePositiveArg(argc, argv, 1,
+                                       /*fallback=*/2,
+                                       "duration_scale");
+    const std::size_t sensors = hgpcn::bench::parsePositiveArg(
+        argc, argv, 2, /*fallback=*/64, "sensors");
+    return hgpcn::run(duration_scale, sensors, json_path,
+                      assert_elastic);
+}

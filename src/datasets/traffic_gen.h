@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic city-scale traffic generation for the elastic
+ * serving layer (docs/RUNTIME.md §elastic-serving).
+ *
+ * The multi-LiDAR rig (sensor_stream.h) simulates a handful of
+ * steady 10 Hz scanners. A city-scale deployment looks nothing like
+ * that: thousands of tagged streams whose offered load breathes —
+ * bursty arrivals (a platoon passes a roadside unit), diurnal rate
+ * patterns (rush hour vs 3 am), and sensor churn (units hot-plug
+ * into and drop out of the fleet mid-stream). TrafficGen synthesizes
+ * exactly that workload on the virtual timeline, fully seeded so the
+ * same config replays bit-identically — the property the elastic
+ * test harness (tests/test_elastic.cc) is built on.
+ *
+ * Every stochastic choice draws from common/rng.h keyed on
+ * (seed, sensor), so traces are independent of generation order and
+ * stable across platforms. Frames carry small seeded synthetic
+ * clouds (uniform box + one cluster) — the serving layer's cost is
+ * dominated by the modeled schedule, not raytracing, so city-scale
+ * sensor counts stay cheap to generate.
+ */
+
+#ifndef HGPCN_DATASETS_TRAFFIC_GEN_H
+#define HGPCN_DATASETS_TRAFFIC_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/sensor_stream.h"
+
+namespace hgpcn
+{
+
+/** One generated trace: the tagged stream plus per-sensor serving
+ * metadata the elastic layer consumes. */
+struct TrafficTrace
+{
+    /** Interleaved tagged stream, strictly increasing stamps. */
+    SensorStream stream;
+    /** Per-sensor admission priority (higher = shed later). */
+    std::vector<int> priority;
+    /** Per-sensor activity window [joinSec, leaveSec): hot-plugged
+     * sensors join late, dropped sensors leave early. */
+    std::vector<double> joinSec;
+    std::vector<double> leaveSec;
+};
+
+/** Seeded deterministic traffic generator. */
+class TrafficGen
+{
+  public:
+    struct Config
+    {
+        /** Tagged streams in the trace (thousands are fine). */
+        std::size_t sensors = 64;
+        /** Trace length, seconds of virtual time. */
+        double durationSec = 10.0;
+        /** Per-sensor baseline frame rate, Hz. */
+        double baseRateHz = 2.0;
+        /** Inter-arrival jitter as a fraction of the nominal gap
+         * (each gap is scaled by a seeded draw in [1-j, 1+j]). */
+        double rateJitter = 0.0;
+
+        /** Burst rate multiplier (1 = no bursts). During a burst
+         * window a sensor emits at baseRate * burstFactor. */
+        double burstFactor = 1.0;
+        /** Fraction of each burst period spent bursting, [0, 1). */
+        double burstDuty = 0.25;
+        /** Burst period, seconds; each sensor gets a seeded phase
+         * so the fleet's bursts overlap but do not align. */
+        double burstPeriodSec = 4.0;
+
+        /** Diurnal modulation amplitude, [0, 1): the whole city's
+         * rate swings by 1 +- amplitude over diurnalPeriodSec. */
+        double diurnalAmplitude = 0.0;
+        double diurnalPeriodSec = 10.0;
+
+        /** Fraction of sensors that hot-plug (join mid-trace, at a
+         * seeded time in the first half). */
+        double hotPlugFraction = 0.0;
+        /** Fraction of sensors that drop (leave mid-trace, at a
+         * seeded time in the second half). */
+        double dropFraction = 0.0;
+
+        /** Priority tiers; each sensor's priority is a seeded tier
+         * in [0, priorityTiers). 1 = everyone equal. */
+        std::size_t priorityTiers = 1;
+
+        /** Points per synthetic frame cloud (must cover the model's
+         * input K). */
+        std::size_t cloudPoints = 320;
+
+        /** Master seed; same seed => bit-identical trace. */
+        std::uint64_t seed = 1;
+    };
+
+    explicit TrafficGen(const Config &config);
+
+    /** Generate the trace (pure function of the config). */
+    TrafficTrace generate() const;
+
+    /**
+     * Closed-form instantaneous offered rate of @p sensor at trace
+     * time @p t (Hz), ignoring jitter: baseRate * diurnal(t) *
+     * burst(sensor, t), and 0 outside the sensor's activity window.
+     * The property harness checks generated inter-arrival gaps
+     * against the [minRateHz, maxRateHz] envelope this implies.
+     */
+    double rateAt(std::size_t sensor, double t) const;
+
+    /** Closed-form envelope of rateAt over all sensors and times
+     * (jitter widens the per-gap bound by the jitter fraction). */
+    double minRateHz() const;
+    double maxRateHz() const;
+
+    /** Activity window of @p sensor (join time; leave time). */
+    double joinSecOf(std::size_t sensor) const;
+    double leaveSecOf(std::size_t sensor) const;
+
+    /** Seeded priority tier of @p sensor. */
+    int priorityOf(std::size_t sensor) const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    /** Seeded per-sensor burst phase offset in [0, burstPeriod). */
+    double burstPhaseOf(std::size_t sensor) const;
+
+    Config cfg;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_DATASETS_TRAFFIC_GEN_H

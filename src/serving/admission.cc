@@ -1,0 +1,68 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+ShedDecision
+decideAdmission(const std::vector<double> &offered_fps,
+                const std::vector<int> &priority, double capacity_fps,
+                const AdmissionConfig &config)
+{
+    HGPCN_ASSERT(priority.empty() ||
+                     priority.size() == offered_fps.size(),
+                 "priority list (", priority.size(),
+                 ") must be empty or parallel to the offered rates (",
+                 offered_fps.size(), ")");
+    HGPCN_ASSERT(config.headroom > 0.0 && config.headroom <= 1.0,
+                 "admission headroom must be in (0, 1]");
+
+    const std::size_t n = offered_fps.size();
+    ShedDecision out;
+    out.admitted.assign(n, true);
+    for (const double fps : offered_fps) {
+        HGPCN_ASSERT(fps >= 0.0, "offered rates must be >= 0");
+        out.admittedFps += fps;
+    }
+    if (!config.enabled)
+        return out;
+
+    const double budget = capacity_fps * config.headroom;
+
+    // Shed order: lowest priority first; within a tier, highest
+    // sensor id first. Idle sensors never shed (freeing 0 load).
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (offered_fps[k] > 0.0)
+            order.push_back(k);
+    }
+    std::sort(order.begin(), order.end(),
+              [&priority](std::size_t a, std::size_t b) {
+                  const int pa = priority.empty() ? 0 : priority[a];
+                  const int pb = priority.empty() ? 0 : priority[b];
+                  if (pa != pb)
+                      return pa < pb;
+                  return a > b;
+              });
+
+    std::size_t loaded = order.size();
+    for (const std::size_t k : order) {
+        if (out.admittedFps <= budget)
+            break;
+        if (loaded == 1)
+            break; // always serve at least one loaded sensor
+        out.admitted[k] = false;
+        out.admittedFps -= offered_fps[k];
+        out.shedFps += offered_fps[k];
+        out.shedSensors.push_back(k);
+        --loaded;
+    }
+    std::sort(out.shedSensors.begin(), out.shedSensors.end());
+    return out;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Admission control for the elastic serving layer.
+ *
+ * When a control epoch's offered load exceeds what the active fleet
+ * can sustain, the serving layer degrades *gracefully* instead of
+ * letting every sensor's latency collapse together: whole sensors
+ * are shed for the epoch, lowest priority first, until the admitted
+ * load fits the fleet's modeled capacity (with configurable
+ * headroom). Shedding whole sensors — not individual frames — keeps
+ * every admitted sensor's stream intact, so its Section VII-E
+ * verdict stays meaningful; shed sensors are reported per sensor
+ * (SensorServingReport::framesShed) and join the conservation
+ * identity framesIn == processed + dropped + abandoned + shed.
+ *
+ * decideAdmission is a pure function of the per-sensor offered
+ * rates, priorities and the fleet's capacity estimate, so every
+ * shed set is hand-computable in tests (tests/test_elastic.cc).
+ * Determinism of the full elastic serve follows: same trace + same
+ * capacity model => same shed sets, bit for bit.
+ */
+
+#ifndef HGPCN_SERVING_ADMISSION_H
+#define HGPCN_SERVING_ADMISSION_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hgpcn
+{
+
+/** Admission-control parameters. */
+struct AdmissionConfig
+{
+    /** Master switch; disabled admits everything (shed sets always
+     * empty), which reduces elastic serving to autoscaling only. */
+    bool enabled = true;
+
+    /** Fraction of modeled fleet capacity the admitted load may
+     * occupy, in (0, 1]. 0.9 keeps 10% slack for burst absorption
+     * inside the epoch. */
+    double headroom = 0.9;
+};
+
+/** One epoch's admission decision. */
+struct ShedDecision
+{
+    /** Sensors refused this epoch, ascending id order. */
+    std::vector<std::size_t> shedSensors;
+    /** Parallel to the input: admitted[k] == false iff sensor k is
+     * in shedSensors. */
+    std::vector<bool> admitted;
+    /** Offered rate summed over admitted sensors (frames/sec). */
+    double admittedFps = 0;
+    /** Offered rate summed over shed sensors (frames/sec). */
+    double shedFps = 0;
+};
+
+/**
+ * Decide which sensors to admit for one control epoch.
+ *
+ * Pure arithmetic. Sensors are shed lowest priority first (priority
+ * is ascending importance: 0 is the first to go); within a priority
+ * tier, higher sensor id sheds first, so the survivor set is always
+ * the lexicographically smallest among equals. Shedding stops as
+ * soon as the remaining offered load fits capacityFps * headroom.
+ * Idle sensors (offered rate 0) are always admitted — shedding them
+ * frees nothing. At least one loaded sensor is always admitted, no
+ * matter how small the capacity: serving *something* beats serving
+ * nothing, and the per-sensor verdicts will say NO honestly.
+ *
+ * @param offered_fps Per-sensor offered rate this epoch (frames /
+ *        epoch length), indexed by sensor id.
+ * @param priority Per-sensor priority, parallel to @p offered_fps
+ *        (higher = more important). May be empty: all tier 0.
+ * @param capacity_fps Modeled fleet throughput (active shards /
+ *        per-frame service-time estimate).
+ * @param config Admission parameters.
+ */
+ShedDecision
+decideAdmission(const std::vector<double> &offered_fps,
+                const std::vector<int> &priority, double capacity_fps,
+                const AdmissionConfig &config);
+
+} // namespace hgpcn
+
+#endif // HGPCN_SERVING_ADMISSION_H

@@ -43,6 +43,8 @@ ServingReport::toString() const
         oss << ", " << framesDropped << " dropped";
     if (framesAbandoned > 0)
         oss << ", " << framesAbandoned << " abandoned";
+    if (framesShed > 0)
+        oss << ", " << framesShed << " shed";
     oss << "\n";
     oss << "aggregate: " << sustainedFps << " FPS over "
         << makespanSec * 1e3 << " ms";
@@ -71,6 +73,8 @@ ServingReport::toString() const
         oss << "sensor " << sr.sensor << " [" << sr.shardSpread
             << " shard" << (sr.shardSpread == 1 ? "" : "s")
             << "]: " << sr.framesDone << "/" << sr.framesIn;
+        if (sr.framesShed > 0)
+            oss << " (" << sr.framesShed << " shed)";
         if (sr.generationFps > 0.0)
             oss << " | sensor " << sr.generationFps << " FPS";
         oss << " | sustained " << sr.sustainedFps << " FPS";
@@ -297,6 +301,363 @@ mergeShardOutcomes(const SensorStream &stream,
                         ? offered[b].front()
                         : 0.0;
                 const double span = last_done[b] - first_offer;
+                br.sustainedFps =
+                    span > 0.0
+                        ? static_cast<double>(br.framesDone) / span
+                        : 0.0;
+                std::sort(lat[b].begin(), lat[b].end());
+                br.p50LatencySec =
+                    percentileNearestRank(lat[b], 0.50);
+                br.p95LatencySec =
+                    percentileNearestRank(lat[b], 0.95);
+                br.p99LatencySec =
+                    percentileNearestRank(lat[b], 0.99);
+            }
+            br.realTime = evaluateRealTime(
+                br.sustainedFps, rep.paced ? br.offeredFps : 0.0);
+        }
+    }
+    return out;
+}
+
+ServingResult
+mergeEpochResults(const SensorStream &stream,
+                  std::vector<EpochOutcome> outcomes,
+                  PlacementPolicy policy,
+                  const std::vector<std::string> &shard_backends)
+{
+    HGPCN_ASSERT(stream.frames.size() == stream.sensors.size(),
+                 "frames/sensors tags out of sync");
+
+    ServingResult out;
+    ServingReport &rep = out.report;
+    rep.placement = policy;
+    rep.sensorCount = stream.sensorCount;
+    rep.framesIn = stream.size();
+
+    // Peak fleet width: every per-shard view is indexed by shard,
+    // sized to the widest the fleet ever was (shard s keeps its
+    // identity across reconfigurations).
+    std::size_t peak = 0;
+    for (const EpochOutcome &ep : outcomes) {
+        peak = std::max(peak, ep.activeShards);
+        peak = std::max(peak, ep.result.report.shardReports.size());
+    }
+    rep.shardCount = peak;
+
+    // Position of every frame within its own sensor's sequence.
+    std::vector<std::size_t> sensor_index(stream.size(), 0);
+    std::vector<std::size_t> seen(stream.sensorCount, 0);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        sensor_index[i] = seen[stream.sensors[i]]++;
+
+    // Counts, pacing, shed accounting.
+    rep.paced = true;
+    std::vector<std::size_t> sensor_shed(stream.sensorCount, 0);
+    for (const EpochOutcome &ep : outcomes) {
+        const ServingReport &er = ep.result.report;
+        rep.framesProcessed += er.framesProcessed;
+        rep.framesDropped += er.framesDropped;
+        rep.framesAbandoned += er.framesAbandoned;
+        if (er.framesIn > 0)
+            rep.paced = rep.paced && er.paced;
+        rep.framesShed += ep.shedGlobalIndex.size();
+        for (const std::size_t g : ep.shedGlobalIndex) {
+            HGPCN_ASSERT(g < stream.size(), "shed index ", g,
+                         " outside the stream");
+            sensor_shed[stream.sensors[g]]++;
+        }
+    }
+
+    // Collect completions onto global indices. Epoch serves stamp
+    // completions on the global clock already (paced shard clocks
+    // anchor at absolute timestamps), so no re-anchoring beyond the
+    // index mapping is needed.
+    for (EpochOutcome &ep : outcomes) {
+        for (ServedFrame &sf : ep.result.frames) {
+            HGPCN_ASSERT(sf.globalIndex < ep.globalIndex.size(),
+                         "epoch frame index ", sf.globalIndex,
+                         " has no global mapping");
+            const std::size_t g = ep.globalIndex[sf.globalIndex];
+            sf.globalIndex = g;
+            sf.sensor = stream.sensors[g];
+            sf.sensorIndex = sensor_index[g];
+            out.frames.push_back(std::move(sf));
+        }
+    }
+
+    // In-order delivery per sensor: a reconfigured fleet may finish
+    // a sensor's later frame (new epoch, fresh shard) before an
+    // earlier one still draining from the previous epoch. Delivery
+    // order is the serving contract, so clamp each frame's
+    // completion to its predecessor's and charge the wait to its
+    // latency. Within an epoch the clamp is a no-op under sensor
+    // affinity (FIFO pipelines); across epochs it is the handoff
+    // serialization cost.
+    std::sort(out.frames.begin(), out.frames.end(),
+              [](const ServedFrame &a, const ServedFrame &b) {
+                  return a.globalIndex < b.globalIndex;
+              });
+    std::vector<double> last_done(
+        stream.sensorCount, -std::numeric_limits<double>::infinity());
+    for (ServedFrame &sf : out.frames) {
+        if (sf.doneSec < last_done[sf.sensor]) {
+            sf.latencySec += last_done[sf.sensor] - sf.doneSec;
+            sf.doneSec = last_done[sf.sensor];
+        }
+        last_done[sf.sensor] = sf.doneSec;
+    }
+    std::sort(out.frames.begin(), out.frames.end(),
+              [](const ServedFrame &a, const ServedFrame &b) {
+                  if (a.doneSec != b.doneSec)
+                      return a.doneSec < b.doneSec;
+                  return a.globalIndex < b.globalIndex;
+              });
+
+    // Aggregate makespan + latency distribution.
+    const double global_start =
+        rep.paced && !stream.frames.empty()
+            ? stream.frames.front().timestamp
+            : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(out.frames.size());
+    double max_done = global_start;
+    for (const ServedFrame &sf : out.frames) {
+        latencies.push_back(sf.latencySec);
+        max_done = std::max(max_done, sf.doneSec);
+        rep.maxLatencySec = std::max(rep.maxLatencySec,
+                                     sf.latencySec);
+        rep.meanLatencySec += sf.latencySec;
+    }
+    if (!latencies.empty()) {
+        rep.meanLatencySec /= static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        rep.p50LatencySec = percentileNearestRank(latencies, 0.50);
+        rep.p95LatencySec = percentileNearestRank(latencies, 0.95);
+        rep.p99LatencySec = percentileNearestRank(latencies, 0.99);
+        rep.makespanSec = max_done - global_start;
+        rep.sustainedFps =
+            rep.makespanSec > 0.0
+                ? static_cast<double>(rep.framesProcessed) /
+                      rep.makespanSec
+                : 0.0;
+    }
+
+    // Per-shard views: shard s aggregated across every epoch it was
+    // active in. Counts sum; busy time re-normalizes over the
+    // summed per-epoch makespans; the latency distribution comes
+    // from the shard's own completions (post-clamp).
+    rep.shardReports.assign(peak, RuntimeReport{});
+    rep.shardBackends.assign(peak, std::string());
+    for (std::size_t s = 0;
+         s < std::min(peak, shard_backends.size()); ++s)
+        rep.shardBackends[s] = shard_backends[s];
+    std::vector<double> shard_span(peak, 0.0);
+    for (const EpochOutcome &ep : outcomes) {
+        const std::vector<RuntimeReport> &ers =
+            ep.result.report.shardReports;
+        for (std::size_t s = 0; s < ers.size(); ++s) {
+            RuntimeReport &agg = rep.shardReports[s];
+            const RuntimeReport &er = ers[s];
+            agg.framesIn += er.framesIn;
+            agg.framesProcessed += er.framesProcessed;
+            agg.framesDropped += er.framesDropped;
+            agg.framesAbandoned += er.framesAbandoned;
+            agg.paced = rep.paced;
+            agg.policy = er.policy;
+            shard_span[s] += er.makespanSec;
+            // An epoch in which this shard served nothing reports
+            // no stages; it contributes span but no busy time.
+            if (er.stages.empty()) {
+                continue;
+            }
+            if (agg.stages.empty()) {
+                agg.stages = er.stages;
+                for (TimelineStageStats &st : agg.stages) {
+                    st.meanQueueDepth *= er.makespanSec;
+                }
+            } else {
+                HGPCN_ASSERT(agg.stages.size() == er.stages.size(),
+                             "shard ", s,
+                             " stage sets differ across epochs");
+                for (std::size_t st = 0; st < er.stages.size();
+                     ++st) {
+                    agg.stages[st].busySec +=
+                        er.stages[st].busySec;
+                    agg.stages[st].meanQueueDepth +=
+                        er.stages[st].meanQueueDepth *
+                        er.makespanSec;
+                    agg.stages[st].peakQueueDepth = std::max(
+                        agg.stages[st].peakQueueDepth,
+                        er.stages[st].peakQueueDepth);
+                }
+            }
+        }
+    }
+    std::vector<std::vector<double>> shard_lat(peak);
+    for (const ServedFrame &sf : out.frames) {
+        HGPCN_ASSERT(sf.shard < peak, "completed frame on shard ",
+                     sf.shard, " beyond the peak fleet width ",
+                     peak);
+        shard_lat[sf.shard].push_back(sf.latencySec);
+    }
+    for (std::size_t s = 0; s < peak; ++s) {
+        RuntimeReport &agg = rep.shardReports[s];
+        agg.makespanSec = shard_span[s];
+        agg.sustainedFps =
+            shard_span[s] > 0.0
+                ? static_cast<double>(agg.framesProcessed) /
+                      shard_span[s]
+                : 0.0;
+        for (TimelineStageStats &st : agg.stages) {
+            const double capacity =
+                static_cast<double>(st.units) * shard_span[s];
+            st.utilization =
+                capacity > 0.0 ? st.busySec / capacity : 0.0;
+            st.meanQueueDepth = shard_span[s] > 0.0
+                                    ? st.meanQueueDepth /
+                                          shard_span[s]
+                                    : 0.0;
+        }
+        if (!shard_lat[s].empty()) {
+            std::sort(shard_lat[s].begin(), shard_lat[s].end());
+            agg.p50LatencySec =
+                percentileNearestRank(shard_lat[s], 0.50);
+            agg.p95LatencySec =
+                percentileNearestRank(shard_lat[s], 0.95);
+            agg.p99LatencySec =
+                percentileNearestRank(shard_lat[s], 0.99);
+            agg.maxLatencySec = shard_lat[s].back();
+            for (const double l : shard_lat[s])
+                agg.meanLatencySec += l;
+            agg.meanLatencySec /=
+                static_cast<double>(shard_lat[s].size());
+        }
+        agg.realTime = RealTimeVerdict::NotApplicable;
+    }
+
+    // Per-sensor slices, from the full stream (offered, stamps,
+    // shed) and the clamped completions.
+    rep.sensors.resize(stream.sensorCount);
+    std::vector<std::vector<double>> sensor_lat(stream.sensorCount);
+    std::vector<std::set<std::size_t>> sensor_shards(
+        stream.sensorCount);
+    std::vector<std::vector<double>> sensor_stamps(
+        stream.sensorCount);
+    std::vector<double> sensor_done(
+        stream.sensorCount, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        rep.sensors[stream.sensors[i]].framesIn++;
+        sensor_stamps[stream.sensors[i]].push_back(
+            stream.frames[i].timestamp);
+    }
+    for (const ServedFrame &sf : out.frames) {
+        SensorServingReport &sr = rep.sensors[sf.sensor];
+        sr.framesDone++;
+        sr.maxLatencySec = std::max(sr.maxLatencySec, sf.latencySec);
+        sensor_lat[sf.sensor].push_back(sf.latencySec);
+        sensor_shards[sf.sensor].insert(sf.shard);
+        sensor_done[sf.sensor] =
+            std::max(sensor_done[sf.sensor], sf.doneSec);
+    }
+    for (std::size_t k = 0; k < stream.sensorCount; ++k) {
+        SensorServingReport &sr = rep.sensors[k];
+        sr.sensor = k;
+        sr.framesMissed = sr.framesIn - sr.framesDone;
+        sr.framesShed = sensor_shed[k];
+        sr.shardSpread = sensor_shards[k].size();
+        sr.generationFps = generationFpsOf(sensor_stamps[k]);
+        if (sr.framesDone > 0) {
+            const double first_offer =
+                rep.paced ? sensor_stamps[k].front() : 0.0;
+            const double span = sensor_done[k] - first_offer;
+            sr.sustainedFps =
+                span > 0.0
+                    ? static_cast<double>(sr.framesDone) / span
+                    : 0.0;
+            std::sort(sensor_lat[k].begin(), sensor_lat[k].end());
+            sr.p50LatencySec =
+                percentileNearestRank(sensor_lat[k], 0.50);
+            sr.p95LatencySec =
+                percentileNearestRank(sensor_lat[k], 0.95);
+            sr.p99LatencySec =
+                percentileNearestRank(sensor_lat[k], 0.99);
+        }
+        sr.realTime = evaluateRealTime(
+            sr.sustainedFps, rep.paced ? sr.generationFps : 0.0);
+    }
+
+    // Per-backend slices. Shard index -> backend is stable across
+    // reconfigurations (ShardedRunner's cycling rule), so a
+    // backend's fleet is a fixed set of shard indices; it is
+    // *active* in an epoch when at least one of its shards is.
+    // Dispatch identities of dropped frames are epoch-local, so the
+    // elastic per-backend offered rate is dispatched / active
+    // window rather than a stamp-span rate — closed-form from the
+    // epoch logs either way.
+    std::vector<std::size_t> backend_of(peak, peak);
+    for (std::size_t s = 0; s < peak; ++s) {
+        const std::string &name = rep.shardBackends[s];
+        if (name.empty())
+            continue;
+        std::size_t b = 0;
+        while (b < rep.backends.size() &&
+               rep.backends[b].backend != name)
+            ++b;
+        if (b == rep.backends.size()) {
+            BackendServingReport br;
+            br.backend = name;
+            rep.backends.push_back(std::move(br));
+        }
+        backend_of[s] = b;
+        rep.backends[b].shards++;
+    }
+    if (!rep.backends.empty()) {
+        const std::size_t n_backends = rep.backends.size();
+        std::vector<std::vector<double>> lat(n_backends);
+        std::vector<double> active_sec(n_backends, 0.0);
+        std::vector<double> first_active(
+            n_backends, std::numeric_limits<double>::infinity());
+        std::vector<double> last_done(
+            n_backends, -std::numeric_limits<double>::infinity());
+        for (const EpochOutcome &ep : outcomes) {
+            const std::vector<RuntimeReport> &ers =
+                ep.result.report.shardReports;
+            std::vector<bool> seen_backend(n_backends, false);
+            for (std::size_t s = 0; s < ers.size(); ++s) {
+                if (backend_of[s] >= n_backends)
+                    continue;
+                const std::size_t b = backend_of[s];
+                rep.backends[b].framesIn += ers[s].framesIn;
+                if (!seen_backend[b]) {
+                    seen_backend[b] = true;
+                    active_sec[b] += ep.endSec - ep.startSec;
+                    first_active[b] =
+                        std::min(first_active[b], ep.startSec);
+                }
+            }
+        }
+        for (const ServedFrame &sf : out.frames) {
+            if (backend_of[sf.shard] >= n_backends)
+                continue;
+            const std::size_t b = backend_of[sf.shard];
+            BackendServingReport &br = rep.backends[b];
+            br.framesDone++;
+            br.maxLatencySec =
+                std::max(br.maxLatencySec, sf.latencySec);
+            lat[b].push_back(sf.latencySec);
+            last_done[b] = std::max(last_done[b], sf.doneSec);
+        }
+        for (std::size_t b = 0; b < n_backends; ++b) {
+            BackendServingReport &br = rep.backends[b];
+            br.framesMissed = br.framesIn - br.framesDone;
+            br.offeredFps =
+                active_sec[b] > 0.0
+                    ? static_cast<double>(br.framesIn) /
+                          active_sec[b]
+                    : 0.0;
+            if (br.framesDone > 0) {
+                const double span = last_done[b] - first_active[b];
                 br.sustainedFps =
                     span > 0.0
                         ? static_cast<double>(br.framesDone) / span

@@ -20,6 +20,20 @@
  *
  * mergeShardOutcomes is a pure function of the shard outcomes so
  * the arithmetic is unit-testable without running a fleet.
+ *
+ * The elastic layer (serving/autoscaler.h) serves a stream as a
+ * sequence of control epochs, each an ordinary fleet serve at that
+ * epoch's shard count, with admission control shedding frames
+ * before dispatch. mergeEpochResults re-anchors those per-epoch
+ * results across fleet reconfigurations into one ServingResult:
+ * per-shard views aggregate each shard index across every epoch it
+ * was active in, per-sensor/per-backend views are recomputed over
+ * the union of completions, shed frames are accounted
+ * (framesIn == processed + dropped + abandoned + shed), and
+ * completions are clamped to in-order delivery per sensor — a
+ * frame handed off across an epoch boundary cannot be delivered
+ * before its predecessor finishes. It is equally a pure function,
+ * unit-tested against hand-built epochs in tests/test_elastic.cc.
  */
 
 #ifndef HGPCN_SERVING_SERVING_REPORT_H
@@ -45,9 +59,13 @@ struct SensorServingReport
     std::size_t shardSpread = 0;
     std::size_t framesIn = 0;    //!< offered by this sensor
     std::size_t framesDone = 0;  //!< completed the pipeline
-    /** Offered - completed: dropped by overload or abandoned by a
-     * shard stop (the split is only known shard-wide). */
+    /** Offered - completed: dropped by overload, abandoned by a
+     * shard stop (the split is only known shard-wide) or shed by
+     * admission control (counted separately below). */
     std::size_t framesMissed = 0;
+    /** Of framesMissed: refused by admission control before
+     * dispatch (elastic serving only; 0 for a plain fleet serve). */
+    std::size_t framesShed = 0;
 
     double generationFps = 0; //!< this sensor's capture rate
     /** Completed / (first offer -> last completion), global clock. */
@@ -100,6 +118,10 @@ struct ServingReport
     std::size_t framesProcessed = 0;
     std::size_t framesDropped = 0;
     std::size_t framesAbandoned = 0;
+    /** Refused by admission control before dispatch (elastic
+     * serving; conservation: framesIn == framesProcessed +
+     * framesDropped + framesAbandoned + framesShed). */
+    std::size_t framesShed = 0;
 
     bool paced = true; //!< every shard ran sensor-paced
 
@@ -176,6 +198,53 @@ ServingResult
 mergeShardOutcomes(const SensorStream &stream,
                    std::vector<ShardOutcome> outcomes,
                    PlacementPolicy policy);
+
+/** What one control epoch of an elastic serve contributed. */
+struct EpochOutcome
+{
+    /** Epoch window on the global clock. */
+    double startSec = 0;
+    double endSec = 0;
+    /** Active shard count during this epoch. */
+    std::size_t activeShards = 0;
+    /** The epoch's fleet serve over its admitted sub-stream; frame
+     * globalIndex values are *epoch-local* (positions in the
+     * admitted sub-stream) and completion times are already on the
+     * global clock (paced serves anchor at absolute stamps). */
+    ServingResult result;
+    /** Epoch-local sub-stream index -> full-stream index. */
+    std::vector<std::size_t> globalIndex;
+    /** Full-stream indices of frames shed by admission control
+     * this epoch (never dispatched). */
+    std::vector<std::size_t> shedGlobalIndex;
+};
+
+/**
+ * Merge per-epoch elastic-serve outcomes into one global view.
+ *
+ * Pure arithmetic, like mergeShardOutcomes. Shard views aggregate
+ * per shard *index* across the epochs it was active in (counts
+ * summed, busy time re-normalized over the summed epoch makespans);
+ * sensor and backend views are recomputed from the union of
+ * completions; shed frames join the conservation identity. Before
+ * any distribution is derived, completions are clamped to in-order
+ * delivery per sensor: a frame's delivery time is at least its
+ * predecessor's, with the wait charged to its latency — the
+ * cross-epoch handoff cost a reconfiguring fleet really pays.
+ *
+ * @param stream The full tagged stream the elastic serve covered.
+ * @param outcomes One entry per epoch, in epoch order; moved out.
+ * @param policy Placement policy used within epochs (for the
+ *        report).
+ * @param shard_backends Backend name per shard index (stable across
+ *        epochs by the ShardedRunner cycling rule); sized to the
+ *        peak shard count, may be empty when unattributed.
+ */
+ServingResult
+mergeEpochResults(const SensorStream &stream,
+                  std::vector<EpochOutcome> outcomes,
+                  PlacementPolicy policy,
+                  const std::vector<std::string> &shard_backends);
 
 } // namespace hgpcn
 

@@ -27,23 +27,6 @@ resolveRunnerConfig(const HgPcnSystem::Config &system,
     return runner_cfg;
 }
 
-/** Backend name of every shard: empty = all-"hgpcn", one entry = a
- * homogeneous fleet of it, otherwise one name per shard. */
-std::vector<std::string>
-resolveBackends(const std::vector<std::string> &names,
-                std::size_t shards)
-{
-    if (names.empty())
-        return std::vector<std::string>(shards, "hgpcn");
-    if (names.size() == 1)
-        return std::vector<std::string>(shards, names.front());
-    HGPCN_ASSERT(names.size() == shards,
-                 "backend list (", names.size(),
-                 ") must be empty, one name, or one per shard (",
-                 shards, ")");
-    return names;
-}
-
 } // namespace
 
 ShardedRunner::Shard::Shard(const HgPcnSystem::Config &system,
@@ -56,27 +39,56 @@ ShardedRunner::Shard::Shard(const HgPcnSystem::Config &system,
 {
 }
 
-ShardedRunner::ShardedRunner(const HgPcnSystem::Config &system,
-                             const PointNet2Spec &spec,
+std::string
+ShardedRunner::backendNameFor(std::size_t s) const
+{
+    if (cfg.backends.empty())
+        return "hgpcn";
+    return cfg.backends[s % cfg.backends.size()];
+}
+
+ShardedRunner::ShardedRunner(const HgPcnSystem::Config &system_cfg,
+                             const PointNet2Spec &spec_arg,
                              const Config &config)
-    : cfg(config)
+    : cfg(config), system(system_cfg), spec(spec_arg),
+      runnerCfg(resolveRunnerConfig(system_cfg, spec_arg,
+                                    config.runner))
 {
     HGPCN_ASSERT(cfg.shards >= 1, "need at least one shard");
-    const StreamRunner::Config runner_cfg =
-        resolveRunnerConfig(system, spec, cfg.runner);
-    const std::vector<std::string> backends =
-        resolveBackends(cfg.backends, cfg.shards);
+    HGPCN_ASSERT(cfg.backends.size() <= 1 ||
+                     cfg.backends.size() == cfg.shards,
+                 "backend list (", cfg.backends.size(),
+                 ") must be empty, one name, or one per initial "
+                 "shard (", cfg.shards, ")");
     fleet.reserve(cfg.shards);
     for (std::size_t s = 0; s < cfg.shards; ++s)
         fleet.push_back(std::make_unique<Shard>(
-            system, spec, backends[s], runner_cfg));
+            system, spec, backendNameFor(s), runnerCfg));
+    active = cfg.shards;
+}
+
+void
+ShardedRunner::setShardCount(std::size_t shards)
+{
+    HGPCN_ASSERT(shards >= 1, "need at least one shard");
+    HGPCN_ASSERT(!serving.load(),
+                 "setShardCount must not race a serve in progress");
+    // Reactivated replicas must not inherit a stop latched while
+    // they were parked (or before they were parked): clear the
+    // latches of every shard entering the active prefix.
+    for (std::size_t s = active; s < shards && s < fleet.size(); ++s)
+        fleet[s]->stopRequested.store(false);
+    while (fleet.size() < shards)
+        fleet.push_back(std::make_unique<Shard>(
+            system, spec, backendNameFor(fleet.size()), runnerCfg));
+    active = shards;
 }
 
 const ExecutionBackend &
 ShardedRunner::shardBackend(std::size_t shard) const
 {
-    HGPCN_ASSERT(shard < fleet.size(), "shard ", shard,
-                 " out of range (", fleet.size(), " shards)");
+    HGPCN_ASSERT(shard < active, "shard ", shard,
+                 " out of range (", active, " active shards)");
     return *fleet[shard]->backend;
 }
 
@@ -84,18 +96,21 @@ ServingResult
 ShardedRunner::serve(const SensorStream &stream,
                      const ServingFrameCallback &on_frame)
 {
+    HGPCN_ASSERT(!serving.exchange(true),
+                 "serve() reentered while a serve is in progress");
     // Restart contract: a stop belongs to the serve it aborted.
     stopped.store(false);
-    for (const std::unique_ptr<Shard> &shard : fleet)
-        shard->stopRequested.store(false);
+    for (std::size_t s = 0; s < active; ++s)
+        fleet[s]->stopRequested.store(false);
 
-    const std::size_t n_shards = fleet.size();
+    const std::size_t n_shards = active;
     std::vector<ShardOutcome> outcomes(n_shards);
     for (std::size_t s = 0; s < n_shards; ++s)
         outcomes[s].backend = fleet[s]->backend->name();
     if (stream.size() == 0) {
         ServingResult out = mergeShardOutcomes(
             stream, std::move(outcomes), cfg.placement);
+        serving.store(false);
         return out;
     }
 
@@ -176,23 +191,27 @@ ShardedRunner::serve(const SensorStream &stream,
                 ? sub[s].front().timestamp
                 : 0.0;
     }
-    return mergeShardOutcomes(stream, std::move(outcomes),
-                              cfg.placement);
+    ServingResult out = mergeShardOutcomes(
+        stream, std::move(outcomes), cfg.placement);
+    serving.store(false);
+    return out;
 }
 
 void
 ShardedRunner::requestStop()
 {
     stopped.store(true);
-    for (const std::unique_ptr<Shard> &shard : fleet)
-        shard->runner.requestStop();
+    // Over the active prefix only: parked shards are idle by
+    // construction, and their latches are cleared on reactivation.
+    for (std::size_t s = 0; s < active; ++s)
+        fleet[s]->runner.requestStop();
 }
 
 void
 ShardedRunner::requestStopShard(std::size_t shard)
 {
-    HGPCN_ASSERT(shard < fleet.size(), "shard ", shard,
-                 " out of range (", fleet.size(), " shards)");
+    HGPCN_ASSERT(shard < active, "shard ", shard,
+                 " out of range (", active, " active shards)");
     fleet[shard]->stopRequested.store(true);
     fleet[shard]->runner.requestStop();
 }

@@ -28,6 +28,16 @@
  * Restart contract (same as StagePipeline/StreamRunner):
  * requestStop()/requestStopShard() abort the serve in progress; a
  * later serve() starts fresh.
+ *
+ * Elastic fleets: setShardCount() grows or shrinks the fleet
+ * between serves (never during one). Shrinking parks the trailing
+ * replicas rather than destroying them; growing reactivates parked
+ * replicas before constructing new ones, so shard s is always the
+ * same identically-seeded replica no matter how often the fleet
+ * resizes — scale events are placement decisions, not functional
+ * ones. Config::shards is only the *initial* size; every serve/stop
+ * path ranges over the currently active prefix, so no code may
+ * assume the construction-time count.
  */
 
 #ifndef HGPCN_SERVING_SHARDED_RUNNER_H
@@ -71,8 +81,11 @@ class ShardedRunner
 
         /** Execution backend per shard (registry names). Empty:
          * every shard runs "hgpcn". One entry: a homogeneous fleet
-         * of that backend. Otherwise the size must equal shards —
-         * backends[s] is shard s's backend. */
+         * of that backend. Otherwise the size must equal the
+         * initial shard count — backends[s] is shard s's backend,
+         * and shards added later by setShardCount() cycle through
+         * the list (backends[s % size]), keeping the fleet's
+         * backend mix stable as it scales. */
         std::vector<std::string> backends;
 
         /** LeastLoaded backlog-retirement estimate override; <= 0 =
@@ -118,8 +131,19 @@ class ShardedRunner
      * requestStop(), on the next serve(). */
     void requestStopShard(std::size_t shard);
 
-    /** @return number of shards. */
-    std::size_t shardCount() const { return fleet.size(); }
+    /**
+     * Resize the fleet to @p shards active replicas (>= 1). Must
+     * not race a serve in progress (fatal if it does). Shrinking
+     * parks replicas [shards, current); growing reactivates parked
+     * replicas (their stop latches cleared) and constructs new ones
+     * beyond the high-water mark, with backend names cycling
+     * through Config::backends.
+     */
+    void setShardCount(std::size_t shards);
+
+    /** @return number of active shards (dynamic; Config::shards is
+     * only the initial size). */
+    std::size_t shardCount() const { return active; }
 
     /** @return shard @p shard's execution backend. */
     const ExecutionBackend &shardBackend(std::size_t shard) const;
@@ -148,9 +172,19 @@ class ShardedRunner
               const StreamRunner::Config &runner_cfg);
     };
 
+    /** Backend registry name of shard @p s (cycling rule). */
+    std::string backendNameFor(std::size_t s) const;
+
     Config cfg;
+    HgPcnSystem::Config system;     //!< for deferred shard builds
+    PointNet2Spec spec;             //!< for deferred shard builds
+    StreamRunner::Config runnerCfg; //!< resolved (nonzero K)
     std::atomic<bool> stopped{false};
+    std::atomic<bool> serving{false};
+    /** Every replica ever built; fleet[0, active) is the live
+     * fleet, the rest are parked by setShardCount(). */
     std::vector<std::unique_ptr<Shard>> fleet;
+    std::size_t active = 0;
 };
 
 } // namespace hgpcn

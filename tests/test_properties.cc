@@ -4,8 +4,9 @@
  *
  * Each suite states one invariant and drives it across a grid of
  * configurations: sampler kinds x K, cloud distributions x octree
- * configs, VEG modes x gathering sizes. These are the regression
- * nets behind the paper's claims.
+ * configs, VEG modes x gathering sizes, traffic traces x elastic
+ * serving. These are the regression nets behind the paper's
+ * claims.
  */
 
 #include <gtest/gtest.h>
@@ -14,7 +15,10 @@
 #include <set>
 
 #include "common/rng.h"
+#include "core/hgpcn_system.h"
+#include "datasets/traffic_gen.h"
 #include "gather/brute_gatherers.h"
+#include "serving/autoscaler.h"
 #include "gather/veg_gatherer.h"
 #include "sampling/approx_ois_sampler.h"
 #include "sampling/fps_sampler.h"
@@ -426,6 +430,156 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::size_t{32}),
                        ::testing::Values(std::size_t{8},
                                          std::size_t{16})));
+
+// ------------------------------------------- traffic / elastic serving
+
+/** (seed, burstFactor, diurnalAmplitude, churn on/off) grid. */
+class TrafficSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, double, double, bool>>
+{
+  protected:
+    TrafficGen::Config config() const
+    {
+        const auto [seed, burst, diurnal, churn] = GetParam();
+        TrafficGen::Config cfg;
+        cfg.sensors = 6;
+        cfg.durationSec = 3.0;
+        cfg.baseRateHz = 6.0;
+        cfg.rateJitter = 0.25;
+        cfg.burstFactor = burst;
+        cfg.burstPeriodSec = 1.0;
+        cfg.diurnalAmplitude = diurnal;
+        cfg.diurnalPeriodSec = 3.0;
+        cfg.hotPlugFraction = churn ? 0.5 : 0.0;
+        cfg.dropFraction = churn ? 0.5 : 0.0;
+        cfg.priorityTiers = 3;
+        cfg.cloudPoints = 16;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+TEST_P(TrafficSweep, StampsStrictlyIncreaseWithinChurnWindows)
+{
+    const TrafficGen gen(config());
+    const TrafficTrace trace = gen.generate();
+    ASSERT_GT(trace.stream.size(), 0u);
+    // Strict global monotonicity implies strict per-sensor
+    // monotonicity under any placement split.
+    for (std::size_t i = 1; i < trace.stream.size(); ++i) {
+        EXPECT_LT(trace.stream.frames[i - 1].timestamp,
+                  trace.stream.frames[i].timestamp);
+    }
+    // Every arrival falls inside its sensor's churn window
+    // (distinct-stamp nudges move stamps forward <= 0.1 us each).
+    for (std::size_t s = 0; s < config().sensors; ++s) {
+        for (const Frame &frame :
+             trace.stream.framesOfSensor(s)) {
+            EXPECT_GE(frame.timestamp, trace.joinSec[s]);
+            EXPECT_LT(frame.timestamp, trace.leaveSec[s] + 1e-3);
+        }
+    }
+}
+
+TEST_P(TrafficSweep, ArrivalGapsWithinClosedFormEnvelope)
+{
+    const TrafficGen::Config cfg = config();
+    const TrafficGen gen(cfg);
+    const TrafficTrace trace = gen.generate();
+    // The burst/diurnal envelope bounds every consecutive gap:
+    // rate in [minRateHz, maxRateHz] while active, jitter scales a
+    // gap by at most (1 +- rateJitter).
+    const double min_gap =
+        (1.0 / gen.maxRateHz()) * (1.0 - cfg.rateJitter) - 1e-3;
+    const double max_gap =
+        (1.0 / gen.minRateHz()) * (1.0 + cfg.rateJitter) + 1e-3;
+    for (std::size_t s = 0; s < cfg.sensors; ++s) {
+        const std::vector<Frame> frames =
+            trace.stream.framesOfSensor(s);
+        for (std::size_t f = 1; f < frames.size(); ++f) {
+            const double gap = frames[f].timestamp -
+                               frames[f - 1].timestamp;
+            EXPECT_GE(gap, min_gap) << "sensor " << s;
+            EXPECT_LE(gap, max_gap) << "sensor " << s;
+        }
+        // And the instantaneous rate honors the same envelope.
+        for (double t = 0.1; t < cfg.durationSec; t += 0.37) {
+            const double r = gen.rateAt(s, t);
+            if (r > 0.0) {
+                EXPECT_GE(r, gen.minRateHz() - 1e-12);
+                EXPECT_LE(r, gen.maxRateHz() + 1e-12);
+            }
+        }
+    }
+}
+
+TEST_P(TrafficSweep, ElasticServeConservesEveryFrame)
+{
+    TrafficGen::Config traffic = config();
+    traffic.cloudPoints = 300; // enough for the K=256 classifier
+    traffic.baseRateHz = 3.0;  // keep the functional work small
+    const TrafficTrace trace = TrafficGen(traffic).generate();
+
+    PointNet2Spec spec = PointNet2Spec::classification(5);
+    spec.inputPoints = 256;
+    spec.sa[0].npoint = 64;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 16;
+    spec.sa[1].k = 8;
+
+    ElasticRunner::Config cfg;
+    cfg.epochSec = 0.5;
+    cfg.fleet.shards = 1;
+    // Pinned capacity model far below the offered load, so
+    // admission sheds on every parameter point.
+    cfg.fleet.assumedServiceSec = 0.15;
+    cfg.autoscaler.minShards = 1;
+    cfg.autoscaler.maxShards = 2;
+    cfg.admission.enabled = true;
+
+    HgPcnSystem::Config system;
+    ElasticRunner elastic(system, spec, cfg);
+    const ElasticResult result =
+        elastic.serve(trace.stream, trace.priority);
+
+    // Conservation: every offered frame is exactly one of
+    // processed / dropped / abandoned / shed, in the aggregate and
+    // per sensor.
+    const ServingReport &rep = result.serving.report;
+    EXPECT_EQ(rep.framesIn, trace.stream.size());
+    EXPECT_EQ(rep.framesIn,
+              rep.framesProcessed + rep.framesDropped +
+                  rep.framesAbandoned + rep.framesShed);
+    EXPECT_GT(rep.framesShed, 0u);
+    std::size_t sensor_in = 0;
+    std::size_t sensor_shed = 0;
+    for (const SensorServingReport &sr : rep.sensors) {
+        EXPECT_EQ(sr.framesIn, sr.framesDone + sr.framesMissed);
+        EXPECT_LE(sr.framesShed, sr.framesMissed);
+        sensor_in += sr.framesIn;
+        sensor_shed += sr.framesShed;
+    }
+    EXPECT_EQ(sensor_in, rep.framesIn);
+    EXPECT_EQ(sensor_shed, rep.framesShed);
+    // Epoch logs tell the same story as the merged report.
+    std::size_t log_shed = 0;
+    std::size_t log_offered = 0;
+    for (const EpochLog &ep : result.epochs) {
+        log_shed += ep.framesShed;
+        log_offered += ep.framesOffered;
+    }
+    EXPECT_EQ(log_shed, rep.framesShed);
+    EXPECT_EQ(log_offered, rep.framesIn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traces, TrafficSweep,
+    ::testing::Combine(::testing::Values(std::uint64_t{1},
+                                         std::uint64_t{77}),
+                       ::testing::Values(1.0, 4.0),
+                       ::testing::Values(0.0, 0.45),
+                       ::testing::Bool()));
 
 } // namespace
 } // namespace hgpcn
