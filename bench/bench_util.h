@@ -64,9 +64,27 @@ section(const std::string &name)
 class JsonWriter
 {
   public:
+    /** Version of the shared record conventions every BENCH_*.json
+     * carries (`schemaVersion`, stamped automatically as the first
+     * member of the root object). Bump when a cross-record
+     * convention changes — per-bench layouts keep their own
+     * `schema` string. */
+    static constexpr int kSchemaVersion = 2;
+
     JsonWriter() = default;
 
-    JsonWriter &obj() { open('{'); return *this; }
+    JsonWriter &
+    obj()
+    {
+        const bool root = stack.empty();
+        open('{');
+        if (root && !stamped) {
+            stamped = true;
+            field("schemaVersion", kSchemaVersion);
+        }
+        return *this;
+    }
+
     JsonWriter &arr() { open('['); return *this; }
 
     JsonWriter &
@@ -186,6 +204,7 @@ class JsonWriter
     std::ostringstream out;
     std::vector<char> stack;
     bool fresh = true;
+    bool stamped = false;
 };
 
 /**

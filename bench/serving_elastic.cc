@@ -243,6 +243,7 @@ run(std::size_t duration_scale, std::size_t sensors,
         bench::JsonWriter json;
         json.obj()
             .field("bench", "serving_elastic")
+            .field("schema", "hgpcn-bench-serving/1")
             .field("durationScale",
                    static_cast<std::uint64_t>(duration_scale))
             .field("sensors", static_cast<std::uint64_t>(sensors))

@@ -1,6 +1,7 @@
 #include "core/preprocessing_engine.h"
 
 #include "common/logging.h"
+#include "core/temporal_preprocess.h"
 
 namespace hgpcn
 {
@@ -18,18 +19,46 @@ PreprocessingEngine::process(const PointCloud &raw, std::size_t k) const
 }
 
 PreprocessResult
-PreprocessingEngine::buildStage(const PointCloud &raw) const
+PreprocessingEngine::buildStage(const PointCloud &raw,
+                                TemporalPreprocessState *carry) const
 {
     PreprocessResult result;
 
     // Octree-build Unit (CPU): build + host-memory pre-configuration
-    // in one pass, then serialize the Octree-Table.
-    result.tree = std::make_shared<Octree>(
-        Octree::build(raw, cfg.octree));
+    // in one pass. With a carry, the build is incremental against
+    // the previous frame and the tree lives in the carry's pooled
+    // bundle; either way the tree (and every downstream output) is
+    // bit-identical.
+    if (carry != nullptr) {
+        HGPCN_ASSERT(
+            carry->config().octree.maxDepth == cfg.octree.maxDepth &&
+                carry->config().octree.leafCapacity ==
+                    cfg.octree.leafCapacity,
+            "carry octree config does not match the engine's");
+        std::shared_ptr<PreprocessBundle> bundle =
+            carry->processFrame(raw);
+        result.tree =
+            std::shared_ptr<Octree>(bundle, &bundle->tree);
+        if (bundle->rawKnnBuilt) {
+            result.rawKnn = std::shared_ptr<const SpatialHashKnn>(
+                bundle, &bundle->rawKnn);
+        }
+        if (bundle->rawOccLevel >= 0) {
+            result.rawOcc =
+                std::shared_ptr<const std::vector<OccupiedCell>>(
+                    bundle, &bundle->rawOcc);
+            result.rawOccLevel = bundle->rawOccLevel;
+        }
+    } else {
+        result.tree =
+            std::make_shared<Octree>(Octree::build(raw, cfg.octree));
+    }
     Octree &tree = *result.tree;
 
-    const OctreeTable table = OctreeTable::fromOctree(tree);
-    result.octreeTableBytes = table.sizeBytes();
+    // The Octree-Table row count equals the node count, so the MMIO
+    // transfer size needs no materialized table.
+    result.octreeTableBytes =
+        OctreeTable::sizeBytesFor(tree.nodes().size());
 
     const DeviceModel host(cfg.hostCpu);
     result.octreeBuildSec = host.octreeBuildSec(tree.buildStats());

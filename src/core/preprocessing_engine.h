@@ -19,8 +19,10 @@
 
 #include <memory>
 
+#include "knn/spatial_hash_knn.h"
 #include "octree/octree.h"
 #include "octree/octree_table.h"
+#include "octree/voxel_grid.h"
 #include "sampling/ois_fps_sampler.h"
 #include "sim/device_model.h"
 #include "sim/down_sampling_unit.h"
@@ -29,12 +31,26 @@
 namespace hgpcn
 {
 
+class TemporalPreprocessState;
+
 /** Result of pre-processing one frame. */
 struct PreprocessResult
 {
     /** The octree over the raw frame (owned; the Inference Engine
-     * may reuse it for VEG per Section VIII). */
+     * may reuse it for VEG per Section VIII). When the frame came
+     * through a TemporalPreprocessState carry, this aliases the
+     * pooled bundle — same API, pooled storage. */
     std::shared_ptr<Octree> tree;
+
+    /** Cached raw-cloud KNN buckets over tree->reorderedCloud()
+     * (null unless a carry with cacheIndices produced the frame). */
+    std::shared_ptr<const SpatialHashKnn> rawKnn;
+
+    /** Cached occupancy list at rawOccLevel (null when absent). */
+    std::shared_ptr<const std::vector<OccupiedCell>> rawOcc;
+
+    /** Octree level of rawOcc (-1 when absent). */
+    int rawOccLevel = -1;
 
     /** The K sampled points (coordinates+features), in pick order. */
     PointCloud sampled;
@@ -98,10 +114,19 @@ class PreprocessingEngine
 
     /**
      * Octree-build Unit half (CPU): build the octree over @p raw,
-     * serialize the Octree-Table and cost the build. The returned
-     * result has no sampled points yet — pass it to sampleStage().
+     * size the Octree-Table and cost the build. The returned result
+     * has no sampled points yet — pass it to sampleStage().
+     *
+     * @param carry Optional cross-frame cache
+     *   (core/temporal_preprocess.h): the octree and raw-cloud
+     *   indices come from the carry's pooled bundles, rebuilt
+     *   incrementally when frames cohere. Output is bit-identical
+     *   to the carry-less path; its octree config must match this
+     *   engine's.
      */
-    PreprocessResult buildStage(const PointCloud &raw) const;
+    PreprocessResult buildStage(const PointCloud &raw,
+                                TemporalPreprocessState *carry =
+                                    nullptr) const;
 
     /**
      * Down-sampling Unit half (FPGA): OIS-FPS @p partial's octree

@@ -1,0 +1,123 @@
+#include "core/temporal_preprocess.h"
+
+#include "common/logging.h"
+#include "core/frame_workspace.h"
+
+namespace hgpcn
+{
+
+TemporalPreprocessState::TemporalPreprocessState(const Config &config)
+    : cfg(config), pool(std::make_shared<BundlePool>())
+{
+}
+
+std::shared_ptr<PreprocessBundle>
+TemporalPreprocessState::leaseBundle(
+    const std::shared_ptr<BundlePool> &pool)
+{
+    PreprocessBundle *bundle = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(pool->mu);
+        if (pool->free_list.empty()) {
+            pool->owned.push_back(
+                std::make_unique<PreprocessBundle>());
+            FrameWorkspace::noteGrowth();
+            bundle = pool->owned.back().get();
+        } else {
+            // FIFO: bundles come back in frame order (results are
+            // released in stream order), so re-running the same
+            // stream hands frame i the bundle already sized for it
+            // — the steady-state zero-growth contract.
+            bundle = pool->free_list.front();
+            pool->free_list.erase(pool->free_list.begin());
+        }
+    }
+    // The deleter holds the pool alive, so bundles may outlive the
+    // state that leased them (results escaping a stream run).
+    return std::shared_ptr<PreprocessBundle>(
+        bundle, [pool](PreprocessBundle *b) {
+            std::lock_guard<std::mutex> lock(pool->mu);
+            pool->free_list.push_back(b);
+        });
+}
+
+std::shared_ptr<PreprocessBundle>
+TemporalPreprocessState::processFrame(const PointCloud &raw)
+{
+    HGPCN_ASSERT(!raw.empty(), "cannot preprocess an empty frame");
+    std::lock_guard<std::mutex> lock(mu);
+
+    std::shared_ptr<PreprocessBundle> bundle = leaseBundle(pool);
+    HGPCN_ASSERT(bundle.get() != prev.get(),
+                 "pool leased the carried frame's bundle");
+
+    const Octree *prev_tree =
+        (cfg.temporalCache && prev != nullptr) ? &prev->tree : nullptr;
+    const bool incremental =
+        builder.update(raw, prev_tree, cfg.octree, bundle->tree);
+
+    ++st.frames;
+    if (incremental) {
+        ++st.octreeHits;
+        const PointDelta &delta = builder.delta();
+        st.retainedPoints += delta.retained();
+        st.insertedPoints += delta.insertedNew.size();
+        st.evictedPoints += delta.evictedOld.size();
+        st.nodesReused += builder.nodesReused();
+        st.nodesErected += builder.nodesErected();
+    } else {
+        ++st.octreeMisses;
+    }
+
+    if (cfg.cacheIndices) {
+        const Octree &tree = bundle->tree;
+        std::span<const Vec3> positions =
+            tree.reorderedCloud().positions();
+
+        bool knn_incremental = false;
+        if (incremental && prev != nullptr && prev->rawKnnBuilt) {
+            knn_incremental = bundle->rawKnn.rebuildFrom(
+                prev->rawKnn, positions, builder.delta());
+        }
+        if (!knn_incremental)
+            bundle->rawKnn.rebuild(positions, cfg.knn);
+        bundle->rawKnnBuilt = true;
+        ++(knn_incremental ? st.knnIncremental : st.knnScratch);
+
+        const int level =
+            VoxelGrid::autoLevel(positions.size(), tree.depth());
+        bool occ_incremental = false;
+        if (incremental && prev != nullptr &&
+            prev->rawOccLevel == level) {
+            occ_incremental = patchOccupiedCells(
+                tree, level, prev->tree, prev->rawOcc,
+                builder.delta(), bundle->rawOcc);
+        }
+        if (!occ_incremental)
+            buildOccupiedCells(tree, level, bundle->rawOcc);
+        bundle->rawOccLevel = level;
+        ++(occ_incremental ? st.occIncremental : st.occScratch);
+    } else {
+        bundle->rawKnnBuilt = false;
+        bundle->rawOccLevel = -1;
+    }
+
+    prev = bundle;
+    return bundle;
+}
+
+void
+TemporalPreprocessState::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    prev.reset();
+}
+
+TemporalPreprocessState::Stats
+TemporalPreprocessState::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return st;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cross-frame preprocessing cache (temporal coherence).
+ *
+ * Consecutive frames of a drive share most of their points, so the
+ * per-frame preprocessing indices — the Morton octree, the
+ * spatial-hash KNN buckets over the reordered cloud and the
+ * VoxelGrid occupancy list — are mostly identical from frame to
+ * frame. TemporalPreprocessState carries the previous frame's
+ * indices and rebuilds the next frame's incrementally:
+ *
+ *  - the octree via IncrementalOctreeBuilder (code-array diff +
+ *    dirty-subtree re-erection, octree/incremental_octree.h);
+ *  - the KNN buckets via SpatialHashKnn::rebuildFrom (dirty cells
+ *    re-bucketed, clean cells remapped);
+ *  - the occupancy list via patchOccupiedCells (clean entries
+ *    remapped, dirty cells re-read from the new tree).
+ *
+ * All three are bit-identical to their from-scratch builds — the
+ * scratch path stays in the tree as the oracle and every cache
+ * falls back to it when its preconditions fail — so enabling the
+ * cache changes host wall-clock only; sampled outputs and modeled
+ * paper numbers are unchanged by construction.
+ *
+ * Storage is pooled: frames lease a PreprocessBundle (octree +
+ * indices) whose backing vectors are reused once every in-flight
+ * frame has a warmed bundle, keeping the steady state free of
+ * arena-backing allocation (growth counted via
+ * FrameWorkspace::noteGrowth, pinned by tests/test_runtime.cc).
+ * Thread safety: processFrame() serializes under a mutex; frames
+ * arriving out of order only lower the hit rate, never change
+ * outputs.
+ */
+
+#ifndef HGPCN_CORE_TEMPORAL_PREPROCESS_H
+#define HGPCN_CORE_TEMPORAL_PREPROCESS_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "knn/spatial_hash_knn.h"
+#include "octree/incremental_octree.h"
+#include "octree/octree.h"
+#include "octree/voxel_grid.h"
+
+namespace hgpcn
+{
+
+/**
+ * One frame's preprocessing indices, leased from the state's pool.
+ * The octree is always valid after processFrame(); the raw-cloud
+ * KNN index and occupancy list only when cacheIndices is on.
+ */
+struct PreprocessBundle
+{
+    Octree tree;
+    SpatialHashKnn rawKnn;     //!< over tree.reorderedCloud()
+    bool rawKnnBuilt = false;
+    std::vector<OccupiedCell> rawOcc; //!< occupancy at rawOccLevel
+    int rawOccLevel = -1;      //!< -1 = not built
+};
+
+/** Per-stream carried preprocessing state; see file comment. */
+class TemporalPreprocessState
+{
+  public:
+    /** Cache policy. */
+    struct Config
+    {
+        /** Octree build parameters (must match the engine's). */
+        Octree::Config octree;
+        /** Master switch: diff frames and update incrementally.
+         * Off = every frame builds from scratch (still pooled). */
+        bool temporalCache = true;
+        /** Maintain the raw-cloud KNN buckets and occupancy list
+         * across frames alongside the octree. */
+        bool cacheIndices = true;
+        /** KNN index parameters for the cached buckets. */
+        SpatialHashKnn::Config knn;
+    };
+
+    /** Cumulative cache telemetry (monotone counters). */
+    struct Stats
+    {
+        std::uint64_t frames = 0;
+        std::uint64_t octreeHits = 0;   //!< incremental updates
+        std::uint64_t octreeMisses = 0; //!< scratch rebuilds
+        std::uint64_t retainedPoints = 0;
+        std::uint64_t insertedPoints = 0;
+        std::uint64_t evictedPoints = 0;
+        std::uint64_t nodesReused = 0;
+        std::uint64_t nodesErected = 0;
+        std::uint64_t knnIncremental = 0;
+        std::uint64_t knnScratch = 0;
+        std::uint64_t occIncremental = 0;
+        std::uint64_t occScratch = 0;
+    };
+
+    explicit TemporalPreprocessState(const Config &config);
+
+    /**
+     * Build the frame's indices, reusing the previous frame's where
+     * the diff allows. The returned bundle stays valid as long as
+     * the caller holds it (its storage returns to the pool on
+     * release, possibly after this state is destroyed).
+     */
+    std::shared_ptr<PreprocessBundle> processFrame(const PointCloud &raw);
+
+    /** Drop the carried frame (the next frame builds from scratch). */
+    void reset();
+
+    /** @return cache telemetry snapshot. */
+    Stats stats() const;
+
+    /** @return configured policy. */
+    const Config &config() const { return cfg; }
+
+  private:
+    /** Thread-safe bundle pool; may outlive the state (leases hold
+     * a shared_ptr to it). */
+    struct BundlePool
+    {
+        std::mutex mu;
+        std::vector<std::unique_ptr<PreprocessBundle>> owned;
+        std::vector<PreprocessBundle *> free_list;
+    };
+
+    static std::shared_ptr<PreprocessBundle>
+    leaseBundle(const std::shared_ptr<BundlePool> &pool);
+
+    Config cfg;
+    std::shared_ptr<BundlePool> pool;
+
+    mutable std::mutex mu;
+    IncrementalOctreeBuilder builder;
+    std::shared_ptr<PreprocessBundle> prev; //!< keeps prev frame alive
+    Stats st;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_CORE_TEMPORAL_PREPROCESS_H

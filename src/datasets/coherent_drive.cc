@@ -1,0 +1,143 @@
+#include "datasets/coherent_drive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+/** SplitMix64-style mix of a (slot, generation) pair into one
+ * per-stream seed word. */
+std::uint64_t
+mixSlotGen(std::uint64_t slot, std::uint64_t gen)
+{
+    std::uint64_t z = slot * 0x9e3779b97f4a7c15ull + gen + 1;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+CoherentDrive::CoherentDrive(const Config &config) : cfg(config)
+{
+    HGPCN_ASSERT(cfg.points > kAnchors,
+                 "CoherentDrive needs more than ", kAnchors,
+                 " points, got ", cfg.points);
+    HGPCN_ASSERT(cfg.churnFraction >= 0.0 && cfg.churnFraction <= 1.0,
+                 "churnFraction must be in [0, 1], got ",
+                 cfg.churnFraction);
+    HGPCN_ASSERT(cfg.frameRateHz > 0.0, "frameRateHz must be > 0");
+    HGPCN_ASSERT(cfg.world.lo.x < cfg.world.hi.x &&
+                     cfg.world.lo.y < cfg.world.hi.y &&
+                     cfg.world.lo.z < cfg.world.hi.z,
+                 "world box must have positive extent");
+}
+
+std::size_t
+CoherentDrive::dynamicSlots() const
+{
+    return cfg.points - kAnchors;
+}
+
+std::size_t
+CoherentDrive::churnPerFrame() const
+{
+    if (cfg.churnFraction <= 0.0)
+        return 0;
+    const double d = static_cast<double>(dynamicSlots());
+    const auto churn = static_cast<std::size_t>(
+        std::llround(d * cfg.churnFraction));
+    return std::max<std::size_t>(churn, 1);
+}
+
+double
+CoherentDrive::overlapFraction(std::size_t delta) const
+{
+    const std::size_t replaced =
+        std::min(dynamicSlots(), delta * churnPerFrame());
+    return static_cast<double>(cfg.points - replaced) /
+           static_cast<double>(cfg.points);
+}
+
+Frame
+CoherentDrive::generate(std::size_t index) const
+{
+    const std::size_t d_slots = dynamicSlots();
+    const std::size_t churn = churnPerFrame();
+    const Vec3 lo = cfg.world.lo;
+    const Vec3 hi = cfg.world.hi;
+    const Vec3 center{(lo.x + hi.x) * 0.5f, (lo.y + hi.y) * 0.5f,
+                      (lo.z + hi.z) * 0.5f};
+    // Ego: a circle of half the smaller ground half-extent, so the
+    // whole path (and most spawn disks) stays inside the box.
+    const float ego_radius =
+        0.5f * std::min(hi.x - lo.x, hi.y - lo.y) * 0.5f;
+
+    Frame frame;
+    frame.name = "drive." + std::to_string(index);
+    frame.timestamp = static_cast<double>(index) / cfg.frameRateHz;
+    frame.cloud.reserve(cfg.points);
+    frame.labels.assign(cfg.points, 0);
+
+    // Anchor slots: the 8 world-box corners, bitwise identical in
+    // every frame — they pin the AABB (hence the octree root).
+    for (std::size_t c = 0; c < kAnchors; ++c) {
+        frame.cloud.add(Vec3{(c & 1) != 0 ? hi.x : lo.x,
+                             (c & 2) != 0 ? hi.y : lo.y,
+                             (c & 4) != 0 ? hi.z : lo.z});
+    }
+
+    // Dynamic slots. Replacement k (k = 0, 1, ...) hits slot
+    // k mod D at frame floor(k / churn) + 1, so by frame T slot d
+    // has seen every k < T*churn with k === d (mod D):
+    //   gen(d, T) = T*churn > d ? (T*churn - d - 1) / D + 1 : 0
+    // The position is a pure function of (slot, gen) — retained
+    // slots are bit-identical across frames by construction.
+    const std::size_t replaced_total = index * churn;
+    for (std::size_t d = 0; d < d_slots; ++d) {
+        const std::size_t gen =
+            replaced_total > d
+                ? (replaced_total - d - 1) / d_slots + 1
+                : 0;
+        Rng rng(cfg.seed ^ mixSlotGen(d, gen));
+        Vec3 p;
+        if (gen == 0) {
+            // Initial scene: uniform over the world box.
+            p = Vec3{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y),
+                     rng.uniform(lo.z, hi.z)};
+        } else {
+            // Replacement: near the ego at the frame this
+            // generation appeared (closed-form from k).
+            const std::size_t k = (gen - 1) * d_slots + d;
+            const std::size_t born = k / churn + 1;
+            const double t =
+                static_cast<double>(born) / cfg.frameRateHz;
+            const double angle = cfg.egoSpeedMps * t /
+                                 static_cast<double>(ego_radius);
+            const Vec3 ego{
+                center.x + ego_radius *
+                               static_cast<float>(std::cos(angle)),
+                center.y + ego_radius *
+                               static_cast<float>(std::sin(angle)),
+                center.z};
+            p = Vec3{ego.x + rng.uniform(-cfg.spawnRadius,
+                                         cfg.spawnRadius),
+                     ego.y + rng.uniform(-cfg.spawnRadius,
+                                         cfg.spawnRadius),
+                     rng.uniform(lo.z, hi.z)};
+            p.x = std::clamp(p.x, lo.x, hi.x);
+            p.y = std::clamp(p.y, lo.y, hi.y);
+        }
+        frame.cloud.add(p);
+        frame.labels[kAnchors + d] = gen == 0 ? 0 : 1;
+    }
+    return frame;
+}
+
+} // namespace hgpcn

@@ -75,6 +75,34 @@ PointCloud::gather(std::span<const PointIndex> indices) const
     return out;
 }
 
+void
+PointCloud::assignGathered(const PointCloud &src,
+                           std::span<const PointIndex> indices)
+{
+    HGPCN_ASSERT(this != &src, "assignGathered cannot self-gather");
+    const std::size_t n = indices.size();
+    featDim = src.featDim;
+    pos.resize(n);
+    feat.resize(n * featDim);
+    for (std::size_t i = 0; i < n; ++i) {
+        const PointIndex j = indices[i];
+        HGPCN_ASSERT(j < src.size(), "gather index out of range: ", j);
+        pos[i] = src.pos[j];
+        if (featDim > 0) {
+            std::copy_n(src.feat.data() +
+                            static_cast<std::size_t>(j) * featDim,
+                        featDim, feat.data() + i * featDim);
+        }
+    }
+}
+
+void
+PointCloud::clear()
+{
+    pos.clear();
+    feat.clear();
+}
+
 PointCloud
 PointCloud::reordered(std::span<const PointIndex> perm) const
 {

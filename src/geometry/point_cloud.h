@@ -86,6 +86,21 @@ class PointCloud
     PointCloud gather(std::span<const PointIndex> indices) const;
 
     /**
+     * Overwrite this cloud with the points of @p src listed in
+     * @p indices (in that order), carrying their features. Identical
+     * output to gather(), but storage capacity is reused — the
+     * pooled-octree rebuild path (zero-alloc steady state).
+     */
+    void assignGathered(const PointCloud &src,
+                        std::span<const PointIndex> indices);
+
+    /** Drop all points; feature width and capacity are kept. */
+    void clear();
+
+    /** @return allocated point capacity (growth accounting). */
+    std::size_t capacity() const { return pos.capacity(); }
+
+    /**
      * @return a copy of this cloud with points permuted so that
      * point i of the result is point perm[i] of this cloud. Used by
      * the octree's host-memory pre-configuration step.

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "core/frame_workspace.h"
 
 namespace hgpcn
 {
@@ -14,14 +15,16 @@ namespace
 /**
  * LSD radix sort of (code, index) pairs by code, 8 bits per pass.
  * Only the passes covering @p key_bits run, and passes where every
- * key shares the byte are skipped.
+ * key shares the byte are skipped. @p scratch is the ping-pong
+ * buffer; both vectors keep their storage for reuse.
  */
 void
 radixSortPairs(std::vector<std::pair<morton::Code, PointIndex>> &keyed,
-               int key_bits)
+               int key_bits,
+               std::vector<std::pair<morton::Code, PointIndex>> &scratch)
 {
     const std::size_t n = keyed.size();
-    std::vector<std::pair<morton::Code, PointIndex>> scratch(n);
+    scratch.resize(n);
     auto *src = &keyed;
     auto *dst = &scratch;
     const int passes = (key_bits + 7) / 8;
@@ -43,7 +46,7 @@ radixSortPairs(std::vector<std::pair<morton::Code, PointIndex>> &keyed,
         std::swap(src, dst);
     }
     if (src != &keyed)
-        keyed = std::move(*src);
+        keyed.swap(scratch);
 }
 
 } // namespace
@@ -51,63 +54,92 @@ radixSortPairs(std::vector<std::pair<morton::Code, PointIndex>> &keyed,
 Octree
 Octree::build(const PointCloud &cloud, const Config &config)
 {
+    Octree tree;
+    tree.rebuild(cloud, config);
+    return tree;
+}
+
+std::size_t
+Octree::backingCapacity() const
+{
+    std::size_t total = scratch.keyed.capacity() +
+                        scratch.radix.capacity() +
+                        scratch.levels.capacity() + codes.capacity() +
+                        perm.capacity() + point_leaf.capacity() +
+                        node_store.capacity() + reordered.capacity() +
+                        live.capacity() + sampled.capacity() +
+                        consumed.capacity();
+    for (const auto &lvl : scratch.levels)
+        total += lvl.capacity();
+    return total;
+}
+
+void
+Octree::rebuild(const PointCloud &cloud, const Config &config)
+{
     HGPCN_ASSERT(config.maxDepth >= 1 &&
                      config.maxDepth <= morton::kMaxDepth3d,
                  "maxDepth=", config.maxDepth);
     HGPCN_ASSERT(!cloud.empty(), "cannot build an octree over no points");
 
-    Octree tree;
-    tree.cfg = config;
-    tree.root_bounds = cloud.bounds().cubified();
+    const std::size_t cap_before = backingCapacity();
+
+    cfg = config;
+    root_bounds = cloud.bounds().cubified();
+    build_stats.clear();
+    max_level = 0;
+    leaf_total = 0;
 
     const std::size_t n = cloud.size();
 
     // Pass over the raw points: compute the full-depth m-code of each
     // point. This is the single host-memory read pass of the
     // Octree-build Unit.
-    std::vector<std::pair<morton::Code, PointIndex>> keyed(n);
+    auto &keyed = scratch.keyed;
+    keyed.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         keyed[i].first = morton::pointCode3(
-            cloud.position(static_cast<PointIndex>(i)), tree.root_bounds,
+            cloud.position(static_cast<PointIndex>(i)), root_bounds,
             config.maxDepth);
         keyed[i].second = static_cast<PointIndex>(i);
     }
-    tree.build_stats.add("octree.host_reads", n);
-    tree.build_stats.add("octree.code_computations", n);
+    build_stats.add("octree.host_reads", n);
+    build_stats.add("octree.code_computations", n);
 
     // SFC ordering: sorting by m-code realises the Space-Filling-Curve
     // traversal order of Fig. 5(b).
     if (config.useRadixSort) {
-        radixSortPairs(keyed, 3 * config.maxDepth);
+        radixSortPairs(keyed, 3 * config.maxDepth, scratch.radix);
         // Three touches per element per byte pass (count, read,
         // scatter).
-        tree.build_stats.add(
-            "octree.sort_ops",
-            n * static_cast<std::uint64_t>(
-                    (3 * config.maxDepth + 7) / 8) *
-                3);
+        build_stats.add("octree.sort_ops",
+                        n * static_cast<std::uint64_t>(
+                                (3 * config.maxDepth + 7) / 8) *
+                            3);
     } else {
         std::sort(keyed.begin(), keyed.end());
-        tree.build_stats.add("octree.sort_ops",
-                             n > 1 ? static_cast<std::uint64_t>(
-                                         n * std::bit_width(n - 1))
-                                   : 0);
+        build_stats.add("octree.sort_ops",
+                        n > 1 ? static_cast<std::uint64_t>(
+                                    n * std::bit_width(n - 1))
+                              : 0);
     }
 
-    tree.codes.resize(n);
-    tree.perm.resize(n);
+    codes.resize(n);
+    perm.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-        tree.codes[i] = keyed[i].first;
-        tree.perm[i] = keyed[i].second;
+        codes[i] = keyed[i].first;
+        perm[i] = keyed[i].second;
     }
 
     // Host-memory pre-configuration: write the reorganized copy so
     // voxel reads become sequential bursts.
-    tree.reordered = cloud.reordered(tree.perm);
-    tree.build_stats.add("octree.host_writes", n);
+    reordered.assignGathered(cloud, perm);
+    build_stats.add("octree.host_writes", n);
 
-    tree.point_leaf.assign(n, kNoNode);
-    tree.node_store.reserve(n / 2 + 16);
+    point_leaf.resize(n); // resize+fill: see resetLive()
+    std::fill(point_leaf.begin(), point_leaf.end(), kNoNode);
+    node_store.clear();
+    node_store.reserve(n / 2 + 16);
 
     OctreeNode root;
     root.code = 0;
@@ -115,16 +147,113 @@ Octree::build(const PointCloud &cloud, const Config &config)
     root.parent = kNoNode;
     root.pointBegin = 0;
     root.pointEnd = static_cast<PointIndex>(n);
-    tree.node_store.push_back(root);
-    tree.processNode(0);
+    node_store.push_back(root);
+    if (config.bottomUpBuild)
+        erectBottomUp();
+    else
+        processNode(0);
 
-    tree.build_stats.set("octree.nodes", tree.node_store.size());
-    tree.build_stats.set("octree.leaves", tree.leaf_total);
-    tree.build_stats.set("octree.depth",
-                         static_cast<std::uint64_t>(tree.max_level));
+    build_stats.set("octree.nodes", node_store.size());
+    build_stats.set("octree.leaves", leaf_total);
+    build_stats.set("octree.depth",
+                    static_cast<std::uint64_t>(max_level));
 
-    tree.resetLive();
-    return tree;
+    resetLive();
+
+    // Count re-growth of warmed storage only: a fresh tree's first
+    // backing is creation, accounted where the tree is pooled
+    // (TemporalPreprocessState::leaseBundle), not here — transient
+    // per-frame trees (backends, tests) stay invisible to the
+    // steady-state zero-alloc pin.
+    if (cap_before > 0 && backingCapacity() > cap_before)
+        FrameWorkspace::noteGrowth();
+}
+
+void
+Octree::erectBottomUp()
+{
+    const std::size_t n = codes.size();
+    const int depth = cfg.maxDepth;
+    auto &levels = scratch.levels;
+    if (levels.size() < static_cast<std::size_t>(depth) + 1)
+        levels.resize(depth + 1);
+
+    // Deepest level: one run per distinct full-depth code.
+    auto &deep = levels[depth];
+    deep.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (deep.empty() || deep.back().code != codes[i]) {
+            deep.push_back({codes[i], static_cast<PointIndex>(i),
+                            static_cast<PointIndex>(i + 1), kNoNode, 0});
+        } else {
+            deep.back().end = static_cast<PointIndex>(i + 1);
+        }
+    }
+
+    // Agglomerate upwards: each level's runs are the distinct
+    // (code >> 3) prefixes of the level below, carrying the merged
+    // point range, the occupied-octant mask and the index of their
+    // first child run (the pointerless NavVolume layout).
+    for (int lvl = depth - 1; lvl >= 0; --lvl) {
+        const auto &child = levels[lvl + 1];
+        auto &cur = levels[lvl];
+        cur.clear();
+        for (std::size_t j = 0; j < child.size(); ++j) {
+            const morton::Code pc = child[j].code >> 3;
+            if (cur.empty() || cur.back().code != pc) {
+                cur.push_back({pc, child[j].begin, child[j].end,
+                               static_cast<std::int32_t>(j), 0});
+            } else {
+                cur.back().end = child[j].end;
+            }
+            cur.back().mask |=
+                static_cast<std::uint8_t>(1u << (child[j].code & 7u));
+        }
+    }
+    HGPCN_ASSERT(levels[0].size() == 1, "agglomeration lost the root");
+
+    // DFS emission reproduces processNode()'s exact node order:
+    // siblings contiguous in ascending octant, then recurse in order.
+    emitRun(0, 0, levels[0][0]);
+}
+
+void
+Octree::emitRun(NodeIndex self, int level,
+                const BuildScratch::LevelRun &run)
+{
+    if (level > max_level)
+        max_level = level;
+
+    const std::uint32_t count = run.end - run.begin;
+    const bool subdivide =
+        level < cfg.maxDepth && count > cfg.leafCapacity;
+    if (!subdivide) {
+        ++leaf_total;
+        for (PointIndex i = run.begin; i < run.end; ++i)
+            point_leaf[i] = self;
+        return;
+    }
+
+    node_store[self].childMask = run.mask;
+    const NodeIndex first_child =
+        static_cast<NodeIndex>(node_store.size());
+    node_store[self].firstChild = first_child;
+
+    const int n_children = std::popcount(run.mask);
+    const auto &child_level = scratch.levels[level + 1];
+    for (int c = 0; c < n_children; ++c) {
+        const auto &cr = child_level[run.firstChild + c];
+        OctreeNode child;
+        child.code = cr.code;
+        child.level = static_cast<std::uint16_t>(level + 1);
+        child.parent = self;
+        child.pointBegin = cr.begin;
+        child.pointEnd = cr.end;
+        node_store.push_back(child);
+    }
+    for (int c = 0; c < n_children; ++c)
+        emitRun(first_child + c, level + 1,
+                child_level[run.firstChild + c]);
 }
 
 void
@@ -240,11 +369,17 @@ Octree::voxelRange(morton::Code code, int level) const
 void
 Octree::resetLive()
 {
+    // resize + fill, not assign: assign() reallocates to the exact
+    // new size, so fluctuating node counts would grow the backing a
+    // little on every new high-water frame; resize() grows
+    // geometrically and converges (the pooled zero-alloc path).
     live.resize(node_store.size());
     for (std::size_t i = 0; i < node_store.size(); ++i)
         live[i] = node_store[i].count();
-    sampled.assign(node_store.size(), 0);
-    consumed.assign(codes.size(), 0);
+    sampled.resize(node_store.size());
+    std::fill(sampled.begin(), sampled.end(), 0u);
+    consumed.resize(codes.size());
+    std::fill(consumed.begin(), consumed.end(), 0);
 }
 
 int

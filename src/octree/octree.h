@@ -101,6 +101,14 @@ class Octree
          * instead of comparison sorting; identical output, faster
          * builds on large frames. */
         bool useRadixSort = true;
+
+        /** Erect the nodes bottom-up from the sorted codes
+         * (NavVolume-style pointerless agglomeration: one linear
+         * pass per level) instead of top-down recursion with
+         * per-octant binary searches. Identical output — pinned by
+         * tests/test_temporal.cc; the recursive builder remains the
+         * oracle. */
+        bool bottomUpBuild = true;
     };
 
     /**
@@ -111,6 +119,17 @@ class Octree
      * sort operations) is recorded in buildStats().
      */
     static Octree build(const PointCloud &cloud, const Config &config);
+
+    /**
+     * Rebuild this octree in place over @p cloud — identical output
+     * to build(), but every backing store (codes, permutation, node
+     * array, reordered copy, build scratch) reuses its capacity.
+     * This is the pooled-octree path: once a tree has seen a frame
+     * of the stream's size, later rebuilds allocate nothing
+     * (growth is counted via FrameWorkspace::noteGrowth, so the
+     * zero-alloc steady-state test covers it).
+     */
+    void rebuild(const PointCloud &cloud, const Config &config);
 
     /** @return build parameters used. */
     const Config &config() const { return cfg; }
@@ -233,6 +252,36 @@ class Octree
                                        morton::Code seed_code) const;
 
   private:
+    friend class IncrementalOctreeBuilder;
+
+    /**
+     * Build-time scratch retained across rebuild() calls so pooled
+     * trees sort and agglomerate with zero steady-state allocation.
+     * Copying a tree deliberately does not copy its scratch.
+     */
+    struct BuildScratch
+    {
+        /** One maximal run of equal level-prefix codes. */
+        struct LevelRun
+        {
+            morton::Code code;      //!< code >> 3*(maxDepth-level)
+            PointIndex begin;       //!< reordered point range
+            PointIndex end;
+            std::int32_t firstChild; //!< index into the child level
+            std::uint8_t mask;      //!< occupied child octants
+        };
+
+        std::vector<std::pair<morton::Code, PointIndex>> keyed;
+        std::vector<std::pair<morton::Code, PointIndex>> radix;
+        std::vector<std::vector<LevelRun>> levels;
+
+        BuildScratch() = default;
+        BuildScratch(const BuildScratch &) {}
+        BuildScratch &operator=(const BuildScratch &) { return *this; }
+        BuildScratch(BuildScratch &&) = default;
+        BuildScratch &operator=(BuildScratch &&) = default;
+    };
+
     Config cfg;
     Aabb root_bounds;
     int max_level = 0;
@@ -243,6 +292,7 @@ class Octree
     std::vector<NodeIndex> point_leaf;
     PointCloud reordered;
     StatSet build_stats;
+    BuildScratch scratch;
 
     // Sampling state.
     std::vector<std::uint32_t> live;
@@ -251,6 +301,16 @@ class Octree
 
     /** Recursively subdivide node @p self or finalize it as a leaf. */
     void processNode(NodeIndex self);
+
+    /** Pointerless bottom-up erection over the sorted codes. */
+    void erectBottomUp();
+
+    /** Emit node @p self for @p run, recursing into its children. */
+    void emitRun(NodeIndex self, int level,
+                 const BuildScratch::LevelRun &run);
+
+    /** Sum of backing capacities — growth detection for rebuild(). */
+    std::size_t backingCapacity() const;
 };
 
 } // namespace hgpcn

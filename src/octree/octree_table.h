@@ -53,6 +53,17 @@ class OctreeTable
     /** @return table footprint in bytes (the MMIO transfer size). */
     std::size_t sizeBytes() const { return rows.size() * kEntryBytes; }
 
+    /**
+     * @return the footprint a table over @p nodes rows would have,
+     * without materializing it (row i == node i, so callers that
+     * only need the MMIO transfer size skip the serialization).
+     */
+    static std::size_t
+    sizeBytesFor(std::size_t nodes)
+    {
+        return nodes * kEntryBytes;
+    }
+
     /** @return row @p i. */
     const OctreeTableEntry &entry(std::size_t i) const { return rows[i]; }
 

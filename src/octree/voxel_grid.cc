@@ -18,6 +18,13 @@ VoxelGrid::VoxelGrid(const Octree &tree, int level)
                  tree.config().maxDepth);
 }
 
+VoxelGrid::VoxelGrid(const Octree &tree, int level,
+                     const std::vector<OccupiedCell> *external)
+    : VoxelGrid(tree, level)
+{
+    ext_occ = external;
+}
+
 GridCell
 VoxelGrid::cellOf(const Vec3 &p) const
 {
@@ -126,24 +133,39 @@ VoxelGrid::shellCellCount(const GridCell &center, int ring) const
            boxCellCount(center, ring - 1);
 }
 
-const std::vector<OccupiedCell> &
-VoxelGrid::occupiedCells() const
+namespace
 {
-    if (occ_built)
-        return occ;
-    occ_built = true;
-    const std::vector<morton::Code> &codes = octree.pointCodes();
+
+/** The (x, y, z) order ring scans and per-cell walks agree on. */
+inline bool
+cellLess(const GridCell &a, const GridCell &b)
+{
+    if (a.x != b.x)
+        return a.x < b.x;
+    if (a.y != b.y)
+        return a.y < b.y;
+    return a.z < b.z;
+}
+
+} // namespace
+
+void
+buildOccupiedCells(const Octree &tree, int level,
+                   std::vector<OccupiedCell> &out)
+{
+    out.clear();
+    const std::vector<morton::Code> &codes = tree.pointCodes();
     const std::size_t n = codes.size();
-    if (lvl == 0) {
+    if (level == 0) {
         if (n > 0) {
-            occ.push_back({GridCell{0, 0, 0}, 0,
+            out.push_back({GridCell{0, 0, 0}, 0,
                            static_cast<PointIndex>(n)});
         }
-        return occ;
+        return;
     }
-    // Points are sorted by full-depth m-code, so every level-lvl
+    // Points are sorted by full-depth m-code, so every level-level
     // cell is one contiguous run of equal code prefixes.
-    const int shift = 3 * (octree.config().maxDepth - lvl);
+    const int shift = 3 * (tree.config().maxDepth - level);
     std::size_t i = 0;
     while (i < n) {
         const morton::Code prefix = codes[i] >> shift;
@@ -151,8 +173,8 @@ VoxelGrid::occupiedCells() const
         while (j < n && (codes[j] >> shift) == prefix)
             ++j;
         morton::CellCoord x = 0, y = 0, z = 0;
-        morton::decode3(prefix, lvl, x, y, z);
-        occ.push_back({GridCell{static_cast<std::int32_t>(x),
+        morton::decode3(prefix, level, x, y, z);
+        out.push_back({GridCell{static_cast<std::int32_t>(x),
                                 static_cast<std::int32_t>(y),
                                 static_cast<std::int32_t>(z)},
                        static_cast<PointIndex>(i),
@@ -161,14 +183,99 @@ VoxelGrid::occupiedCells() const
     }
     // Ring scans must emit cells in the same (x, y, z) order the
     // per-cell walk visits them in.
-    std::sort(occ.begin(), occ.end(),
+    std::sort(out.begin(), out.end(),
               [](const OccupiedCell &a, const OccupiedCell &b) {
-                  if (a.cell.x != b.cell.x)
-                      return a.cell.x < b.cell.x;
-                  if (a.cell.y != b.cell.y)
-                      return a.cell.y < b.cell.y;
-                  return a.cell.z < b.cell.z;
+                  return cellLess(a.cell, b.cell);
               });
+}
+
+bool
+patchOccupiedCells(const Octree &new_tree, int level,
+                   const Octree &prev_tree,
+                   const std::vector<OccupiedCell> &prev_occ,
+                   const PointDelta &delta,
+                   std::vector<OccupiedCell> &out)
+{
+    if (level < 1 ||
+        new_tree.config().maxDepth != prev_tree.config().maxDepth ||
+        level > new_tree.config().maxDepth)
+        return false;
+
+    const int shift = 3 * (new_tree.config().maxDepth - level);
+
+    // Dirty cells: level prefixes of every inserted (new codes) and
+    // evicted (old codes) point, sorted unique. Everything else kept
+    // its point set, so its entry survives with remapped ranges.
+    std::vector<morton::Code> dirty;
+    dirty.reserve(delta.insertedNew.size() + delta.evictedOld.size());
+    for (const PointIndex i : delta.insertedNew)
+        dirty.push_back(new_tree.pointCode(i) >> shift);
+    for (const PointIndex e : delta.evictedOld)
+        dirty.push_back(prev_tree.pointCode(e) >> shift);
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    const auto is_dirty = [&dirty](morton::Code prefix) {
+        return std::binary_search(dirty.begin(), dirty.end(), prefix);
+    };
+
+    // Dirty cells re-read from the new tree: two binary searches
+    // each; empty cells (all points evicted) drop out.
+    std::vector<OccupiedCell> patched;
+    patched.reserve(dirty.size());
+    for (const morton::Code prefix : dirty) {
+        const auto [first, last] = new_tree.voxelRange(prefix, level);
+        if (first == last)
+            continue;
+        morton::CellCoord x = 0, y = 0, z = 0;
+        morton::decode3(prefix, level, x, y, z);
+        patched.push_back({GridCell{static_cast<std::int32_t>(x),
+                                    static_cast<std::int32_t>(y),
+                                    static_cast<std::int32_t>(z)},
+                           first, last});
+    }
+    std::sort(patched.begin(), patched.end(),
+              [](const OccupiedCell &a, const OccupiedCell &b) {
+                  return cellLess(a.cell, b.cell);
+              });
+
+    // Merge clean entries (prev list order, already (x, y, z)
+    // sorted) with the patched ones. A clean cell saw no insert or
+    // evict, so its points map to one consecutive run of new slots:
+    // newFromOld of its first point starts the run.
+    out.clear();
+    out.reserve(prev_occ.size() + patched.size());
+    std::size_t p = 0;
+    for (const OccupiedCell &c : prev_occ) {
+        const morton::Code prefix = morton::encode3(
+            static_cast<morton::CellCoord>(c.cell.x),
+            static_cast<morton::CellCoord>(c.cell.y),
+            static_cast<morton::CellCoord>(c.cell.z), level);
+        if (is_dirty(prefix))
+            continue;
+        while (p < patched.size() &&
+               cellLess(patched[p].cell, c.cell))
+            out.push_back(patched[p++]);
+        const PointIndex first = delta.newFromOld[c.first];
+        HGPCN_ASSERT(first != kNoPoint,
+                     "clean cell lost its first point");
+        out.push_back(
+            {c.cell, first,
+             static_cast<PointIndex>(first + (c.last - c.first))});
+    }
+    while (p < patched.size())
+        out.push_back(patched[p++]);
+    return true;
+}
+
+const std::vector<OccupiedCell> &
+VoxelGrid::occupiedCells() const
+{
+    if (ext_occ != nullptr)
+        return *ext_occ;
+    if (occ_built)
+        return occ;
+    occ_built = true;
+    buildOccupiedCells(octree, lvl, occ);
     return occ;
 }
 

@@ -6,7 +6,7 @@ namespace hgpcn
 double
 OctreeBuildStage::process(FrameTask &task) const
 {
-    task.result.preprocess = pre.buildStage(task.frame->cloud);
+    task.result.preprocess = pre.buildStage(task.frame->cloud, carry);
     return task.result.preprocess.octreeBuildSec;
 }
 

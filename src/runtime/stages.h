@@ -33,14 +33,26 @@
 namespace hgpcn
 {
 
+class TemporalPreprocessState;
+
 /** Octree-build Unit on the host CPU. */
 class OctreeBuildStage : public PipelineStage
 {
   public:
-    /** @param engine Pre-processing engine (borrowed, not owned). */
+    /**
+     * @param engine Pre-processing engine (borrowed, not owned).
+     * @param carry_state Optional cross-frame preprocessing cache
+     *        (borrowed, core/temporal_preprocess.h): frames build
+     *        their octree incrementally against the previous frame.
+     *        Bit-identical outputs; the carry serializes this stage
+     *        across workers (frames queue on its mutex).
+     */
     explicit OctreeBuildStage(const PreprocessingEngine &engine,
-                              std::string stage_resource = "cpu")
-        : pre(engine), res(std::move(stage_resource))
+                              std::string stage_resource = "cpu",
+                              TemporalPreprocessState *carry_state =
+                                  nullptr)
+        : pre(engine), res(std::move(stage_resource)),
+          carry(carry_state)
     {
     }
 
@@ -51,6 +63,7 @@ class OctreeBuildStage : public PipelineStage
   private:
     const PreprocessingEngine &pre;
     std::string res;
+    TemporalPreprocessState *carry;
     std::string nm = "octree-build";
 };
 

@@ -6,11 +6,25 @@
 
 #include "backends/hgpcn_backend.h"
 #include "common/logging.h"
+#include "core/temporal_preprocess.h"
 
 namespace hgpcn
 {
 namespace
 {
+
+/** Cross-frame cache matching the engine's octree policy, or null
+ * when the runner is configured without one. */
+std::shared_ptr<TemporalPreprocessState>
+makeCarry(const PreprocessingEngine &preprocess,
+          const StreamRunner::Config &cfg)
+{
+    if (!cfg.temporalCache)
+        return nullptr;
+    TemporalPreprocessState::Config tc;
+    tc.octree = preprocess.config().octree;
+    return std::make_shared<TemporalPreprocessState>(tc);
+}
 
 std::vector<StagePipeline::StageSpec>
 makeSpecs(const OctreeBuildStage &build, const DownSampleStage &sample,
@@ -100,7 +114,8 @@ StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
                            const ExecutionBackend *borrowed_backend,
                            const Config &config)
     : cfg(config), owned(std::move(owned_backend)),
-      build(preprocess),
+      carry(makeCarry(preprocess, config)),
+      build(preprocess, "cpu", carry.get()),
       sample(preprocess, config.inputPoints,
              sampleResource(owned ? *owned : *borrowed_backend,
                             config),

@@ -141,6 +141,14 @@ class StreamRunner
          * against buildWorkers/fpgaUnits so intra- and inter-frame
          * parallelism share the host sensibly. */
         int intraOpThreads = 1;
+
+        /** Carry pre-processing indices across frames
+         * (core/temporal_preprocess.h): each frame's octree is
+         * rebuilt incrementally against the previous frame's and
+         * the storage is pooled. Wall-clock only — every output bit
+         * is identical either way; the carry serializes the build
+         * stage across buildWorkers (frames queue on its mutex). */
+        bool temporalCache = true;
     };
 
     /**
@@ -214,6 +222,9 @@ class StreamRunner
      * across frames and runs (declared before the stages that
      * borrow it). */
     WorkspacePool workspacePool;
+    /** Cross-frame pre-processing cache (null when temporalCache is
+     * off; declared before the build stage that borrows it). */
+    std::shared_ptr<TemporalPreprocessState> carry;
     OctreeBuildStage build;
     DownSampleStage sample;
     InferenceStage infer;

@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <set>
 
 #include "common/rng.h"
 #include "core/hgpcn_system.h"
+#include "datasets/coherent_drive.h"
 #include "datasets/traffic_gen.h"
 #include "gather/brute_gatherers.h"
 #include "serving/autoscaler.h"
@@ -580,6 +582,135 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1.0, 4.0),
                        ::testing::Values(0.0, 0.45),
                        ::testing::Bool()));
+
+// --------------------------------------- temporally-coherent drives
+
+/** (churnFraction, seed) grid over the coherent drive generator. */
+class DriveSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>>
+{
+  protected:
+    CoherentDrive::Config config() const
+    {
+        const auto [churn, seed] = GetParam();
+        CoherentDrive::Config cfg;
+        cfg.points = 600;
+        cfg.churnFraction = churn;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+TEST_P(DriveSweep, OverlapMatchesClosedFormEnvelope)
+{
+    const CoherentDrive drive(config());
+    const std::size_t P = config().points;
+    const Frame base = drive.generate(2);
+    for (std::size_t delta : {1u, 2u, 5u}) {
+        const Frame later = drive.generate(2 + delta);
+        // Retained slots are bitwise identical at equal index —
+        // count them and compare against the closed form exactly.
+        std::size_t shared = 0;
+        for (PointIndex i = 0; i < P; ++i) {
+            const Vec3 &a = base.cloud.position(i);
+            const Vec3 &b = later.cloud.position(i);
+            if (std::memcmp(&a.x, &b.x, sizeof(float)) == 0 &&
+                std::memcmp(&a.y, &b.y, sizeof(float)) == 0 &&
+                std::memcmp(&a.z, &b.z, sizeof(float)) == 0)
+                ++shared;
+        }
+        EXPECT_EQ(static_cast<double>(shared) /
+                      static_cast<double>(P),
+                  drive.overlapFraction(delta))
+            << "delta " << delta;
+    }
+}
+
+TEST_P(DriveSweep, BoundsArePinnedAndStampsMonotone)
+{
+    const CoherentDrive drive(config());
+    const Frame f0 = drive.generate(0);
+    const Aabb b0 = f0.cloud.bounds();
+    std::vector<Frame> frames;
+    for (std::size_t t = 0; t < 6; ++t)
+        frames.push_back(drive.generate(t));
+    for (const Frame &frame : frames) {
+        const Aabb b = frame.cloud.bounds();
+        EXPECT_EQ(std::memcmp(&b.lo.x, &b0.lo.x, sizeof(float)), 0);
+        EXPECT_EQ(std::memcmp(&b.hi.x, &b0.hi.x, sizeof(float)), 0);
+        EXPECT_EQ(frame.cloud.size(), config().points);
+    }
+    EXPECT_DOUBLE_EQ(streamGenerationFps(frames),
+                     config().frameRateHz);
+    // Determinism: regenerating a frame reproduces it bitwise.
+    const Frame again = drive.generate(3);
+    for (PointIndex i = 0; i < config().points; ++i) {
+        const Vec3 &a = frames[3].cloud.position(i);
+        const Vec3 &b = again.cloud.position(i);
+        EXPECT_EQ(std::memcmp(&a.x, &b.x, sizeof(Vec3)), 0);
+    }
+}
+
+TEST_P(DriveSweep, TemporalCacheEndToEndMatchesOracle)
+{
+    // The acceptance pin: streaming with the cross-frame cache on
+    // must be bit-identical to the from-scratch oracle — sampled
+    // tables, inference outputs and every modeled number.
+    const CoherentDrive drive(config());
+    std::vector<Frame> frames;
+    for (std::size_t t = 0; t < 4; ++t)
+        frames.push_back(drive.generate(t));
+
+    PointNet2Spec spec = PointNet2Spec::classification(5);
+    spec.inputPoints = 256;
+    spec.sa[0].npoint = 64;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 16;
+    spec.sa[1].k = 8;
+    HgPcnSystem::Config sys_cfg;
+    sys_cfg.inputPoints = spec.inputPoints;
+    const HgPcnSystem system(sys_cfg, spec);
+
+    StreamRunner::Config rc =
+        StreamRunner::compat(frames.size(), spec.inputPoints);
+    rc.temporalCache = true;
+    const RuntimeResult cached = system.runStream(frames, rc);
+    rc.temporalCache = false;
+    const RuntimeResult oracle = system.runStream(frames, rc);
+
+    ASSERT_EQ(cached.frames.size(), oracle.frames.size());
+    for (std::size_t i = 0; i < cached.frames.size(); ++i) {
+        const E2eResult &a = cached.frames[i].result;
+        const E2eResult &b = oracle.frames[i].result;
+        EXPECT_EQ(a.preprocess.spt, b.preprocess.spt) << "frame " << i;
+        EXPECT_EQ(a.preprocess.octreeTableBytes,
+                  b.preprocess.octreeTableBytes);
+        EXPECT_EQ(a.preprocess.octreeBuildSec,
+                  b.preprocess.octreeBuildSec);
+        EXPECT_EQ(a.preprocess.dsu.totalSec(),
+                  b.preprocess.dsu.totalSec());
+        EXPECT_EQ(a.inference.output.labels, b.inference.output.labels);
+        ASSERT_EQ(a.inference.output.logits.rows(),
+                  b.inference.output.logits.rows());
+        for (std::size_t r = 0; r < a.inference.output.logits.rows();
+             ++r) {
+            for (std::size_t c = 0;
+                 c < a.inference.output.logits.cols(); ++c) {
+                EXPECT_EQ(a.inference.output.logits.at(r, c),
+                          b.inference.output.logits.at(r, c));
+            }
+        }
+        EXPECT_EQ(cached.frames[i].latencySec,
+                  oracle.frames[i].latencySec);
+    }
+    EXPECT_EQ(cached.report.sustainedFps, oracle.report.sustainedFps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Drives, DriveSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.5, 1.0),
+                       ::testing::Values(std::uint64_t{3},
+                                         std::uint64_t{29})));
 
 } // namespace
 } // namespace hgpcn

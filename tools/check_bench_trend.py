@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Cross-PR wall-clock trend gate over the BENCH_*.json records.
+
+Compares a freshly generated bench record against the committed copy
+at the repo root (the machine-readable perf trajectory,
+docs/PERFORMANCE.md). Two kinds of keys are held to two kinds of
+bars:
+
+- machine-independent keys (modeled seconds, workload counters,
+  schema fields, closed-form trace parameters) must match the
+  committed record exactly -- any drift is a fidelity regression,
+  caught no matter which machine generated either file;
+- wall-clock keys (FPS, ns/op) only have to stay within a loose
+  ratio band of the committed value, because the committed numbers
+  come from a dev container and CI runs on shared runners. The
+  bands are deliberately coarse (0.25-0.4x) so runner noise cannot
+  flake the job while a genuine order-of-magnitude regression still
+  fails it.
+
+Usage:
+    tools/check_bench_trend.py <committed.json> <fresh.json>
+
+The rule set is selected by the record's "bench" field. Exit status
+is nonzero on any violation; every violation is printed. Stdlib
+only (runs on a bare CI python3).
+"""
+
+import json
+import math
+import re
+import sys
+
+# Rule vocabulary, first matching pattern wins:
+#   ("higher", r)  wall-clock, higher is better: fresh >= r * committed
+#   ("lower", r)   wall-clock, lower is better:  fresh <= committed / r
+#   ("ignore",)    content not compared (presence/shape still is)
+# Keys matching no pattern are machine-independent: exact for ints,
+# bools and strings; relative 1e-9 for floats (formatting headroom).
+RULES = {
+    "runtime_throughput": [
+        (r"^wallClockFps$", ("higher", 0.25)),
+    ],
+    "microbench_kernels": [
+        (r"\.ns_per_op$", ("lower", 0.25)),
+        (r"\.items_per_sec$", ("higher", 0.25)),
+        # Ratio of two wall-clocks on one machine: tighter than the
+        # absolute rates, and already floored at 1.5x absolute by
+        # --assert-knn-speedup in the same CI job.
+        (r"^knn_speedup_kitti$", ("higher", 0.4)),
+    ],
+    "serving_elastic": [
+        # Human-readable autoscaler narration: float formatting, not
+        # trajectory. The decisions themselves are pinned by
+        # widthTrajectory/scaleEvents, which stay exact.
+        (r"^elastic\.decisionLog\[", ("ignore",)),
+    ],
+    # preprocess_coherence stores deterministic fields only -- the
+    # default exact rules double as its determinism check.
+    "preprocess_coherence": [],
+}
+
+
+def flatten(value, path, out):
+    if isinstance(value, dict):
+        for k, v in value.items():
+            flatten(v, f"{path}.{k}" if path else k, out)
+    elif isinstance(value, list):
+        out[f"{path}#len"] = len(value)
+        for i, v in enumerate(value):
+            flatten(v, f"{path}[{i}]", out)
+    else:
+        out[path] = value
+
+
+def rule_for(bench, path):
+    for pattern, rule in RULES[bench]:
+        if re.search(pattern, path):
+            return rule
+    return ("exact",)
+
+
+def check(committed, fresh):
+    bench = committed.get("bench")
+    if bench not in RULES:
+        return [f"unknown bench '{bench}' (committed record)"]
+    if fresh.get("bench") != bench:
+        return [
+            f"bench mismatch: committed '{bench}' "
+            f"vs fresh '{fresh.get('bench')}'"
+        ]
+
+    a, b = {}, {}
+    flatten(committed, "", a)
+    flatten(fresh, "", b)
+
+    problems = []
+    for path in sorted(set(a) | set(b)):
+        rule = rule_for(bench, path)
+        if path not in a:
+            if rule[0] != "ignore":
+                problems.append(f"{path}: new key (not in committed)")
+            continue
+        if path not in b:
+            if rule[0] != "ignore":
+                problems.append(f"{path}: missing from fresh record")
+            continue
+        old, new = a[path], b[path]
+        if rule[0] == "ignore":
+            continue
+        if rule[0] in ("higher", "lower"):
+            ratio = rule[1]
+            if not (
+                isinstance(old, (int, float))
+                and isinstance(new, (int, float))
+            ):
+                problems.append(f"{path}: expected numbers, got "
+                                f"{old!r} vs {new!r}")
+            elif rule[0] == "higher" and new < ratio * old:
+                problems.append(
+                    f"{path}: {new:g} fell below {ratio:g}x "
+                    f"committed {old:g}"
+                )
+            elif rule[0] == "lower" and new * ratio > old:
+                problems.append(
+                    f"{path}: {new:g} exceeds committed {old:g} "
+                    f"by more than {1 / ratio:g}x"
+                )
+            continue
+        # Machine-independent: exact, with float formatting headroom.
+        if isinstance(old, float) or isinstance(new, float):
+            if not math.isclose(old, new, rel_tol=1e-9, abs_tol=0.0):
+                problems.append(f"{path}: {old!r} -> {new!r} "
+                                "(machine-independent key moved)")
+        elif old != new:
+            problems.append(f"{path}: {old!r} -> {new!r} "
+                            "(machine-independent key moved)")
+    return problems
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        committed = json.load(f)
+    with open(argv[2]) as f:
+        fresh = json.load(f)
+    problems = check(committed, fresh)
+    name = committed.get("bench", argv[1])
+    if problems:
+        print(f"FAIL {name}: {len(problems)} violation(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"OK {name}: fresh record within trend bounds "
+          f"({len(fresh)} top-level keys)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
