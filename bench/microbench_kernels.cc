@@ -193,6 +193,31 @@ BM_BlockedMatmul(benchmark::State &state)
 }
 BENCHMARK(BM_BlockedMatmul);
 
+/** Intra-op row parallelism at the Pointnet++(s) SA0 MLP shape:
+ * arg is the worker-thread count splitting GEMM rows within one
+ * frame (StreamRunner::Config::intraOpThreads). Outputs are
+ * bit-identical at any count; this measures the wall-clock lever
+ * (docs/PERFORMANCE.md "intra-op threads"). */
+void
+BM_MlpIntraOpThreads(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    Rng rng(6);
+    const Mlp mlp(3 + 32, {64, 64, 128}, rng);
+    Tensor x(32768, 3 + 32);
+    x.randomize(rng, 0.5f);
+    FrameWorkspace ws;
+    ExecutionTrace trace;
+    for (auto _ : state) {
+        ws.beginFrame();
+        trace.gemms.clear();
+        benchmark::DoNotOptimize(
+            mlp.forwardArena(x, "sa0", trace, ws, threads).row(0));
+    }
+    state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_MlpIntraOpThreads)->Arg(1)->Arg(2)->Arg(4);
+
 /** Capture every finished run so --json can replay it. */
 class CapturingReporter : public benchmark::ConsoleReporter
 {

@@ -29,4 +29,50 @@ CpuBruteBackend::infer(const PointCloud &input,
     return result;
 }
 
+BatchInference
+CpuBruteBackend::inferBatch(std::span<const PointCloud *const> inputs,
+                            FrameWorkspace *workspace) const
+{
+    RunOptions opts;
+    opts.ds = DsMethod::BruteKnn;
+    opts.centroid = centroid;
+    opts.seed = seed;
+    opts.workspace = workspace;
+    if (workspace != nullptr)
+        opts.intraOpThreads = workspace->intraOpThreads;
+    std::vector<RunOutput> outs = net_.runBatch(inputs, opts);
+
+    BatchInference batch;
+    batch.frames.reserve(outs.size());
+    for (RunOutput &out : outs) {
+        BackendInference bi;
+        bi.backend = nm;
+        bi.dsSec = dev.dsSec(out.trace);
+        bi.fcSec = dev.fcSec(out.trace);
+        bi.dsFcOverlap = false;
+        bi.output = std::move(out);
+        batch.frames.push_back(std::move(bi));
+    }
+    std::vector<const BackendInference *> ptrs;
+    ptrs.reserve(batch.frames.size());
+    for (const BackendInference &f : batch.frames)
+        ptrs.push_back(&f);
+    batch.batchSec = batchServiceSec(ptrs);
+    return batch;
+}
+
+double
+CpuBruteBackend::batchServiceSec(
+    std::span<const BackendInference *const> frames) const
+{
+    double ds = 0.0;
+    std::vector<const ExecutionTrace *> traces;
+    traces.reserve(frames.size());
+    for (const BackendInference *f : frames) {
+        ds += f->dsSec;
+        traces.push_back(&f->output.trace);
+    }
+    return ds + dev.fcSecStacked(traces);
+}
+
 } // namespace hgpcn

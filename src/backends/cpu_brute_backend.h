@@ -45,6 +45,19 @@ class CpuBruteBackend : public ExecutionBackend
     BackendInference infer(const PointCloud &input,
                            FrameWorkspace *workspace =
                                nullptr) const override;
+
+    /** One PointNet2::runBatch pass (brute KNN); per-frame outputs
+     * bit-identical to solo infer(). */
+    BatchInference inferBatch(std::span<const PointCloud *const> inputs,
+                              FrameWorkspace *workspace =
+                                  nullptr) const override;
+
+    /** Serial DS sum + one batched GEMM pass: MAC time is rate-
+     * linear, so batching only merges the per-op dispatch overhead
+     * (DeviceModel::fcSecStacked). */
+    double batchServiceSec(std::span<const BackendInference *const>
+                               frames) const override;
+
     const PointNet2 &model() const override { return net_; }
 
   private:

@@ -21,6 +21,33 @@ backendProbeCloud(std::size_t points)
     return cloud;
 }
 
+BatchInference
+ExecutionBackend::inferBatch(std::span<const PointCloud *const> inputs,
+                             FrameWorkspace *workspace) const
+{
+    HGPCN_ASSERT(!inputs.empty(), "inferBatch: empty batch");
+    BatchInference out;
+    out.frames.reserve(inputs.size());
+    for (const PointCloud *input : inputs)
+        out.frames.push_back(infer(*input, workspace));
+    std::vector<const BackendInference *> ptrs;
+    ptrs.reserve(out.frames.size());
+    for (const BackendInference &f : out.frames)
+        ptrs.push_back(&f);
+    out.batchSec = batchServiceSec(ptrs);
+    return out;
+}
+
+double
+ExecutionBackend::batchServiceSec(
+    std::span<const BackendInference *const> frames) const
+{
+    double total = 0.0;
+    for (const BackendInference *f : frames)
+        total += f->totalSec();
+    return total;
+}
+
 double
 ExecutionBackend::estimateServiceSec() const
 {

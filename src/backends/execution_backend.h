@@ -25,7 +25,9 @@
 #define HGPCN_BACKENDS_EXECUTION_BACKEND_H
 
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "geometry/point_cloud.h"
 #include "nn/pointnet2.h"
@@ -76,6 +78,23 @@ struct BackendInference
 };
 
 /**
+ * Result of one micro-batch through an execution backend.
+ *
+ * frames[i] is bit-identical to a solo infer() of input i — the
+ * per-frame modeled numbers are unchanged by construction — while
+ * batchSec is the ONE device occupancy interval the whole batch
+ * holds (shared weight passes amortize fill/drain and dispatch, so
+ * batchSec <= sum of per-frame totals). The virtual timeline
+ * charges batchSec and derives every member's completion stamp
+ * from it.
+ */
+struct BatchInference
+{
+    std::vector<BackendInference> frames;
+    double batchSec = 0.0;
+};
+
+/**
  * One inference accelerator, bound to a deployed network replica.
  *
  * Backends must be thread-safe: the streaming runtime calls infer()
@@ -115,6 +134,33 @@ class ExecutionBackend
     virtual BackendInference
     infer(const PointCloud &input,
           FrameWorkspace *workspace = nullptr) const = 0;
+
+    /**
+     * Execute the deployed network over a micro-batch of frames
+     * coalesced from different sensors.
+     *
+     * The base implementation loops infer() and charges the serial
+     * sum — correct for any backend. Accelerated backends override
+     * it to share one weight pass and one workspace arena
+     * reservation across the batch; they must keep every frame's
+     * functional output and recorded trace bit-identical to a solo
+     * infer() of that frame.
+     */
+    virtual BatchInference
+    inferBatch(std::span<const PointCloud *const> inputs,
+               FrameWorkspace *workspace = nullptr) const;
+
+    /**
+     * Modeled device-occupancy seconds for serving the given
+     * already-executed frames as one batch. Pure arithmetic over
+     * the frames' recorded traces (no functional re-execution), so
+     * the virtual timeline can re-derive batch charges
+     * deterministically for any batch composition. Base: serial
+     * sum of per-frame totals. A single-frame span must equal that
+     * frame's totalSec().
+     */
+    virtual double batchServiceSec(
+        std::span<const BackendInference *const> frames) const;
 
     /** @return the deployed network replica. */
     virtual const PointNet2 &model() const = 0;

@@ -27,4 +27,53 @@ HgpcnBackend::infer(const PointCloud &input,
     return out;
 }
 
+BatchInference
+HgpcnBackend::inferBatch(std::span<const PointCloud *const> inputs,
+                         FrameWorkspace *workspace) const
+{
+    RunOptions opts;
+    opts.centroid = eng.config().centroid;
+    opts.ds = eng.config().ds;
+    opts.seed = eng.config().seed;
+    opts.workspace = workspace;
+    opts.intraOpThreads =
+        workspace != nullptr ? workspace->intraOpThreads : 1;
+    std::vector<RunOutput> outs = net_.runBatch(inputs, opts);
+
+    BatchInference batch;
+    batch.frames.reserve(outs.size());
+    for (RunOutput &out : outs) {
+        InferenceResult r = eng.timeOutput(std::move(out));
+        BackendInference bi;
+        bi.backend = nm;
+        bi.dsSec = r.dsu.pipelinedSec;
+        bi.fcSec = r.fcu.totalSec();
+        bi.dsFcOverlap = true;
+        bi.output = std::move(r.output);
+        batch.frames.push_back(std::move(bi));
+    }
+    std::vector<const BackendInference *> ptrs;
+    ptrs.reserve(batch.frames.size());
+    for (const BackendInference &f : batch.frames)
+        ptrs.push_back(&f);
+    batch.batchSec = batchServiceSec(ptrs);
+    return batch;
+}
+
+double
+HgpcnBackend::batchServiceSec(
+    std::span<const BackendInference *const> frames) const
+{
+    double ds = 0.0;
+    std::vector<const ExecutionTrace *> traces;
+    traces.reserve(frames.size());
+    for (const BackendInference *f : frames) {
+        ds += f->dsSec;
+        traces.push_back(&f->output.trace);
+    }
+    const FcuSim fcu(eng.config().sim);
+    const double fc = fcu.runStacked(traces).totalSec();
+    return ds > fc ? ds : fc;
+}
+
 } // namespace hgpcn

@@ -39,6 +39,21 @@ class HgpcnBackend : public ExecutionBackend
     BackendInference infer(const PointCloud &input,
                            FrameWorkspace *workspace =
                                nullptr) const override;
+
+    /** One PointNet2::runBatch pass: shared per-layer weight pass,
+     * one arena reservation, per-frame outputs and traces
+     * bit-identical to solo infer(). */
+    BatchInference inferBatch(std::span<const PointCloud *const> inputs,
+                              FrameWorkspace *workspace =
+                                  nullptr) const override;
+
+    /** DSU passes run back-to-back (summed); the FCU runs the
+     * layer-merged batched pass (FcuSim::runStacked); the two
+     * overlap through the BF buffer, so the batch holds the device
+     * for the slower side. */
+    double batchServiceSec(std::span<const BackendInference *const>
+                               frames) const override;
+
     const PointNet2 &model() const override { return net_; }
 
     /** @return the wrapped engine (e.g. for serial comparisons). */

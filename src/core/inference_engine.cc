@@ -1,5 +1,7 @@
 #include "core/inference_engine.h"
 
+#include <utility>
+
 namespace hgpcn
 {
 
@@ -9,8 +11,6 @@ InferenceEngine::run(const PointNet2 &model, const PointCloud &input,
                      FrameWorkspace *workspace,
                      int intra_op_threads) const
 {
-    InferenceResult result;
-
     RunOptions opts;
     opts.centroid = cfg.centroid;
     opts.ds = cfg.ds;
@@ -18,7 +18,14 @@ InferenceEngine::run(const PointNet2 &model, const PointCloud &input,
     opts.inputOctree = input_octree;
     opts.workspace = workspace;
     opts.intraOpThreads = intra_op_threads;
-    result.output = model.run(input, opts);
+    return timeOutput(model.run(input, opts));
+}
+
+InferenceResult
+InferenceEngine::timeOutput(RunOutput output) const
+{
+    InferenceResult result;
+    result.output = std::move(output);
 
     // DSU: time every gather of the network on the pipeline model.
     // Brute-force gathers (if configured) produce no VEG traces; for

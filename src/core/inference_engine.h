@@ -88,6 +88,15 @@ class InferenceEngine
                         FrameWorkspace *workspace = nullptr,
                         int intra_op_threads = 1) const;
 
+    /**
+     * Attach the DSU/FCU timing to an already-computed functional
+     * output — the cycle-model half of run(). The batched backend
+     * path executes several frames functionally in one pass
+     * (PointNet2::runBatch) and then times each frame's trace here,
+     * so per-frame modeled numbers match solo run() exactly.
+     */
+    InferenceResult timeOutput(RunOutput output) const;
+
     /** @return configured parameters. */
     const Config &config() const { return cfg; }
 

@@ -56,6 +56,15 @@ Linear::forwardInto(const Tensor &x, Tensor &out, bool relu,
                     int threads, const std::string &layer_name,
                     ExecutionTrace &trace) const
 {
+    forwardIntoUntraced(x, out, relu, threads);
+    trace.gemms.push_back(
+        GemmOp{layer_name, x.rows(), x.cols(), weight.cols()});
+}
+
+void
+Linear::forwardIntoUntraced(const Tensor &x, Tensor &out, bool relu,
+                            int threads) const
+{
     out.resizeUninit(x.rows(), weight.cols());
     const std::uint64_t macs =
         static_cast<std::uint64_t>(x.rows()) * x.cols() *
@@ -68,8 +77,6 @@ Linear::forwardInto(const Tensor &x, Tensor &out, bool relu,
                     if (relu)
                         out.reluRows(begin, end);
                 });
-    trace.gemms.push_back(
-        GemmOp{layer_name, x.rows(), x.cols(), weight.cols()});
 }
 
 Mlp::Mlp(std::size_t in, const std::vector<std::size_t> &widths, Rng &rng,
@@ -115,6 +122,38 @@ Mlp::forwardArena(const Tensor &x, const std::string &name_prefix,
         layers[i].forwardInto(*cur, *dst, relu, threads,
                               name_prefix + ".fc" + std::to_string(i),
                               trace);
+        cur = dst;
+    }
+    return *dst;
+}
+
+const Tensor &
+Mlp::forwardBatchArena(const Tensor &stacked,
+                       std::span<const std::size_t> frame_rows,
+                       std::span<ExecutionTrace *const> traces,
+                       const std::string &name_prefix,
+                       FrameWorkspace &ws, int threads) const
+{
+    HGPCN_ASSERT(frame_rows.size() == traces.size(),
+                 "batched MLP: rows/traces size mismatch");
+    std::size_t total = 0;
+    for (std::size_t r : frame_rows)
+        total += r;
+    HGPCN_ASSERT(total == stacked.rows(),
+                 "batched MLP: frame rows ", total,
+                 " do not cover stacked tensor of ", stacked.rows());
+    const Tensor *cur = &stacked;
+    Tensor *dst = nullptr;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        dst = &ws.tensor(cur->rows(), layers[i].weight.cols());
+        const bool relu = i + 1 < layers.size() || relu_last;
+        layers[i].forwardIntoUntraced(*cur, *dst, relu, threads);
+        const std::string name =
+            name_prefix + ".fc" + std::to_string(i);
+        for (std::size_t f = 0; f < traces.size(); ++f)
+            traces[f]->gemms.push_back(GemmOp{
+                name, frame_rows[f], cur->cols(),
+                layers[i].weight.cols()});
         cur = dst;
     }
     return *dst;

@@ -18,6 +18,7 @@
 #ifndef HGPCN_NN_MLP_H
 #define HGPCN_NN_MLP_H
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,14 @@ struct Linear
     void forwardInto(const Tensor &x, Tensor &out, bool relu,
                      int threads, const std::string &layer_name,
                      ExecutionTrace &trace) const;
+
+    /**
+     * forwardInto() without the trace record — the compute core.
+     * The batch-stacked path runs this once over a tall tensor and
+     * records per-frame GemmOps itself.
+     */
+    void forwardIntoUntraced(const Tensor &x, Tensor &out, bool relu,
+                             int threads) const;
 };
 
 /**
@@ -81,6 +90,23 @@ class Mlp
                                const std::string &name_prefix,
                                ExecutionTrace &trace,
                                FrameWorkspace &ws, int threads) const;
+
+    /**
+     * Batched forwardArena(): @p stacked holds several frames'
+     * rows concatenated (frame f owns frame_rows[f] rows, in batch
+     * order). Each layer runs ONCE over the tall tensor — one
+     * weight pass serves the whole batch — and the layer's GEMM is
+     * recorded into every frame's trace with that frame's own row
+     * count, so modeled per-frame numbers are unchanged by
+     * construction. Row independence + ascending-k accumulation
+     * keep each frame's rows bit-identical to a solo
+     * forwardArena() call on that frame alone.
+     */
+    const Tensor &forwardBatchArena(
+        const Tensor &stacked, std::span<const std::size_t> frame_rows,
+        std::span<ExecutionTrace *const> traces,
+        const std::string &name_prefix, FrameWorkspace &ws,
+        int threads) const;
 
     /** @return output feature width. */
     std::size_t outWidth() const { return out_width; }

@@ -108,6 +108,27 @@ PointNet2Spec::outdoorSegmentation(std::size_t num_classes)
     return spec;
 }
 
+PointNet2Spec
+PointNet2Spec::edgeClassification(std::size_t num_classes)
+{
+    PointNet2Spec spec;
+    spec.name = "Pointnet++(e)";
+    spec.inputPoints = 256;
+    spec.numClasses = num_classes;
+    spec.segmentation = false;
+    // Narrow fan-out (npoint * k <= 64 rows per GEMM) with wide
+    // MLPs: solo FCU cost is dominated by per-tile fill/drain and
+    // the per-layer weight fetch, both of which amortize across a
+    // micro-batch.
+    spec.sa = {
+        {16, 4, 0.3f, {64, 128, 128}},
+        {8, 4, 0.6f, {128, 256}},
+        {0, 0, 0.0f, {256, 512}},
+    };
+    spec.head = {256, 128};
+    return spec;
+}
+
 PointNet2::PointNet2(const PointNet2Spec &spec, std::uint64_t weight_seed)
     : arch(spec)
 {
@@ -224,17 +245,20 @@ bruteNnAt(std::span<const Vec3> points, std::span<const Vec3> queries,
 
 } // namespace
 
-PointNet2::Level
-PointNet2::runSaLayer(std::size_t layer, const Level &in,
-                      const RunOptions &opts, Rng &rng,
-                      const Octree *reusable_tree,
-                      ExecutionTrace &trace, FrameWorkspace &ws) const
+PointNet2::SaDsResult
+PointNet2::runSaDataStructuring(std::size_t layer, const Level &in,
+                                const RunOptions &opts, Rng &rng,
+                                const Octree *reusable_tree,
+                                ExecutionTrace &trace,
+                                FrameWorkspace &ws, Tensor &grouped,
+                                std::size_t base_row) const
 {
     const SaLayerSpec &spec = arch.sa[layer];
     const std::size_t n = in.positions.size();
     const std::size_t c_in = in.features->cols();
     const std::string name = "sa" + std::to_string(layer);
 
+    SaDsResult ds;
     if (spec.npoint == 0) {
         // Group-all: one neighborhood holding every point, centered
         // at the centroid of the level.
@@ -242,9 +266,8 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
         for (const Vec3 &p : in.positions)
             mean += p;
         mean = mean / static_cast<float>(n);
-        Tensor &grouped = ws.tensor(n, 3 + c_in);
         for (std::size_t i = 0; i < n; ++i) {
-            float *row = grouped.row(i);
+            float *row = grouped.row(base_row + i);
             const Vec3 rel = in.positions[i] - mean;
             row[0] = rel.x;
             row[1] = rel.y;
@@ -252,16 +275,12 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
             for (std::size_t c = 0; c < c_in; ++c)
                 row[3 + c] = in.features->at(i, c);
         }
-        const Tensor &out = sa_mlps[layer].forwardArena(
-            grouped, name, trace, ws, opts.intraOpThreads);
-        Level next;
         std::vector<Vec3> &center = ws.positions(1);
         center[0] = mean;
-        next.positions = center;
-        Tensor &pooled = ws.tensor(1, out.cols());
-        out.maxPoolGroupsInto(n, pooled);
-        next.features = &pooled;
-        return next;
+        ds.rows = n;
+        ds.group = n;
+        ds.nextPositions = center;
+        return ds;
     }
 
     HGPCN_ASSERT(spec.npoint <= n, "SA", layer, ": npoint ",
@@ -357,13 +376,12 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
     op.traces = std::move(gathered.traces);
     trace.gathers.push_back(std::move(op));
 
-    // --- Feature computation (Fig. 2, step 3). -----------------------
-    Tensor &grouped = ws.tensor(spec.npoint * spec.k, 3 + c_in);
+    // --- Grouped-row assembly (feeds Fig. 2, step 3). ----------------
     for (std::size_t m = 0; m < spec.npoint; ++m) {
         const Vec3 center = in.positions[centroids[m]];
         const auto neigh = gathered.of(m);
         for (std::size_t j = 0; j < spec.k; ++j) {
-            float *row = grouped.row(m * spec.k + j);
+            float *row = grouped.row(base_row + m * spec.k + j);
             const PointIndex pi = neigh[j];
             const Vec3 rel = in.positions[pi] - center;
             row[0] = rel.x;
@@ -373,24 +391,48 @@ PointNet2::runSaLayer(std::size_t layer, const Level &in,
                 row[3 + c] = in.features->at(pi, c);
         }
     }
+
+    std::vector<Vec3> &next_pos = ws.positions(spec.npoint);
+    for (std::size_t i = 0; i < spec.npoint; ++i)
+        next_pos[i] = in.positions[centroids[i]];
+    ds.rows = spec.npoint * spec.k;
+    ds.group = spec.k;
+    ds.nextPositions = next_pos;
+    return ds;
+}
+
+PointNet2::Level
+PointNet2::runSaLayer(std::size_t layer, const Level &in,
+                      const RunOptions &opts, Rng &rng,
+                      const Octree *reusable_tree,
+                      ExecutionTrace &trace, FrameWorkspace &ws) const
+{
+    const SaLayerSpec &spec = arch.sa[layer];
+    const std::size_t rows = spec.npoint == 0
+                                 ? in.positions.size()
+                                 : spec.npoint * spec.k;
+    const std::string name = "sa" + std::to_string(layer);
+    Tensor &grouped = ws.tensor(rows, 3 + in.features->cols());
+    const SaDsResult ds = runSaDataStructuring(
+        layer, in, opts, rng, reusable_tree, trace, ws, grouped, 0);
     const Tensor &out = sa_mlps[layer].forwardArena(
         grouped, name, trace, ws, opts.intraOpThreads);
 
     Level next;
-    std::vector<Vec3> &next_pos = ws.positions(spec.npoint);
-    for (std::size_t i = 0; i < spec.npoint; ++i)
-        next_pos[i] = in.positions[centroids[i]];
-    next.positions = next_pos;
-    Tensor &pooled = ws.tensor(spec.npoint, out.cols());
-    out.maxPoolGroupsInto(spec.k, pooled);
+    next.positions = ds.nextPositions;
+    Tensor &pooled = ws.tensor(ds.rows / ds.group, out.cols());
+    out.maxPoolGroupsInto(ds.group, pooled);
     next.features = &pooled;
     return next;
 }
 
-const Tensor &
-PointNet2::runFpLayer(std::size_t layer, const Level &fine,
-                      const Level &coarse, const RunOptions &opts,
-                      ExecutionTrace &trace, FrameWorkspace &ws) const
+void
+PointNet2::runFpDataStructuring(std::size_t layer, const Level &fine,
+                                const Level &coarse,
+                                const RunOptions &opts,
+                                ExecutionTrace &trace,
+                                FrameWorkspace &ws, Tensor &fused,
+                                std::size_t base_row) const
 {
     const std::size_t n_f = fine.positions.size();
     const std::size_t n_c = coarse.positions.size();
@@ -443,7 +485,6 @@ PointNet2::runFpLayer(std::size_t layer, const Level &fine,
     trace.gathers.push_back(std::move(op));
 
     // Inverse-distance-weighted feature interpolation.
-    Tensor &fused = ws.tensor(n_f, c_coarse + c_skip);
     for (std::size_t i = 0; i < n_f; ++i) {
         const auto neigh = nn.of(i);
         float weights[3] = {0, 0, 0};
@@ -454,7 +495,7 @@ PointNet2::runFpLayer(std::size_t layer, const Level &fine,
             weights[j] = 1.0f / (d + 1e-8f);
             total += weights[j];
         }
-        float *row = fused.row(i);
+        float *row = fused.row(base_row + i);
         for (std::size_t c = 0; c < c_coarse; ++c) {
             float v = 0.0f;
             for (std::size_t j = 0; j < k; ++j)
@@ -465,6 +506,19 @@ PointNet2::runFpLayer(std::size_t layer, const Level &fine,
         for (std::size_t c = 0; c < c_skip; ++c)
             row[c_coarse + c] = fine.features->at(i, c);
     }
+}
+
+const Tensor &
+PointNet2::runFpLayer(std::size_t layer, const Level &fine,
+                      const Level &coarse, const RunOptions &opts,
+                      ExecutionTrace &trace, FrameWorkspace &ws) const
+{
+    const std::string name = "fp" + std::to_string(layer);
+    Tensor &fused = ws.tensor(fine.positions.size(),
+                              coarse.features->cols() +
+                                  fine.features->cols());
+    runFpDataStructuring(layer, fine, coarse, opts, trace, ws, fused,
+                         0);
     return fp_mlps[layer].forwardArena(fused, name, trace, ws,
                                        opts.intraOpThreads);
 }
@@ -534,6 +588,183 @@ PointNet2::run(const PointCloud &input, const RunOptions &opts) const
     for (std::size_t r = 0; r < out.logits.rows(); ++r)
         out.labels[r] = out.logits.argmaxRow(r);
     return out;
+}
+
+namespace
+{
+
+/** Copy all of @p src into @p dst starting at row @p dst_begin. */
+void
+stackRows(const Tensor &src, Tensor &dst, std::size_t dst_begin)
+{
+    HGPCN_ASSERT(src.cols() == dst.cols() &&
+                     dst_begin + src.rows() <= dst.rows(),
+                 "stacked-row copy shape mismatch");
+    if (src.rows() > 0)
+        std::copy(src.row(0), src.row(0) + src.rows() * src.cols(),
+                  dst.row(dst_begin));
+}
+
+} // namespace
+
+std::vector<RunOutput>
+PointNet2::runBatch(std::span<const PointCloud *const> inputs,
+                    const RunOptions &opts) const
+{
+    HGPCN_ASSERT(!inputs.empty(), "empty batch");
+    HGPCN_ASSERT(opts.inputOctree == nullptr,
+                 "batched inference takes no shared input octree "
+                 "(frames come from different sensors)");
+    HGPCN_ASSERT(opts.intraOpThreads >= 1,
+                 "intraOpThreads must be >= 1");
+    for (const PointCloud *input : inputs) {
+        HGPCN_ASSERT(input != nullptr && !input->empty(),
+                     "empty input cloud in batch");
+        HGPCN_ASSERT(input->featureDim() == arch.inputFeatureDim,
+                     "input feature width ", input->featureDim(),
+                     " != spec width ", arch.inputFeatureDim);
+    }
+
+    FrameWorkspace local_ws;
+    FrameWorkspace &ws =
+        opts.workspace != nullptr ? *opts.workspace : local_ws;
+    ws.beginFrame();
+
+    const std::size_t batch = inputs.size();
+    std::vector<RunOutput> outs(batch);
+    std::vector<ExecutionTrace *> traces(batch);
+    // One Rng per frame, each seeded like a solo run, so central-
+    // point selection is independent of batch composition.
+    std::vector<Rng> rngs;
+    rngs.reserve(batch);
+    for (std::size_t f = 0; f < batch; ++f) {
+        traces[f] = &outs[f].trace;
+        rngs.emplace_back(opts.seed);
+    }
+    const std::span<ExecutionTrace *const> trace_span(traces);
+
+    std::vector<std::vector<Level>> levels(batch);
+    for (std::size_t f = 0; f < batch; ++f) {
+        const PointCloud &input = *inputs[f];
+        Level l0;
+        l0.positions = input.positions();
+        Tensor &f0 = ws.tensor(input.size(), arch.inputFeatureDim);
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            const auto feat = input.feature(static_cast<PointIndex>(i));
+            for (std::size_t c = 0; c < feat.size(); ++c)
+                f0.at(i, c) = feat[c];
+        }
+        l0.features = &f0;
+        levels[f].reserve(arch.sa.size() + 1);
+        levels[f].push_back(l0);
+    }
+
+    std::vector<std::size_t> frame_rows(batch), offsets(batch);
+    std::vector<SaDsResult> ds(batch);
+
+    for (std::size_t i = 0; i < arch.sa.size(); ++i) {
+        const SaLayerSpec &spec = arch.sa[i];
+        const std::string name = "sa" + std::to_string(i);
+        const std::size_t c_in = levels[0].back().features->cols();
+        std::size_t total = 0;
+        for (std::size_t f = 0; f < batch; ++f) {
+            HGPCN_ASSERT(levels[f].back().features->cols() == c_in,
+                         "batch mixes feature widths at SA", i);
+            frame_rows[f] =
+                spec.npoint == 0 ? levels[f].back().positions.size()
+                                 : spec.npoint * spec.k;
+            offsets[f] = total;
+            total += frame_rows[f];
+        }
+        Tensor &stacked = ws.tensor(total, 3 + c_in);
+        for (std::size_t f = 0; f < batch; ++f)
+            ds[f] = runSaDataStructuring(
+                i, levels[f].back(), opts, rngs[f],
+                /*reusable_tree=*/nullptr, outs[f].trace, ws, stacked,
+                offsets[f]);
+        const Tensor &mlp_out = sa_mlps[i].forwardBatchArena(
+            stacked, frame_rows, trace_span, name, ws,
+            opts.intraOpThreads);
+        for (std::size_t f = 0; f < batch; ++f) {
+            Level next;
+            next.positions = ds[f].nextPositions;
+            Tensor &pooled = ws.tensor(frame_rows[f] / ds[f].group,
+                                       mlp_out.cols());
+            mlp_out.maxPoolGroupsRowsInto(ds[f].group, offsets[f],
+                                          offsets[f] + frame_rows[f],
+                                          pooled);
+            next.features = &pooled;
+            levels[f].push_back(next);
+        }
+    }
+
+    std::vector<const Tensor *> head_in(batch);
+    for (std::size_t f = 0; f < batch; ++f)
+        head_in[f] = levels[f].back().features;
+
+    if (arch.segmentation) {
+        for (std::size_t t = arch.sa.size(); t-- > 0;) {
+            const std::string name = "fp" + std::to_string(t);
+            const std::size_t c =
+                head_in[0]->cols() + levels[0][t].features->cols();
+            std::size_t total = 0;
+            for (std::size_t f = 0; f < batch; ++f) {
+                HGPCN_ASSERT(head_in[f]->cols() +
+                                     levels[f][t].features->cols() ==
+                                 c,
+                             "batch mixes feature widths at FP", t);
+                frame_rows[f] = levels[f][t].positions.size();
+                offsets[f] = total;
+                total += frame_rows[f];
+            }
+            Tensor &fused = ws.tensor(total, c);
+            for (std::size_t f = 0; f < batch; ++f) {
+                Level coarse;
+                coarse.positions = levels[f][t + 1].positions;
+                coarse.features = head_in[f];
+                runFpDataStructuring(t, levels[f][t], coarse, opts,
+                                     outs[f].trace, ws, fused,
+                                     offsets[f]);
+            }
+            const Tensor &mlp_out = fp_mlps[t].forwardBatchArena(
+                fused, frame_rows, trace_span, name, ws,
+                opts.intraOpThreads);
+            for (std::size_t f = 0; f < batch; ++f) {
+                Tensor &carried =
+                    ws.tensor(frame_rows[f], mlp_out.cols());
+                mlp_out.copyRowsInto(offsets[f],
+                                     offsets[f] + frame_rows[f],
+                                     carried);
+                head_in[f] = &carried;
+            }
+        }
+    }
+
+    {
+        const std::size_t width = head_in[0]->cols();
+        std::size_t total = 0;
+        for (std::size_t f = 0; f < batch; ++f) {
+            HGPCN_ASSERT(head_in[f]->cols() == width,
+                         "batch mixes head input widths");
+            frame_rows[f] = head_in[f]->rows();
+            offsets[f] = total;
+            total += frame_rows[f];
+        }
+        Tensor &stacked = ws.tensor(total, width);
+        for (std::size_t f = 0; f < batch; ++f)
+            stackRows(*head_in[f], stacked, offsets[f]);
+        const Tensor &logits = head_mlp->forwardBatchArena(
+            stacked, frame_rows, trace_span, "head", ws,
+            opts.intraOpThreads);
+        for (std::size_t f = 0; f < batch; ++f) {
+            logits.copyRowsInto(offsets[f], offsets[f] + frame_rows[f],
+                                outs[f].logits);
+            outs[f].labels.resize(outs[f].logits.rows());
+            for (std::size_t r = 0; r < outs[f].logits.rows(); ++r)
+                outs[f].labels[r] = outs[f].logits.argmaxRow(r);
+        }
+    }
+    return outs;
 }
 
 } // namespace hgpcn

@@ -95,6 +95,16 @@ struct PointNet2Spec
     /** Pointnet++(s) scaled for KITTI outdoor frames (16384). */
     static PointNet2Spec outdoorSegmentation(
         std::size_t num_classes = 4);
+
+    /**
+     * Compact edge-node classifier (256 points, narrow SA fan-out,
+     * wide MLPs). Its GEMMs have small row counts (m <= 64), so
+     * per-tile systolic fill/drain and the per-layer weight pass
+     * dominate solo cost — the regime where cross-sensor
+     * micro-batching pays (bench/batching_throughput.cc).
+     */
+    static PointNet2Spec edgeClassification(
+        std::size_t num_classes = 16);
 };
 
 class FrameWorkspace;
@@ -169,6 +179,20 @@ class PointNet2
     RunOutput run(const PointCloud &input,
                   const RunOptions &opts = {}) const;
 
+    /**
+     * Batched inference over several frames sharing one workspace
+     * arena reservation and one weight pass per MLP layer: each
+     * frame's data structuring runs independently (its own Rng
+     * seeded opts.seed, its own trace), the per-layer GEMMs run
+     * once over batch-stacked rows, and every per-frame output —
+     * logits, labels, recorded trace — is bit-identical to a solo
+     * run() of that frame. opts.inputOctree must be null (batches
+     * mix sensors; per-frame trees are built where needed).
+     */
+    std::vector<RunOutput> runBatch(
+        std::span<const PointCloud *const> inputs,
+        const RunOptions &opts = {}) const;
+
   private:
     PointNet2Spec arch;
     std::vector<Mlp> sa_mlps;
@@ -182,6 +206,35 @@ class PointNet2
         std::span<const Vec3> positions;
         const Tensor *features = nullptr; //!< [points, C]; C may be 0
     };
+
+    /** What an SA layer's data-structuring pass produced: grouped
+     * rows written into the caller's tensor plus the next level's
+     * geometry. Shared by the solo and batch-stacked paths. */
+    struct SaDsResult
+    {
+        std::size_t rows = 0;  //!< grouped rows written
+        std::size_t group = 0; //!< max-pool group size
+        std::span<const Vec3> nextPositions;
+    };
+
+    /** Central-point selection + gather + grouped-row assembly of
+     * one SA layer, writing rows [base_row, base_row + rows) of
+     * @p grouped. The batch path stacks several frames into one
+     * tall tensor by calling this once per frame. */
+    SaDsResult runSaDataStructuring(std::size_t layer, const Level &in,
+                                    const RunOptions &opts, Rng &rng,
+                                    const Octree *reusable_tree,
+                                    ExecutionTrace &trace,
+                                    FrameWorkspace &ws, Tensor &grouped,
+                                    std::size_t base_row) const;
+
+    /** FP-layer gather + inverse-distance fusion, writing rows
+     * [base_row, base_row + fine points) of @p fused. */
+    void runFpDataStructuring(std::size_t layer, const Level &fine,
+                              const Level &coarse,
+                              const RunOptions &opts,
+                              ExecutionTrace &trace, FrameWorkspace &ws,
+                              Tensor &fused, std::size_t base_row) const;
 
     Level runSaLayer(std::size_t layer, const Level &in,
                      const RunOptions &opts, Rng &rng,

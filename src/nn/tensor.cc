@@ -171,6 +171,42 @@ Tensor::maxPoolGroupsInto(std::size_t group, Tensor &out) const
     }
 }
 
+void
+Tensor::maxPoolGroupsRowsInto(std::size_t group, std::size_t src_begin,
+                              std::size_t src_end, Tensor &out) const
+{
+    HGPCN_ASSERT(src_begin <= src_end && src_end <= n_rows,
+                 "pool row range out of bounds");
+    const std::size_t span = src_end - src_begin;
+    HGPCN_ASSERT(group >= 1 && span % group == 0,
+                 "rows ", span, " not a multiple of group ", group);
+    const std::size_t out_rows = span / group;
+    out.resizeUninit(out_rows, n_cols);
+    for (std::size_t g = 0; g < out_rows; ++g) {
+        float *__restrict dst = out.row(g);
+        const float *__restrict first = row(src_begin + g * group);
+        std::copy(first, first + n_cols, dst);
+        for (std::size_t i = 1; i < group; ++i) {
+            const float *__restrict src =
+                row(src_begin + g * group + i);
+            for (std::size_t c = 0; c < n_cols; ++c)
+                dst[c] = std::max(dst[c], src[c]);
+        }
+    }
+}
+
+void
+Tensor::copyRowsInto(std::size_t src_begin, std::size_t src_end,
+                     Tensor &out) const
+{
+    HGPCN_ASSERT(src_begin <= src_end && src_end <= n_rows,
+                 "copy row range out of bounds");
+    out.resizeUninit(src_end - src_begin, n_cols);
+    if (src_end > src_begin)
+        std::copy(row(src_begin), row(src_begin) + (src_end - src_begin) * n_cols,
+                  out.row(0));
+}
+
 std::size_t
 Tensor::argmaxRow(std::size_t r) const
 {

@@ -124,6 +124,25 @@ class Tensor
     /** maxPoolGroups() into a preallocated tensor. */
     void maxPoolGroupsInto(std::size_t group, Tensor &out) const;
 
+    /**
+     * maxPoolGroups() over source rows [src_begin, src_end) only;
+     * @p out is resized to [(src_end - src_begin) / group, cols].
+     * The batched inference path pools each frame's row range of a
+     * stacked activation tensor into that frame's own pooled
+     * tensor; every pooled element reduces the same rows in the
+     * same order as the solo path, so values are bit-identical.
+     */
+    void maxPoolGroupsRowsInto(std::size_t group, std::size_t src_begin,
+                               std::size_t src_end, Tensor &out) const;
+
+    /**
+     * Copy source rows [src_begin, src_end) into @p out, resized to
+     * [src_end - src_begin, cols]. Peels one frame's activations
+     * out of a batch-stacked tensor.
+     */
+    void copyRowsInto(std::size_t src_begin, std::size_t src_end,
+                      Tensor &out) const;
+
     /** @return index of the maximum element of row @p r. */
     std::size_t argmaxRow(std::size_t r) const;
 

@@ -1,0 +1,69 @@
+#include "runtime/batching_stage.h"
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+BatchingStage::BatchingStage(std::size_t max_batch)
+    : max_batch(max_batch)
+{
+    HGPCN_ASSERT(max_batch >= 1, "batching needs maxBatch >= 1");
+}
+
+std::vector<BatchingStage::Group>
+BatchingStage::add(std::unique_ptr<FrameTask> task)
+{
+    HGPCN_ASSERT(task != nullptr, "null task");
+    HGPCN_ASSERT(task->index >= next_base,
+                 "task ", task->index, " re-added to a closed group");
+    pending.emplace(task->index, std::move(task));
+
+    std::vector<Group> complete;
+    // One insert can complete several groups when it plugs the gap
+    // in front of already-buffered later groups.
+    while (true) {
+        bool full = true;
+        for (std::size_t i = next_base; i < next_base + max_batch; ++i) {
+            if (pending.find(i) == pending.end()) {
+                full = false;
+                break;
+            }
+        }
+        if (!full)
+            break;
+        Group group;
+        group.reserve(max_batch);
+        for (std::size_t i = next_base; i < next_base + max_batch; ++i) {
+            auto it = pending.find(i);
+            group.push_back(std::move(it->second));
+            pending.erase(it);
+        }
+        next_base += max_batch;
+        complete.push_back(std::move(group));
+    }
+    return complete;
+}
+
+std::vector<BatchingStage::Group>
+BatchingStage::flush()
+{
+    std::vector<Group> groups;
+    Group group;
+    for (auto &[index, task] : pending) {
+        if (!group.empty() &&
+            (index >= next_base + max_batch || group.size() == max_batch)) {
+            groups.push_back(std::move(group));
+            group = Group{};
+        }
+        while (index >= next_base + max_batch)
+            next_base += max_batch;
+        group.push_back(std::move(task));
+    }
+    if (!group.empty())
+        groups.push_back(std::move(group));
+    pending.clear();
+    return groups;
+}
+
+} // namespace hgpcn

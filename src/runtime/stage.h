@@ -17,7 +17,9 @@
 #ifndef HGPCN_RUNTIME_STAGE_H
 #define HGPCN_RUNTIME_STAGE_H
 
+#include <cstddef>
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,6 +74,29 @@ class PipelineStage
      * frame — the cost the virtual timeline schedules.
      */
     virtual double process(FrameTask &task) const = 0;
+
+    /**
+     * Execute the stage on a coalesced batch of frames (thread-safe).
+     *
+     * @param tasks The batch, in admission-index order.
+     * @param costs Out: per-frame SOLO modeled seconds — what each
+     *        frame would cost served alone. These feed the per-frame
+     *        stage attributions; the shared batched occupancy charged
+     *        to the device is computed separately by the timeline
+     *        (ExecutionBackend::batchServiceSec), so batching never
+     *        perturbs per-frame modeled numbers.
+     *
+     * Default: serve each frame solo — stages with no batched
+     * execution path compose with the batching pipeline unchanged.
+     * Overrides must keep each frame's functional result
+     * bit-identical to process() (see InferenceStage::processBatch).
+     */
+    virtual void processBatch(std::span<FrameTask *const> tasks,
+                              std::span<double> costs) const
+    {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            costs[i] = process(*tasks[i]);
+    }
 };
 
 /** A stage defined by a callable — test scaffolding and quick

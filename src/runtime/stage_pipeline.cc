@@ -16,10 +16,19 @@ StagePipeline::StagePipeline(std::vector<StageSpec> stage_specs,
     HGPCN_ASSERT(!specs.empty(), "pipeline needs at least one stage");
     HGPCN_ASSERT(cfg.queueCapacity >= 1,
                  "queue capacity must be >= 1");
-    for (const StageSpec &spec : specs) {
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        const StageSpec &spec = specs[s];
         HGPCN_ASSERT(spec.stage != nullptr, "null stage");
         HGPCN_ASSERT(spec.workers >= 1, "stage '",
                      spec.stage->name(), "' needs >= 1 worker");
+        if (spec.batch != nullptr && spec.batch->maxBatch > 1) {
+            HGPCN_ASSERT(s + 1 == specs.size(),
+                         "stage '", spec.stage->name(),
+                         "' batches but is not the last stage");
+            HGPCN_ASSERT(spec.workers == 1,
+                         "batching stage '", spec.stage->name(),
+                         "' must have exactly one worker");
+        }
     }
 }
 
@@ -74,7 +83,68 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
     }
     std::vector<std::thread> workers;
     for (std::size_t s = 0; s < n_stages; ++s) {
+        const bool batching = specs[s].batch != nullptr &&
+                              specs[s].batch->maxBatch > 1;
         for (std::size_t w = 0; w < specs[s].workers; ++w) {
+            if (batching) {
+                // Single coalescing worker (asserted in the ctor):
+                // assemble fixed admission-index groups, run each
+                // through processBatch, forward members in order.
+                workers.emplace_back([this, s, &alive] {
+                    TaskQueue &in = *queues[s];
+                    TaskQueue &out = *queues[s + 1];
+                    BatchingStage assembler(specs[s].batch->maxBatch);
+                    bool out_closed = false;
+                    const auto serve =
+                        [&](BatchingStage::Group group) {
+                            std::vector<FrameTask *> ptrs;
+                            ptrs.reserve(group.size());
+                            for (auto &t : group)
+                                ptrs.push_back(t.get());
+                            std::vector<double> costs(group.size(),
+                                                      0.0);
+                            specs[s].stage->processBatch(ptrs, costs);
+                            for (std::size_t i = 0; i < group.size();
+                                 ++i) {
+                                group[i]->stageCostSec[s] = costs[i];
+                            }
+                            for (auto &t : group) {
+                                if (out.push(std::move(t)) ==
+                                    PushOutcome::Closed) {
+                                    return false;
+                                }
+                            }
+                            return true;
+                        };
+                    while (auto item = in.pop()) {
+                        std::unique_ptr<FrameTask> task =
+                            std::move(*item);
+                        if (stopped.load())
+                            continue; // drain-discard on shutdown
+                        for (auto &group :
+                             assembler.add(std::move(task))) {
+                            if (!serve(std::move(group))) {
+                                out_closed = true;
+                                break;
+                            }
+                        }
+                        if (out_closed)
+                            break;
+                    }
+                    // Normal end of stream: the tail that never
+                    // filled a group still runs, as partial batches.
+                    // A stop discards it with the rest of the queue.
+                    if (!out_closed && !stopped.load()) {
+                        for (auto &group : assembler.flush()) {
+                            if (!serve(std::move(group)))
+                                break;
+                        }
+                    }
+                    if (alive[s]->fetch_sub(1) == 1)
+                        out.close();
+                });
+                continue;
+            }
             workers.emplace_back([this, s, &alive] {
                 TaskQueue &in = *queues[s];
                 TaskQueue &out = *queues[s + 1];

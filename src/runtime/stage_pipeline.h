@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "runtime/batching_stage.h"
 #include "runtime/stage.h"
 
 namespace hgpcn
@@ -54,6 +55,18 @@ class StagePipeline
     {
         const PipelineStage *stage = nullptr; //!< borrowed
         std::size_t workers = 1;
+
+        /**
+         * Micro-batching policy (borrowed); non-null with
+         * maxBatch > 1 turns this stage into the coalescing point:
+         * its single worker assembles fixed admission-index groups
+         * (BatchingStage) and runs them through
+         * PipelineStage::processBatch. Only the LAST stage may
+         * batch, and it must have exactly one worker — coalescing
+         * is an ordering point, a pool behind it would re-race what
+         * the assembler just ordered.
+         */
+        const BatchPolicy *batch = nullptr;
     };
 
     struct Config

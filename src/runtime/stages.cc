@@ -1,5 +1,10 @@
 #include "runtime/stages.h"
 
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
 namespace hgpcn
 {
 
@@ -41,6 +46,42 @@ InferenceStage::process(FrameTask &task) const
         task.result.inference = be.infer(input);
     }
     return task.result.inference.totalSec();
+}
+
+void
+InferenceStage::processBatch(std::span<FrameTask *const> tasks,
+                             std::span<double> costs) const
+{
+    // Same conditioning as process(), for every member.
+    std::vector<PointCloud> inputs;
+    inputs.reserve(tasks.size());
+    for (FrameTask *task : tasks) {
+        inputs.push_back(task->result.preprocess.sampled);
+        inputs.back().normalizeToUnitCube();
+    }
+    std::vector<const PointCloud *> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const PointCloud &in : inputs)
+        ptrs.push_back(&in);
+
+    // ONE workspace lease serves the whole batch: the stacked
+    // tensors reserve batch-sized arena slots once, then reuse them
+    // every dispatch (zero-alloc steady state at batch granularity).
+    BatchInference batch;
+    if (workspaces != nullptr) {
+        WorkspacePool::Lease ws = workspaces->acquire();
+        ws->intraOpThreads = intraOp;
+        batch = be.inferBatch(ptrs, ws.get());
+    } else {
+        batch = be.inferBatch(ptrs);
+    }
+    HGPCN_ASSERT(batch.frames.size() == tasks.size(),
+                 "backend returned ", batch.frames.size(),
+                 " inferences for ", tasks.size(), " frames");
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        tasks[i]->result.inference = std::move(batch.frames[i]);
+        costs[i] = tasks[i]->result.inference.totalSec();
+    }
 }
 
 } // namespace hgpcn

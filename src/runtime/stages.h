@@ -134,6 +134,14 @@ class InferenceStage : public PipelineStage
     const std::string &resource() const override { return res; }
     double process(FrameTask &task) const override;
 
+    /** One ExecutionBackend::inferBatch pass over the coalesced
+     * frames sharing a single leased workspace arena; per-frame
+     * outputs bit-identical to process(), and costs[i] is frame i's
+     * SOLO modeled seconds (the timeline charges the shared batched
+     * occupancy separately via batchServiceSec). */
+    void processBatch(std::span<FrameTask *const> tasks,
+                      std::span<double> costs) const override;
+
     /** @return the backend this stage executes on. */
     const ExecutionBackend &backend() const { return be; }
 

@@ -28,11 +28,21 @@ makeCarry(const PreprocessingEngine &preprocess,
 
 std::vector<StagePipeline::StageSpec>
 makeSpecs(const OctreeBuildStage &build, const DownSampleStage &sample,
-          const InferenceStage &infer, const StreamRunner::Config &cfg)
+          const InferenceStage &infer, const BatchPolicy &batch,
+          const StreamRunner::Config &cfg)
 {
+    StagePipeline::StageSpec inference{&infer, cfg.fpgaUnits,
+                                       nullptr};
+    if (batch.maxBatch > 1) {
+        // The coalescing point is an ordering point: one worker
+        // assembles deterministic admission-index groups (the
+        // virtual timeline still schedules fpgaUnits device units).
+        inference.workers = 1;
+        inference.batch = &batch;
+    }
     return {{&build, cfg.buildWorkers},
             {&sample, cfg.fpgaUnits},
-            {&infer, cfg.fpgaUnits}};
+            inference};
 }
 
 /** Down-sampling device: the FPGA, split into its DSU half only
@@ -98,6 +108,15 @@ RuntimeReport::toString() const
         << p50LatencySec * 1e3 << " | p95 " << p95LatencySec * 1e3
         << " | p99 " << p99LatencySec * 1e3 << " | max "
         << maxLatencySec * 1e3 << "\n";
+    // Absent at maxBatch == 1, keeping the report byte-identical to
+    // a build without batching.
+    if (configuredMaxBatch > 1) {
+        oss << "batching: max " << configuredMaxBatch
+            << " | dispatches " << batchCount << " | batched "
+            << batchedFrames << " | solo " << soloFrames
+            << " | mean size " << meanBatchSize << " | peak "
+            << maxBatchSize << "\n";
+    }
     for (const TimelineStageStats &st : stages) {
         oss << "stage " << st.name << " [" << st.resource << " x"
             << st.units << "]: util "
@@ -124,7 +143,8 @@ StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
             inferResource(owned ? *owned : *borrowed_backend,
                           config),
             &workspacePool, config.intraOpThreads),
-      pipeline(makeSpecs(build, sample, infer, config),
+      batchPolicy{config.maxBatch, config.batchTimeoutVirtualSec},
+      pipeline(makeSpecs(build, sample, infer, batchPolicy, config),
                pipelineConfig(config))
 {
     HGPCN_ASSERT(cfg.inputPoints >= 1, "inputPoints must be >= 1");
@@ -132,6 +152,9 @@ StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
     HGPCN_ASSERT(cfg.fpgaUnits >= 1, "fpgaUnits must be >= 1");
     HGPCN_ASSERT(cfg.intraOpThreads >= 1,
                  "intraOpThreads must be >= 1");
+    HGPCN_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+    HGPCN_ASSERT(cfg.batchTimeoutVirtualSec >= 0.0,
+                 "batchTimeoutVirtualSec must be >= 0");
 }
 
 StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
@@ -246,8 +269,25 @@ StreamRunner::run(const std::vector<Frame> &frames,
     tl.queueCapacity = cfg.queueCapacity;
     tl.policy = cfg.policy;
     tl.maxInFlight = cfg.maxInFlight;
+    // Micro-batching: the inference stage coalesces; a dispatch of
+    // >= 2 frames is charged the backend's shared batched service
+    // time, computed from the per-frame traces recorded by the
+    // functional run (pure arithmetic — deterministic).
+    TimelineBatchCost batch_cost;
+    if (cfg.maxBatch > 1) {
+        tl.batch.maxBatch = cfg.maxBatch;
+        tl.batch.timeoutSec = cfg.batchTimeoutVirtualSec;
+        batch_cost = [this, &completed](
+                         const std::vector<std::size_t> &members) {
+            std::vector<const BackendInference *> ptrs;
+            ptrs.reserve(members.size());
+            for (const std::size_t j : members)
+                ptrs.push_back(&completed[j]->result.inference);
+            return backend().batchServiceSec(ptrs);
+        };
+    }
     const TimelineResult timeline =
-        simulateTimeline(tl, arrivals, costs);
+        simulateTimeline(tl, arrivals, costs, batch_cost);
 
     // Assemble the report.
     RuntimeReport &rep = out.report;
@@ -266,6 +306,12 @@ StreamRunner::run(const std::vector<Frame> &frames,
     rep.realTime =
         evaluateRealTime(rep.sustainedFps, rep.generationFps);
     rep.stages = timeline.stages;
+    rep.configuredMaxBatch = cfg.maxBatch;
+    rep.batchCount = timeline.batchCount;
+    rep.batchedFrames = timeline.batchedFrames;
+    rep.soloFrames = timeline.soloFrames;
+    rep.meanBatchSize = timeline.meanBatchSize;
+    rep.maxBatchSize = timeline.maxBatchSize;
 
     std::vector<double> latencies;
     latencies.reserve(timeline.processed);

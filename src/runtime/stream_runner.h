@@ -82,6 +82,16 @@ struct RuntimeReport
     /** Per-stage load, in dataflow order. */
     std::vector<TimelineStageStats> stages;
 
+    // Batch-occupancy attribution of the inference stage, from the
+    // virtual schedule. Defaults (and an absent toString() line)
+    // when configuredMaxBatch == 1.
+    std::size_t configuredMaxBatch = 1;
+    std::size_t batchCount = 0;    //!< coalesced dispatches
+    std::size_t batchedFrames = 0; //!< frames served in batches >= 2
+    std::size_t soloFrames = 0;    //!< frames dispatched alone
+    double meanBatchSize = 0;
+    std::size_t maxBatchSize = 0;
+
     /** Render a multi-line human-readable summary. */
     std::string toString() const;
 };
@@ -149,6 +159,21 @@ class StreamRunner
          * is identical either way; the carry serializes the build
          * stage across buildWorkers (frames queue on its mutex). */
         bool temporalCache = true;
+
+        /** Cross-sensor micro-batching: frames coalesced per
+         * inference pass (runtime/batching_stage.h). 1 (default)
+         * disables batching — pipeline, timeline and report are
+         * byte-identical to a build without the feature. > 1 makes
+         * the inference stage the coalescing point: per-frame
+         * outputs and modeled numbers stay bit-identical; only the
+         * schedule (shared device occupancy) moves. */
+        std::size_t maxBatch = 1;
+
+        /** Virtual seconds the oldest queued frame waits for a
+         * batch to fill before a partial batch dispatches; 0 is
+         * greedy/work-conserving (batches form only under backlog).
+         * Used only when maxBatch > 1. */
+        double batchTimeoutVirtualSec = 0.0;
     };
 
     /**
@@ -228,6 +253,9 @@ class StreamRunner
     OctreeBuildStage build;
     DownSampleStage sample;
     InferenceStage infer;
+    /** Coalescing policy referenced by the pipeline's inference
+     * StageSpec (declared before the pipeline that borrows it). */
+    BatchPolicy batchPolicy;
     StagePipeline pipeline;
 };
 

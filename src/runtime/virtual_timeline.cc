@@ -31,9 +31,13 @@ struct Event
 {
     double sec;
     std::uint64_t seq; //!< insertion order, breaks time ties
-    enum Kind { Arrival, Complete } kind;
+    /** Timeout: the oldest queued frame's batch-fill wait expired —
+     * a pure wake-up; the dispatch gate re-checks state. May fire
+     * spuriously after the frame already dispatched (harmless).
+     * BatchComplete: `frame` holds a batch-registry index. */
+    enum Kind { Arrival, Complete, Timeout, BatchComplete } kind;
     std::size_t frame;
-    std::size_t stage; //!< Complete only
+    std::size_t stage; //!< Complete/Timeout/BatchComplete only
 };
 
 struct EventLater
@@ -52,11 +56,15 @@ struct EventLater
 TimelineResult
 simulateTimeline(const TimelineConfig &cfg,
                  const std::vector<double> &arrivals,
-                 const std::vector<std::vector<double>> &costs)
+                 const std::vector<std::vector<double>> &costs,
+                 const TimelineBatchCost &batch_cost)
 {
     const std::size_t n_stages = cfg.stages.size();
     const std::size_t n = arrivals.size();
     HGPCN_ASSERT(n_stages >= 1, "timeline needs at least one stage");
+    HGPCN_ASSERT(cfg.batch.maxBatch >= 1, "maxBatch must be >= 1");
+    HGPCN_ASSERT(cfg.batch.timeoutSec >= 0.0,
+                 "batch timeout must be >= 0");
     HGPCN_ASSERT(cfg.queueCapacity >= 1, "queue capacity must be >= 1");
     HGPCN_ASSERT(costs.size() == n, "one cost row per frame");
     for (std::size_t i = 1; i < n; ++i) {
@@ -91,6 +99,14 @@ simulateTimeline(const TimelineConfig &cfg,
     std::vector<std::deque<std::size_t>> held(n_stages);
     std::vector<double> busy(n_stages, 0.0);
 
+    // Micro-batching state of the last stage.
+    const std::size_t last = n_stages - 1;
+    const bool batching = cfg.batch.maxBatch > 1;
+    const double batch_timeout = cfg.batch.timeoutSec;
+    std::vector<double> ready_at(batching ? n : 0, 0.0);
+    std::vector<char> timeout_scheduled(batching ? n : 0, 0);
+    std::vector<std::vector<std::size_t>> batches; //!< dispatch log
+
     std::priority_queue<Event, std::vector<Event>, EventLater> events;
     std::uint64_t seq = 0;
 
@@ -112,6 +128,8 @@ simulateTimeline(const TimelineConfig &cfg,
         meter[s].advance(now, queue[s].size());
         queue[s].push_back(f);
         meter[s].peak = std::max(meter[s].peak, queue[s].size());
+        if (batching && s == last)
+            ready_at[f] = now; // batch-fill wait starts here
     };
 
     const auto dequeueFront = [&](std::size_t s, double now) {
@@ -188,6 +206,65 @@ simulateTimeline(const TimelineConfig &cfg,
             // before starting new frames on a shared device.
             for (std::size_t s = n_stages; s-- > 0;) {
                 const std::string &res = cfg.stages[s].resource;
+                if (batching && s == last) {
+                    // Coalesced dispatch: min(queued, maxBatch)
+                    // frames FIFO on ONE unit, occupancy charged
+                    // once with the shared batched cost.
+                    while (!queue[s].empty() && free_units[res] > 0) {
+                        const std::size_t front = queue[s].front();
+                        const bool full =
+                            queue[s].size() >= cfg.batch.maxBatch;
+                        // `now >= ready_at + timeout` reuses the
+                        // exact expression the Timeout event was
+                        // scheduled with, so the wake-up always
+                        // passes its own gate.
+                        const bool waited_out =
+                            batch_timeout <= 0.0 ||
+                            now >= ready_at[front] + batch_timeout;
+                        if (!full && !waited_out) {
+                            if (!timeout_scheduled[front]) {
+                                timeout_scheduled[front] = 1;
+                                events.push(
+                                    {ready_at[front] + batch_timeout,
+                                     seq++, Event::Timeout, front,
+                                     s});
+                            }
+                            break; // hold for fill or timeout
+                        }
+                        const std::size_t count = std::min(
+                            queue[s].size(), cfg.batch.maxBatch);
+                        std::vector<std::size_t> members;
+                        members.reserve(count);
+                        for (std::size_t i = 0; i < count; ++i)
+                            members.push_back(dequeueFront(s, now));
+                        --free_units[res];
+                        // A batch of one is solo service by
+                        // definition; >= 2 shares the backend's
+                        // batched pass.
+                        double cost;
+                        if (members.size() == 1) {
+                            cost = costs[members.front()][s];
+                        } else if (batch_cost) {
+                            cost = batch_cost(members);
+                        } else {
+                            cost = 0.0;
+                            for (const std::size_t f : members)
+                                cost += costs[f][s];
+                        }
+                        for (const std::size_t f : members) {
+                            out.frames[f].startSec[s] = now;
+                            out.frames[f].finishSec[s] = now + cost;
+                            out.frames[f].batchSize = members.size();
+                        }
+                        busy[s] += cost; // ONE occupancy interval
+                        events.push({now + cost, seq++,
+                                     Event::BatchComplete,
+                                     batches.size(), s});
+                        batches.push_back(std::move(members));
+                        changed = true;
+                    }
+                    continue;
+                }
                 while (!queue[s].empty() && free_units[res] > 0) {
                     const std::size_t f = dequeueFront(s, now);
                     --free_units[res];
@@ -214,6 +291,20 @@ simulateTimeline(const TimelineConfig &cfg,
             HGPCN_ASSERT(!pending, "source admissions are ordered");
             pending = true;
             pending_frame = ev.frame;
+        } else if (ev.kind == Event::Timeout) {
+            // Wake-up only: settle() below re-evaluates the batch
+            // gate at `now`. Spurious after dispatch — harmless.
+        } else if (ev.kind == Event::BatchComplete) {
+            const std::size_t s = ev.stage;
+            for (const std::size_t f : batches[ev.frame]) {
+                out.frames[f].doneSec = now;
+                out.frames[f].latencySec =
+                    now - out.frames[f].arrivalSec;
+                ++out.processed;
+                --in_flight;
+            }
+            ++free_units[cfg.stages[s].resource]; // the ONE unit
+            last_done = std::max(last_done, now);
         } else {
             const std::size_t s = ev.stage;
             const std::size_t f = ev.frame;
@@ -256,6 +347,26 @@ simulateTimeline(const TimelineConfig &cfg,
             st.meanQueueDepth = meter[s].weighted / out.makespanSec;
         }
         st.peakQueueDepth = meter[s].peak;
+    }
+
+    if (batching) {
+        out.batchCount = batches.size();
+        std::size_t total = 0;
+        for (const std::vector<std::size_t> &members : batches) {
+            total += members.size();
+            out.maxBatchSize =
+                std::max(out.maxBatchSize, members.size());
+            if (members.size() >= 2)
+                out.batchedFrames += members.size();
+            else
+                ++out.soloFrames;
+        }
+        HGPCN_ASSERT(total == out.processed,
+                     "every processed frame is in exactly one batch");
+        if (out.batchCount > 0) {
+            out.meanBatchSize = static_cast<double>(total) /
+                                static_cast<double>(out.batchCount);
+        }
     }
     return out;
 }

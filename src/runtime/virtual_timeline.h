@@ -34,6 +34,8 @@
 #ifndef HGPCN_RUNTIME_VIRTUAL_TIMELINE_H
 #define HGPCN_RUNTIME_VIRTUAL_TIMELINE_H
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -50,11 +52,39 @@ struct TimelineStageSpec
     std::string resource; //!< device occupied while processing
 };
 
+/** Micro-batching at the LAST stage of the machine. */
+struct TimelineBatchSpec
+{
+    /** Frames coalesced per dispatch (1 = batching off; the
+     * simulation then runs the classic per-frame path). */
+    std::size_t maxBatch = 1;
+
+    /**
+     * Max virtual seconds the oldest queued frame waits for the
+     * batch to fill before a partial batch dispatches. 0 is greedy
+     * and work-conserving: whatever is queued when a unit frees
+     * goes immediately, so batches only form under backlog.
+     */
+    double timeoutSec = 0.0;
+};
+
+/**
+ * Service seconds for one coalesced dispatch (frame indices in
+ * dispatch order). Must equal the frame's solo cost for a batch of
+ * one; a null callback falls back to the sum of solo costs (no
+ * sharing). See ExecutionBackend::batchServiceSec.
+ */
+using TimelineBatchCost =
+    std::function<double(const std::vector<std::size_t> &)>;
+
 /** Machine description for one simulation. */
 struct TimelineConfig
 {
     /** Stations in dataflow order. */
     std::vector<TimelineStageSpec> stages;
+
+    /** Micro-batching of the last stage (default: off). */
+    TimelineBatchSpec batch;
 
     /** Units per device; devices not listed default to 1. */
     std::map<std::string, std::size_t> resourceUnits;
@@ -80,6 +110,10 @@ struct TimelineFrame
     std::vector<double> finishSec; //!< per-stage end
     double doneSec = 0;     //!< completion of the last stage
     double latencySec = 0;  //!< doneSec - arrivalSec
+
+    /** Frames sharing this frame's last-stage dispatch (1 = served
+     * solo; > 1 only with batching enabled). */
+    std::size_t batchSize = 1;
 };
 
 /** Per-stage load numbers over the simulated span. */
@@ -102,6 +136,14 @@ struct TimelineResult
     std::size_t dropped = 0;
     double makespanSec = 0; //!< first arrival -> last completion
     std::vector<TimelineStageStats> stages;
+
+    // Batch-occupancy attribution of the last stage, filled only
+    // when cfg.batch.maxBatch > 1 (zeros otherwise).
+    std::size_t batchCount = 0;    //!< dispatches (incl. solo)
+    std::size_t batchedFrames = 0; //!< frames in batches of >= 2
+    std::size_t soloFrames = 0;    //!< frames dispatched alone
+    double meanBatchSize = 0;      //!< processed / batchCount
+    std::size_t maxBatchSize = 0;  //!< largest dispatch observed
 };
 
 /**
@@ -110,11 +152,22 @@ struct TimelineResult
  * @param cfg Machine description.
  * @param arrivals Arrival time per frame, non-decreasing.
  * @param costs costs[i][s] = modeled seconds of frame i at stage s.
+ * @param batch_cost Shared service seconds per coalesced last-stage
+ *        dispatch; used only when cfg.batch.maxBatch > 1 and the
+ *        dispatch holds >= 2 frames (a batch of one is charged its
+ *        solo cost exactly). Null = sum of solo costs.
+ *
+ * With batching, a dispatch takes min(queued, maxBatch) frames
+ * FIFO, holds ONE unit of the stage's device, and charges its
+ * occupancy (busySec) once with the batched cost; every member
+ * starts at dispatch and completes when the batch does — honest
+ * all-complete-at-end stamps, no fabricated per-frame slicing.
  */
 TimelineResult
 simulateTimeline(const TimelineConfig &cfg,
                  const std::vector<double> &arrivals,
-                 const std::vector<std::vector<double>> &costs);
+                 const std::vector<std::vector<double>> &costs,
+                 const TimelineBatchCost &batch_cost = {});
 
 } // namespace hgpcn
 

@@ -67,6 +67,15 @@ ServingReport::toString() const
                 << static_cast<int>(st.utilization * 100.0 + 0.5)
                 << "%";
         }
+        // Batch-occupancy attribution; absent at maxBatch == 1 so
+        // non-batched serves render byte-identically to before.
+        if (r.configuredMaxBatch > 1) {
+            oss.precision(2);
+            oss << " | batch mean " << r.meanBatchSize << " peak "
+                << r.maxBatchSize << " (" << r.batchedFrames
+                << " batched, " << r.soloFrames << " solo)";
+            oss.precision(1);
+        }
         oss << "\n";
     }
     for (const SensorServingReport &sr : sensors) {
@@ -465,6 +474,17 @@ mergeEpochResults(const SensorStream &stream,
             agg.framesAbandoned += er.framesAbandoned;
             agg.paced = rep.paced;
             agg.policy = er.policy;
+            // Batch-occupancy attribution: counts sum across the
+            // epochs, the configured cap and the observed peak take
+            // the max, and the mean is re-derived from the summed
+            // counts once every epoch is in.
+            agg.configuredMaxBatch = std::max(
+                agg.configuredMaxBatch, er.configuredMaxBatch);
+            agg.batchCount += er.batchCount;
+            agg.batchedFrames += er.batchedFrames;
+            agg.soloFrames += er.soloFrames;
+            agg.maxBatchSize =
+                std::max(agg.maxBatchSize, er.maxBatchSize);
             shard_span[s] += er.makespanSec;
             // An epoch in which this shard served nothing reports
             // no stages; it contributes span but no busy time.
@@ -509,6 +529,12 @@ mergeEpochResults(const SensorStream &stream,
                 ? static_cast<double>(agg.framesProcessed) /
                       shard_span[s]
                 : 0.0;
+        if (agg.batchCount > 0) {
+            agg.meanBatchSize =
+                static_cast<double>(agg.batchedFrames +
+                                    agg.soloFrames) /
+                static_cast<double>(agg.batchCount);
+        }
         for (TimelineStageStats &st : agg.stages) {
             const double capacity =
                 static_cast<double>(st.units) * shard_span[s];

@@ -155,4 +155,25 @@ DeviceModel::fcSec(const ExecutionTrace &trace) const
     return total;
 }
 
+double
+DeviceModel::fcSecStacked(
+    std::span<const ExecutionTrace *const> traces) const
+{
+    // Batched execution dispatches each layer once for the whole
+    // batch; MAC time is rate-linear, so only the per-op overhead
+    // merges. Layer count per frame is architectural (all frames
+    // run one deployed net), so the widest trace carries the
+    // merged op count.
+    double mac_sec = 0.0;
+    std::size_t merged_ops = 0;
+    for (const ExecutionTrace *trace : traces) {
+        merged_ops = std::max(merged_ops, trace->gemms.size());
+        for (const GemmOp &op : trace->gemms)
+            mac_sec += static_cast<double>(op.macs()) /
+                       dev.gemmMacsPerSec;
+    }
+    return mac_sec +
+           static_cast<double>(merged_ops) * dev.perOpSec;
+}
+
 } // namespace hgpcn

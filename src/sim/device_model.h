@@ -16,6 +16,7 @@
 #ifndef HGPCN_SIM_DEVICE_MODEL_H
 #define HGPCN_SIM_DEVICE_MODEL_H
 
+#include <span>
 #include <string>
 
 #include "common/stats.h"
@@ -82,6 +83,15 @@ class DeviceModel
 
     /** Time the feature-computation part of an inference trace. */
     double fcSec(const ExecutionTrace &trace) const;
+
+    /**
+     * fcSec() over several frames' traces executed as one batched
+     * pass: MAC work is unchanged, but the per-op dispatch
+     * overhead is paid once per merged layer instead of once per
+     * frame. A single-frame span equals fcSec(trace) exactly.
+     */
+    double fcSecStacked(
+        std::span<const ExecutionTrace *const> traces) const;
 
     /** @return dsSec + fcSec (no DS/FC overlap on these devices). */
     double

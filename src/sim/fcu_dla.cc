@@ -1,5 +1,10 @@
 #include "sim/fcu_dla.h"
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
 #include "sim/dram_model.h"
 #include "sim/systolic_array.h"
 
@@ -32,6 +37,34 @@ FcuSim::run(const ExecutionTrace &trace) const
         total > 0.0 ? static_cast<double>(result.macs) / (peak * total)
                     : 0.0;
     return result;
+}
+
+FcuResult
+FcuSim::runStacked(std::span<const ExecutionTrace *const> traces) const
+{
+    // Merge same-layer GEMMs across frames: one weight residency,
+    // row counts summed. First-seen order keeps a singleton batch
+    // identical to its solo trace.
+    std::vector<GemmOp> merged;
+    std::unordered_map<std::string, std::size_t> by_layer;
+    for (const ExecutionTrace *trace : traces) {
+        for (const GemmOp &op : trace->gemms) {
+            const auto it = by_layer.find(op.layer);
+            if (it == by_layer.end()) {
+                by_layer.emplace(op.layer, merged.size());
+                merged.push_back(op);
+                continue;
+            }
+            GemmOp &m = merged[it->second];
+            HGPCN_ASSERT(m.k == op.k && m.n == op.n,
+                         "batched FCU: layer '", op.layer,
+                         "' shape mismatch across frames");
+            m.m += op.m;
+        }
+    }
+    ExecutionTrace stacked;
+    stacked.gemms = std::move(merged);
+    return run(stacked);
 }
 
 } // namespace hgpcn

@@ -12,6 +12,7 @@
 #define HGPCN_SIM_FCU_DLA_H
 
 #include <cstdint>
+#include <span>
 
 #include "nn/layer_trace.h"
 #include "sim/sim_config.h"
@@ -46,6 +47,18 @@ class FcuSim
 
     /** Time every GEMM of @p trace. */
     FcuResult run(const ExecutionTrace &trace) const;
+
+    /**
+     * Time several frames' GEMMs as ONE batched pass: same-layer
+     * ops are merged in first-seen order (row counts summed), so
+     * each weight tile is loaded — and each systolic tile filled
+     * and drained — once per batch instead of once per frame, and
+     * the weight half of the memory traffic is fetched once. This
+     * is the device-occupancy cost the virtual timeline charges
+     * for a batch; a single-frame span reduces to run() exactly.
+     */
+    FcuResult runStacked(
+        std::span<const ExecutionTrace *const> traces) const;
 
   private:
     SimConfig cfg;

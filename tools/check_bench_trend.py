@@ -17,6 +17,12 @@ bars:
   flake the job while a genuine order-of-magnitude regression still
   fails it.
 
+A record (or an individual key) present only in the fresh file is a
+new baseline, not a violation: the first PR that adds a bench (or
+grows its record) must be able to commit the record it just
+generated. Both cases print a NOTE so the reviewer sees the baseline
+grow; removing a committed key still fails.
+
 Usage:
     tools/check_bench_trend.py <committed.json> <fresh.json>
 
@@ -57,6 +63,10 @@ RULES = {
     # preprocess_coherence stores deterministic fields only -- the
     # default exact rules double as its determinism check.
     "preprocess_coherence": [],
+    # batching_throughput reports the virtual-time schedule only
+    # (wall-clock is stdout-only by design): exact rules are the
+    # determinism check, like preprocess_coherence.
+    "batching_throughput": [],
 }
 
 
@@ -82,23 +92,26 @@ def rule_for(bench, path):
 def check(committed, fresh):
     bench = committed.get("bench")
     if bench not in RULES:
-        return [f"unknown bench '{bench}' (committed record)"]
+        return [f"unknown bench '{bench}' (committed record)"], []
     if fresh.get("bench") != bench:
         return [
             f"bench mismatch: committed '{bench}' "
             f"vs fresh '{fresh.get('bench')}'"
-        ]
+        ], []
 
     a, b = {}, {}
     flatten(committed, "", a)
     flatten(fresh, "", b)
 
     problems = []
+    notices = []
     for path in sorted(set(a) | set(b)):
         rule = rule_for(bench, path)
         if path not in a:
             if rule[0] != "ignore":
-                problems.append(f"{path}: new key (not in committed)")
+                notices.append(
+                    f"{path}: only in fresh record (new baseline)"
+                )
             continue
         if path not in b:
             if rule[0] != "ignore":
@@ -134,19 +147,32 @@ def check(committed, fresh):
         elif old != new:
             problems.append(f"{path}: {old!r} -> {new!r} "
                             "(machine-independent key moved)")
-    return problems
+    return problems, notices
 
 
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
-        committed = json.load(f)
+    try:
+        with open(argv[1]) as f:
+            committed = json.load(f)
+    except FileNotFoundError:
+        with open(argv[2]) as f:
+            fresh = json.load(f)
+        bench = fresh.get("bench")
+        if bench not in RULES:
+            print(f"FAIL: unknown bench '{bench}' (fresh record)")
+            return 1
+        print(f"NOTE {bench}: no committed record at {argv[1]}; "
+              "fresh record is the new baseline")
+        return 0
     with open(argv[2]) as f:
         fresh = json.load(f)
-    problems = check(committed, fresh)
+    problems, notices = check(committed, fresh)
     name = committed.get("bench", argv[1])
+    for n in notices:
+        print(f"NOTE {name}: {n}")
     if problems:
         print(f"FAIL {name}: {len(problems)} violation(s)")
         for p in problems:
