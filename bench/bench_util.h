@@ -208,6 +208,28 @@ class JsonWriter
 };
 
 /**
+ * Parse an optional `<flag> <value>` pair out of (argc, argv),
+ * compacting the remaining positional arguments in place.
+ * @return the value, or "" when the flag is absent.
+ */
+inline std::string
+extractOption(int &argc, char **argv, const std::string &flag)
+{
+    std::string value;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i]) {
+            HGPCN_ASSERT(i + 1 < argc, flag, " needs a value");
+            value = argv[++i];
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return value;
+}
+
+/**
  * Parse an optional `--json <path>` flag out of (argc, argv),
  * compacting the remaining positional arguments in place.
  * @return the path, or "" when the flag is absent.
@@ -215,18 +237,7 @@ class JsonWriter
 inline std::string
 extractJsonPath(int &argc, char **argv)
 {
-    std::string path;
-    int w = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json") {
-            HGPCN_ASSERT(i + 1 < argc, "--json needs a path");
-            path = argv[++i];
-            continue;
-        }
-        argv[w++] = argv[i];
-    }
-    argc = w;
-    return path;
+    return extractOption(argc, argv, "--json");
 }
 
 } // namespace bench

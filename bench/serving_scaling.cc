@@ -20,6 +20,8 @@
 #include "bench/bench_util.h"
 #include "core/hgpcn_system.h"
 #include "datasets/sensor_stream.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serving/sharded_runner.h"
 
 namespace hgpcn
@@ -38,7 +40,8 @@ makeStream(std::size_t sensors, std::size_t frames_per_sensor)
 }
 
 void
-run(std::size_t frames_per_sensor, std::size_t sensors)
+run(std::size_t frames_per_sensor, std::size_t sensors,
+    const std::string &trace_path)
 {
     bench::banner("SERVING: SHARD-COUNT SCALING",
                   "ShardedRunner aggregate FPS vs shards on a "
@@ -117,7 +120,24 @@ run(std::size_t frames_per_sensor, std::size_t sensors)
     sc.shards = 2;
     sc.placement = PlacementPolicy::HashBySensor;
     ShardedRunner runner(cfg, spec, sc);
+    // `--trace`: record the deployment serve and export its
+    // virtual-time events (per-shard stage spans, placement
+    // decisions) for tools/trace_report.py. Virtual-only, so the
+    // file is byte-identical across runs.
+    if (!trace_path.empty()) {
+        Tracer::global().clear();
+        Tracer::global().setEnabled(true);
+    }
     const ServingResult deployed = runner.serve(stream);
+    if (!trace_path.empty()) {
+        Tracer::global().setEnabled(false);
+        TraceExportOptions opts;
+        opts.includeWall = false;
+        writeChromeTrace(trace_path, Tracer::global().snapshot(),
+                         opts);
+        Tracer::global().clear();
+        std::printf("wrote %s\n", trace_path.c_str());
+    }
     std::printf("%s", deployed.report.toString().c_str());
 }
 
@@ -127,10 +147,12 @@ run(std::size_t frames_per_sensor, std::size_t sensors)
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path =
+        hgpcn::bench::extractOption(argc, argv, "--trace");
     const std::size_t frames = hgpcn::bench::parsePositiveArg(
         argc, argv, 1, /*fallback=*/6, "frames_per_sensor");
     const std::size_t sensors = hgpcn::bench::parsePositiveArg(
         argc, argv, 2, /*fallback=*/4, "sensors");
-    hgpcn::run(frames, sensors);
+    hgpcn::run(frames, sensors, trace_path);
     return 0;
 }

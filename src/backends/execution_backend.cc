@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
@@ -26,6 +27,10 @@ ExecutionBackend::inferBatch(std::span<const PointCloud *const> inputs,
                              FrameWorkspace *workspace) const
 {
     HGPCN_ASSERT(!inputs.empty(), "inferBatch: empty batch");
+    HGPCN_TRACE_WALL_SPAN(
+        span, "infer:" + name() + ":batch" +
+                  std::to_string(inputs.size()),
+        "backend", "wall/backend:" + name());
     BatchInference out;
     out.frames.reserve(inputs.size());
     for (const PointCloud *input : inputs)
@@ -52,6 +57,8 @@ double
 ExecutionBackend::estimateServiceSec() const
 {
     std::call_once(probe_once, [this] {
+        HGPCN_TRACE_WALL_SPAN(span, "probe:" + name(), "backend",
+                              "wall/backend:" + name());
         std::size_t k = model().spec().inputPoints;
         if (k == 0)
             k = 1024;

@@ -23,6 +23,7 @@
 
 #include "common/logging.h"
 #include "common/overload_policy.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
@@ -75,6 +76,20 @@ class BoundedQueue
     BoundedQueue &operator=(const BoundedQueue &) = delete;
 
     /**
+     * Attach a tracer that samples this queue's depth (a wall-clock
+     * Counter track named "queue:<name>") after every push and pop.
+     * Call before producers/consumers start; pass nullptr to detach.
+     * Costs one enabled() check per operation when tracing is off.
+     */
+    void
+    instrument(Tracer *tracer, std::string name)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        trace = tracer;
+        trace_name = std::move(name);
+    }
+
+    /**
      * Offer @p value under the configured overload policy.
      *
      * Block policy waits for space (or for close()); the drop
@@ -119,8 +134,10 @@ class BoundedQueue
         items.push_back(std::move(value));
         ++stats.pushed;
         stats.peakSize = std::max(stats.peakSize, items.size());
+        const std::size_t depth = items.size();
         lock.unlock();
         not_empty.notify_one();
+        sampleDepth(depth);
         return outcome;
     }
 
@@ -141,8 +158,10 @@ class BoundedQueue
         T value = std::move(items.front());
         items.pop_front();
         ++stats.popped;
+        const std::size_t depth = items.size();
         lock.unlock();
         not_full.notify_one();
+        sampleDepth(depth);
         return value;
     }
 
@@ -193,6 +212,29 @@ class BoundedQueue
     }
 
   private:
+    /**
+     * Record a depth observed while mu was held. Called *after*
+     * unlocking so the tracer's string building and buffer lock
+     * never extend the queue's critical section (the traced arm of
+     * the overhead gate was paying queue contention, not recording
+     * cost). Reading trace/trace_name unlocked is safe under the
+     * instrument() contract: attach/detach only happens while
+     * producers and consumers are quiescent.
+     */
+    void
+    sampleDepth(std::size_t depth)
+    {
+#ifndef HGPCN_TRACING_DISABLED
+        if (trace && trace->enabled()) {
+            trace->counter(TraceClock::Wall, trace->wallNowSec(),
+                           "depth", "queue:" + trace_name,
+                           static_cast<double>(depth));
+        }
+#else
+        (void)depth;
+#endif
+    }
+
     const std::size_t cap;
     const OverloadPolicy overload;
 
@@ -202,6 +244,8 @@ class BoundedQueue
     std::deque<T> items;
     Counters stats;
     bool closed = false;
+    Tracer *trace = nullptr; //!< optional depth sampling (see instrument())
+    std::string trace_name;
 };
 
 } // namespace hgpcn

@@ -11,6 +11,7 @@
 #ifndef HGPCN_COMMON_LOGGING_H
 #define HGPCN_COMMON_LOGGING_H
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -26,6 +27,26 @@ enum class LogLevel
     Panic,
 };
 
+/** Printable name of @p level ("inform", "warn", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Destination of formatted log messages. The default sink writes
+ * "level: msg" lines — Inform to stdout, everything else to stderr.
+ * Tests install a capturing sink to assert on warnings instead of
+ * globally silencing them.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install @p sink as the log destination and return the previous
+ * one (empty = the built-in default, and passing an empty sink
+ * restores that default). The sink is called for every level,
+ * including Fatal/Panic just before exit(1)/abort(). Delivery is
+ * serialized under an internal mutex.
+ */
+LogSink setLogSink(LogSink sink);
+
 /**
  * Emit a formatted log message.
  *
@@ -37,7 +58,8 @@ enum class LogLevel
 void logWarn(const std::string &msg);
 void logInform(const std::string &msg);
 
-/** Silence inform()/warn() output (used by tests). */
+/** Drop Inform/Warn messages before they reach the sink (legacy
+ *  blanket switch; prefer a capturing sink in new tests). */
 void setLogQuiet(bool quiet);
 
 /** @return true when inform()/warn() output is suppressed. */

@@ -2,9 +2,94 @@
 
 #include "common/logging.h"
 #include "core/frame_workspace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
+namespace
+{
+
+/** One frame's cache outcome, distilled for the metrics mirror. */
+struct FrameAttribution
+{
+    bool incremental = false;
+    std::uint64_t nodesReused = 0;
+    std::uint64_t nodesErected = 0;
+    std::uint64_t retained = 0;
+    std::uint64_t inserted = 0;
+    std::uint64_t evicted = 0;
+    bool knnIncremental = false;
+    bool occIncremental = false;
+    bool indicesCached = false;
+};
+
+/** Mirror one frame's outcome into "temporal.*" counters. */
+void
+recordMetrics(MetricsRegistry &reg, const FrameAttribution &fa)
+{
+    reg.counter("temporal.frames").add();
+    reg.counter(fa.incremental ? "temporal.octree.hits"
+                               : "temporal.octree.misses")
+        .add();
+    if (fa.incremental) {
+        reg.counter("temporal.nodes.reused").add(fa.nodesReused);
+        reg.counter("temporal.nodes.erected").add(fa.nodesErected);
+        reg.counter("temporal.points.retained").add(fa.retained);
+        reg.counter("temporal.points.inserted").add(fa.inserted);
+        reg.counter("temporal.points.evicted").add(fa.evicted);
+    }
+    if (fa.indicesCached) {
+        reg.counter(fa.knnIncremental ? "temporal.knn.incremental"
+                                      : "temporal.knn.scratch")
+            .add();
+        reg.counter(fa.occIncremental ? "temporal.occ.incremental"
+                                      : "temporal.occ.scratch")
+            .add();
+    }
+}
+
+/** Per-frame attribution samples on the wall clock: the "why is
+ *  subtree reuse stuck" question, readable frame by frame from one
+ *  trace instead of a terminal aggregate. */
+void
+recordTrace(std::uint64_t frame_no, std::int64_t shard,
+            const FrameAttribution &fa)
+{
+#ifndef HGPCN_TRACING_DISABLED
+    Tracer &tracer = Tracer::global();
+    if (!tracer.enabled())
+        return;
+    const std::string track =
+        shard >= 0 ? "shard" + std::to_string(shard) + "/temporal"
+                   : "runner/temporal";
+    const double now = tracer.wallNowSec();
+    const std::uint64_t touched = fa.nodesReused + fa.nodesErected;
+    const double reuse_pct =
+        touched > 0 ? 100.0 * static_cast<double>(fa.nodesReused) /
+                          static_cast<double>(touched)
+                    : 0.0;
+    tracer.counter(TraceClock::Wall, now, "subtree-reuse-pct", track,
+                   reuse_pct);
+    if (fa.indicesCached) {
+        tracer.counter(TraceClock::Wall, now, "knn-cache-hit", track,
+                       fa.knnIncremental ? 1.0 : 0.0);
+    }
+    TraceIds ids;
+    ids.frame = static_cast<std::int64_t>(frame_no);
+    ids.shard = shard;
+    tracer.instant(TraceClock::Wall, now,
+                   fa.incremental ? "octree:incremental"
+                                  : "octree:scratch",
+                   "temporal", track, ids);
+#else
+    (void)frame_no;
+    (void)shard;
+    (void)fa;
+#endif
+}
+
+} // namespace
 
 TemporalPreprocessState::TemporalPreprocessState(const Config &config)
     : cfg(config), pool(std::make_shared<BundlePool>())
@@ -56,15 +141,23 @@ TemporalPreprocessState::processFrame(const PointCloud &raw)
     const bool incremental =
         builder.update(raw, prev_tree, cfg.octree, bundle->tree);
 
+    FrameAttribution fa;
+    fa.incremental = incremental;
+
     ++st.frames;
     if (incremental) {
         ++st.octreeHits;
         const PointDelta &delta = builder.delta();
-        st.retainedPoints += delta.retained();
-        st.insertedPoints += delta.insertedNew.size();
-        st.evictedPoints += delta.evictedOld.size();
-        st.nodesReused += builder.nodesReused();
-        st.nodesErected += builder.nodesErected();
+        fa.retained = delta.retained();
+        fa.inserted = delta.insertedNew.size();
+        fa.evicted = delta.evictedOld.size();
+        fa.nodesReused = builder.nodesReused();
+        fa.nodesErected = builder.nodesErected();
+        st.retainedPoints += fa.retained;
+        st.insertedPoints += fa.inserted;
+        st.evictedPoints += fa.evicted;
+        st.nodesReused += fa.nodesReused;
+        st.nodesErected += fa.nodesErected;
     } else {
         ++st.octreeMisses;
     }
@@ -97,13 +190,29 @@ TemporalPreprocessState::processFrame(const PointCloud &raw)
             buildOccupiedCells(tree, level, bundle->rawOcc);
         bundle->rawOccLevel = level;
         ++(occ_incremental ? st.occIncremental : st.occScratch);
+        fa.indicesCached = true;
+        fa.knnIncremental = knn_incremental;
+        fa.occIncremental = occ_incremental;
     } else {
         bundle->rawKnnBuilt = false;
         bundle->rawOccLevel = -1;
     }
 
+    if (metrics != nullptr)
+        recordMetrics(*metrics, fa);
+    recordTrace(st.frames, obsShard, fa);
+
     prev = bundle;
     return bundle;
+}
+
+void
+TemporalPreprocessState::setObservability(MetricsRegistry *reg,
+                                          std::int64_t shard)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    metrics = reg;
+    obsShard = shard;
 }
 
 void

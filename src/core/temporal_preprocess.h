@@ -48,6 +48,8 @@
 namespace hgpcn
 {
 
+class MetricsRegistry;
+
 /**
  * One frame's preprocessing indices, leased from the state's pool.
  * The octree is always valid after processFrame(); the raw-cloud
@@ -111,6 +113,17 @@ class TemporalPreprocessState
     /** Drop the carried frame (the next frame builds from scratch). */
     void reset();
 
+    /**
+     * Attach an observability sink: every processFrame() mirrors its
+     * cache telemetry into "temporal.*" counters of @p metrics and —
+     * when the global Tracer is recording — emits per-frame
+     * subtree-reuse % and KNN-hit counter samples on the wall clock,
+     * tagged with @p shard. Pass nullptr to detach. Call while no
+     * frames are in flight.
+     */
+    void setObservability(MetricsRegistry *metrics,
+                          std::int64_t shard = -1);
+
     /** @return cache telemetry snapshot. */
     Stats stats() const;
 
@@ -137,6 +150,8 @@ class TemporalPreprocessState
     IncrementalOctreeBuilder builder;
     std::shared_ptr<PreprocessBundle> prev; //!< keeps prev frame alive
     Stats st;
+    MetricsRegistry *metrics = nullptr; //!< optional telemetry mirror
+    std::int64_t obsShard = -1;         //!< shard tag for trace events
 };
 
 } // namespace hgpcn

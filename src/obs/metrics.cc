@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    HGPCN_ASSERT(!bounds_.empty(),
+                 "histogram needs at least one bucket bound");
+    HGPCN_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must ascend");
+}
+
+void
+Histogram::observe(double x)
+{
+    std::size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b])
+        ++b;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.add(x);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // min_/max_ start at +/-infinity, so the CAS loops are correct
+    // for the first observation too (no seeding race).
+    double cur = min_.load(std::memory_order_relaxed);
+    while (x < cur && !min_.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed))
+        ;
+    cur = max_.load(std::memory_order_relaxed);
+    while (x > cur && !max_.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.value();
+}
+
+double
+Histogram::min() const
+{
+    return count() == 0 ? 0.0
+                        : min_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::max() const
+{
+    return count() == 0 ? 0.0
+                        : max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    HGPCN_ASSERT(i < counts_.size(), "bucket index out of range");
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** Shared nearest-rank walk over bucket counts (see stats.h's
+ *  percentileNearestRank: rank = ceil(q*n), 1-based, clamped). */
+double
+bucketPercentile(const std::vector<double> &bounds,
+                 const std::vector<std::uint64_t> &buckets,
+                 std::uint64_t n, double max_seen, double q)
+{
+    if (n == 0)
+        return 0.0;
+    const double rank_d = std::ceil(q * static_cast<double>(n));
+    const std::uint64_t rank =
+        rank_d < 1.0
+            ? 1
+            : std::min(static_cast<std::uint64_t>(rank_d), n);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return b < bounds.size() ? bounds[b] : max_seen;
+    }
+    return max_seen;
+}
+
+} // namespace
+
+double
+Histogram::percentile(double q) const
+{
+    std::vector<std::uint64_t> buckets(counts_.size());
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        buckets[b] = counts_[b].load(std::memory_order_relaxed);
+    return bucketPercentile(bounds_, buckets, count(), max(), q);
+}
+
+double
+MetricValue::percentile(double q) const
+{
+    HGPCN_ASSERT(kind == Kind::Histogram,
+                 "percentile() is histogram-only");
+    return bucketPercentile(bounds, buckets, count, max, q);
+}
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+MetricsSnapshot::countOf(const std::string &name) const
+{
+    const MetricValue *v = find(name);
+    return v ? v->count : 0;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[name, theirs] : other.values) {
+        auto it = values.find(name);
+        if (it == values.end()) {
+            values.emplace(name, theirs);
+            continue;
+        }
+        MetricValue &mine = it->second;
+        HGPCN_ASSERT(mine.kind == theirs.kind,
+                     "metric ", name, " merged across kinds");
+        switch (mine.kind) {
+          case MetricValue::Kind::Counter:
+            mine.count += theirs.count;
+            break;
+          case MetricValue::Kind::Gauge:
+            mine.value += theirs.value;
+            break;
+          case MetricValue::Kind::Histogram:
+            HGPCN_ASSERT(mine.bounds == theirs.bounds,
+                         "metric ", name,
+                         " merged across bucket layouts");
+            for (std::size_t b = 0; b < mine.buckets.size(); ++b)
+                mine.buckets[b] += theirs.buckets[b];
+            if (theirs.count > 0) {
+                if (mine.count == 0) {
+                    mine.min = theirs.min;
+                    mine.max = theirs.max;
+                } else {
+                    mine.min = std::min(mine.min, theirs.min);
+                    mine.max = std::max(mine.max, theirs.max);
+                }
+            }
+            mine.count += theirs.count;
+            mine.value += theirs.value;
+            break;
+        }
+    }
+}
+
+std::string
+MetricsSnapshot::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, v] : values) {
+        oss << name << " ";
+        switch (v.kind) {
+          case MetricValue::Kind::Counter:
+            oss << v.count;
+            break;
+          case MetricValue::Kind::Gauge:
+            oss << v.value;
+            break;
+          case MetricValue::Kind::Histogram:
+            oss << "n=" << v.count << " sum=" << v.value
+                << " min=" << v.min << " max=" << v.max
+                << " p50=" << v.percentile(0.50)
+                << " p99=" << v.percentile(0.99);
+            break;
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<Histogram>(
+                                    std::move(bounds)))
+                 .first;
+    } else {
+        HGPCN_ASSERT(it->second->bounds() == bounds,
+                     "histogram ", name,
+                     " re-registered with different bounds");
+    }
+    return *it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot out;
+    for (const auto &[name, c] : counters_) {
+        MetricValue v;
+        v.kind = MetricValue::Kind::Counter;
+        v.count = c->value();
+        out.values.emplace(name, std::move(v));
+    }
+    for (const auto &[name, g] : gauges_) {
+        MetricValue v;
+        v.kind = MetricValue::Kind::Gauge;
+        v.value = g->value();
+        out.values.emplace(name, std::move(v));
+    }
+    for (const auto &[name, h] : histograms_) {
+        MetricValue v;
+        v.kind = MetricValue::Kind::Histogram;
+        v.count = h->count();
+        v.value = h->sum();
+        v.min = h->min();
+        v.max = h->max();
+        v.bounds = h->bounds();
+        v.buckets.resize(v.bounds.size() + 1);
+        for (std::size_t b = 0; b < v.buckets.size(); ++b)
+            v.buckets[b] = h->bucketCount(b);
+        out.values.emplace(name, std::move(v));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+} // namespace hgpcn

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges, and fixed-bucket
+ * histograms with lock-light updates and mergeable snapshots.
+ *
+ * Contract (docs/OBSERVABILITY.md):
+ *  - Registration (counter()/gauge()/histogram()) takes a registry
+ *    mutex and returns a reference that stays valid for the
+ *    registry's lifetime; updates on the returned objects are
+ *    atomic and never take that mutex.
+ *  - snapshot() freezes every instrument into plain numbers; two
+ *    snapshots merge by summation (counters, gauge totals,
+ *    histogram buckets), which is what ServingReport needs to fold
+ *    per-shard registries into fleet totals.
+ *  - Histogram percentiles use the nearest-rank rule of
+ *    percentileNearestRank (rank = ceil(q*n), 1-based, clamped)
+ *    applied to bucket upper bounds, so they quantize to the bucket
+ *    grid; exact-sample percentiles (frame latency) stay on sorted
+ *    vectors and are NOT replaced by histograms.
+ */
+
+#ifndef HGPCN_OBS_METRICS_H
+#define HGPCN_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hgpcn
+{
+
+/** Monotone event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-written level (set) or accumulated total (add). */
+class Gauge
+{
+  public:
+    void
+    set(double x)
+    {
+        v_.store(x, std::memory_order_relaxed);
+    }
+
+    void
+    add(double delta)
+    {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed))
+            ;
+    }
+
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: N ascending upper bounds plus an implicit
+ * overflow bucket. observe() is a branchless-ish scan (bucket counts
+ * are atomics); percentile() quantizes to bucket upper bounds.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds Ascending bucket upper bounds (non-empty). */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x);
+
+    std::uint64_t count() const;
+    double sum() const;
+    double min() const; //!< 0 when empty
+    double max() const; //!< 0 when empty
+
+    const std::vector<double> &
+    bounds() const
+    {
+        return bounds_;
+    }
+
+    /** Count in bucket @p i (i == bounds().size() is overflow). */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /**
+     * Nearest-rank percentile over bucket upper bounds: the upper
+     * bound of the bucket containing rank ceil(q*count); observed
+     * max for the overflow bucket; 0 when empty.
+     */
+    double percentile(double q) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> counts_; //!< size+1
+    std::atomic<std::uint64_t> count_{0};
+    Gauge sum_;
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+};
+
+/** One frozen instrument inside a MetricsSnapshot. */
+struct MetricValue
+{
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    Kind kind = Kind::Counter;
+    std::uint64_t count = 0;        //!< counter value / histogram n
+    double value = 0.0;             //!< gauge level / histogram sum
+    double min = 0.0;               //!< histogram only
+    double max = 0.0;               //!< histogram only
+    std::vector<double> bounds;     //!< histogram only
+    std::vector<std::uint64_t> buckets; //!< histogram only (size+1)
+
+    /** Nearest-rank percentile (Histogram kind only). */
+    double percentile(double q) const;
+};
+
+/** A frozen, mergeable view of a registry. */
+struct MetricsSnapshot
+{
+    std::map<std::string, MetricValue> values;
+
+    bool
+    empty() const
+    {
+        return values.empty();
+    }
+
+    /** @return value under @p name or nullptr. */
+    const MetricValue *find(const std::string &name) const;
+
+    /** Counter/histogram count under @p name, 0 when absent. */
+    std::uint64_t countOf(const std::string &name) const;
+
+    /**
+     * Fold @p other in: counters and histogram buckets add, gauges
+     * add (a merged gauge is a fleet total), histogram min/max
+     * widen. Merging histograms with different bounds is a panic.
+     */
+    void merge(const MetricsSnapshot &other);
+
+    /** "name value" lines, sorted by name (deterministic). */
+    std::string toString() const;
+};
+
+/**
+ * The registry: name -> instrument. One per StreamRunner; shard
+ * registries merge into a fleet snapshot in ServingResult.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create; the reference outlives the call. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create; re-registration with different bounds is a
+     * panic (bounds define the merge contract).
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Drop every instrument. */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_OBS_METRICS_H

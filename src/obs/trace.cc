@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hgpcn
+{
+
+namespace
+{
+
+/** Monotone instance ids so thread-local caches never alias a
+ *  destroyed tracer with a newly constructed one. */
+std::atomic<std::uint64_t> next_tracer_id{1};
+
+/** Canonical payload-only ordering (see Tracer::snapshot()). */
+bool
+canonicalLess(const TraceEvent &a, const TraceEvent &b)
+{
+    return std::tie(a.clock, a.tsSec, a.track, a.name, a.ids.frame,
+                    a.ids.sensor, a.ids.shard, a.ids.batch, a.phase,
+                    a.durSec, a.value, a.cat) <
+           std::tie(b.clock, b.tsSec, b.track, b.name, b.ids.frame,
+                    b.ids.sensor, b.ids.shard, b.ids.batch, b.phase,
+                    b.durSec, b.value, b.cat);
+}
+
+} // namespace
+
+namespace
+{
+
+std::int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epochNs_(steadyNowNs())
+{
+}
+
+Tracer::~Tracer() = default;
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    on_.store(on, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer &
+Tracer::buffer()
+{
+    // Cache the buffer per (thread, tracer instance). Buffers live
+    // as long as the tracer, so the cached pointer stays valid; the
+    // instance id guards against a destroyed-then-reallocated
+    // tracer at the same address.
+    struct Cache
+    {
+        std::uint64_t tracer_id = 0;
+        ThreadBuffer *buf = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.tracer_id == id_ && cache.buf)
+        return *cache.buf;
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    cache.tracer_id = id_;
+    cache.buf = buffers_.back().get();
+    return *cache.buf;
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer &buf = buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(std::move(ev));
+}
+
+void
+Tracer::span(TraceClock clock, double tsSec, double durSec,
+             std::string name, std::string cat, std::string track,
+             TraceIds ids)
+{
+    TraceEvent ev;
+    ev.phase = TracePhase::Complete;
+    ev.clock = clock;
+    ev.tsSec = tsSec;
+    ev.durSec = durSec;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.track = std::move(track);
+    ev.ids = ids;
+    record(std::move(ev));
+}
+
+void
+Tracer::instant(TraceClock clock, double tsSec, std::string name,
+                std::string cat, std::string track, TraceIds ids)
+{
+    TraceEvent ev;
+    ev.phase = TracePhase::Instant;
+    ev.clock = clock;
+    ev.tsSec = tsSec;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.track = std::move(track);
+    ev.ids = ids;
+    record(std::move(ev));
+}
+
+void
+Tracer::counter(TraceClock clock, double tsSec, std::string name,
+                std::string track, double value)
+{
+    TraceEvent ev;
+    ev.phase = TracePhase::Counter;
+    ev.clock = clock;
+    ev.tsSec = tsSec;
+    ev.value = value;
+    ev.name = std::move(name);
+    ev.track = std::move(track);
+    record(std::move(ev));
+}
+
+double
+Tracer::wallNowSec() const
+{
+    const std::int64_t now = steadyNowNs();
+    return static_cast<double>(
+               now - epochNs_.load(std::memory_order_relaxed)) *
+           1e-9;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &buf : buffers_) {
+            std::lock_guard<std::mutex> inner(buf->mu);
+            out.insert(out.end(), buf->events.begin(),
+                       buf->events.end());
+        }
+    }
+    std::sort(out.begin(), out.end(), canonicalLess);
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> inner(buf->mu);
+        buf->events.clear();
+    }
+    epochNs_.store(steadyNowNs(), std::memory_order_relaxed);
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> inner(buf->mu);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Lock-light tracing: spans, instants, and counter samples on both
+ * clocks (host wall time and the deterministic virtual timeline).
+ *
+ * Design contract (docs/OBSERVABILITY.md):
+ *  - Recording is per-thread-buffered. Each thread owns a buffer
+ *    guarded by its own mutex, so the hot path never contends with
+ *    other recording threads; cross-thread locking happens only at
+ *    snapshot()/clear() time.
+ *  - The enabled() check is one relaxed atomic load. Tracing is off
+ *    by default and all instrumentation sites must bail before
+ *    building strings or reading clocks when it is off.
+ *  - Virtual-clock events carry deterministic payloads only (modeled
+ *    seconds, frame/sensor/shard/batch ids), and snapshot() returns
+ *    events in a canonical order independent of thread interleaving,
+ *    so an exported virtual-time trace is byte-identical across runs
+ *    of the same configuration — the same discipline as the BENCH
+ *    records.
+ *  - Compile-time removal: building with -DHGPCN_TRACING_DISABLED
+ *    (CMake option HGPCN_DISABLE_TRACING) turns the HGPCN_TRACE_*
+ *    macros into no-ops so instrumented hot paths carry zero code.
+ */
+
+#ifndef HGPCN_OBS_TRACE_H
+#define HGPCN_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hgpcn
+{
+
+/** Which clock a trace event's timestamps live on. */
+enum class TraceClock
+{
+    Wall,    //!< host steady clock, seconds since Tracer epoch
+    Virtual, //!< deterministic virtual timeline, modeled seconds
+};
+
+/** Event shape, mapped 1:1 onto Chrome trace_event phases. */
+enum class TracePhase
+{
+    Complete, //!< span with a duration ("X")
+    Instant,  //!< point event ("i")
+    Counter,  //!< sampled value ("C")
+};
+
+/** Optional entity ids attached to an event; -1 means absent. */
+struct TraceIds
+{
+    std::int64_t frame = -1;
+    std::int64_t sensor = -1;
+    std::int64_t shard = -1;
+    std::int64_t batch = -1;
+};
+
+/** One recorded event. POD-ish; copied into per-thread buffers. */
+struct TraceEvent
+{
+    TracePhase phase = TracePhase::Instant;
+    TraceClock clock = TraceClock::Wall;
+    double tsSec = 0.0;  //!< start (Complete) or sample time
+    double durSec = 0.0; //!< Complete spans only
+    double value = 0.0;  //!< Counter samples only
+    std::string name;    //!< "<category>:<what>", e.g. "exec:inference"
+    std::string cat;     //!< coarse grouping (resource, "stall", ...)
+    std::string track;   //!< exported as a named thread/row
+    TraceIds ids;
+};
+
+/**
+ * The tracer: a set of per-thread event buffers behind one
+ * enabled flag. Instantiable for tests; production code shares
+ * Tracer::global().
+ */
+class Tracer
+{
+  public:
+    Tracer();
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Process-wide tracer used by the instrumented stack. */
+    static Tracer &global();
+
+    /** Turn recording on or off (off by default). */
+    void setEnabled(bool on);
+
+    /** @return true when events are being recorded. */
+    bool
+    enabled() const
+    {
+        return on_.load(std::memory_order_relaxed);
+    }
+
+    /** Record one event (no-op when disabled). */
+    void record(TraceEvent ev);
+
+    /** Record a Complete span. */
+    void span(TraceClock clock, double tsSec, double durSec,
+              std::string name, std::string cat, std::string track,
+              TraceIds ids = {});
+
+    /** Record an Instant event. */
+    void instant(TraceClock clock, double tsSec, std::string name,
+                 std::string cat, std::string track,
+                 TraceIds ids = {});
+
+    /** Record a Counter sample. */
+    void counter(TraceClock clock, double tsSec, std::string name,
+                 std::string track, double value);
+
+    /**
+     * Seconds of host wall time since construction (or the last
+     * clear()). Wall-clock spans use this as their time base.
+     */
+    double wallNowSec() const;
+
+    /**
+     * All recorded events merged across threads in a canonical
+     * order that depends only on event payloads (never on thread
+     * interleaving): sort by (clock, tsSec, track, name, ids,
+     * phase, durSec, value). Virtual-clock payloads are
+     * deterministic, so the virtual prefix of a snapshot is
+     * byte-stable across runs.
+     */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Drop all recorded events and restart the wall epoch. */
+    void clear();
+
+    /** Total number of buffered events (all threads). */
+    std::size_t eventCount() const;
+
+  private:
+    struct ThreadBuffer
+    {
+        std::mutex mu;
+        std::vector<TraceEvent> events;
+    };
+
+    /** This thread's buffer, created on first use. */
+    ThreadBuffer &buffer();
+
+    const std::uint64_t id_; //!< distinguishes tracer instances in
+                             //!< the thread-local buffer cache
+    std::atomic<bool> on_{false};
+    mutable std::mutex mu_;  //!< guards buffers_ (registration and
+                             //!< snapshot/clear), not the hot path
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::atomic<std::int64_t> epochNs_; //!< steady_clock nanos; atomic
+                                        //!< so clear() cannot race
+                                        //!< wallNowSec() readers
+
+};
+
+/**
+ * RAII wall-clock span: begin() stamps the start, the destructor
+ * records a Complete event. Default-constructed (never begun) spans
+ * do nothing, so the HGPCN_TRACE_WALL_SPAN macro can skip argument
+ * evaluation entirely when the tracer is off.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan() = default;
+
+    TraceSpan(Tracer &tracer, std::string name, std::string cat,
+              std::string track, TraceIds ids = {})
+    {
+        if (tracer.enabled())
+            begin(tracer, std::move(name), std::move(cat),
+                  std::move(track), ids);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Arm the span (call at most once, while tracing is on). */
+    void
+    begin(Tracer &tracer, std::string name, std::string cat,
+          std::string track, TraceIds ids = {})
+    {
+        tracer_ = &tracer;
+        name_ = std::move(name);
+        cat_ = std::move(cat);
+        track_ = std::move(track);
+        ids_ = ids;
+        startSec_ = tracer.wallNowSec();
+    }
+
+    ~TraceSpan()
+    {
+        if (!tracer_)
+            return;
+        const double end = tracer_->wallNowSec();
+        tracer_->span(TraceClock::Wall, startSec_, end - startSec_,
+                      std::move(name_), std::move(cat_),
+                      std::move(track_), ids_);
+    }
+
+  private:
+    Tracer *tracer_ = nullptr;
+    double startSec_ = 0.0;
+    std::string name_;
+    std::string cat_;
+    std::string track_;
+    TraceIds ids_;
+};
+
+/*
+ * Instrumentation macros: compile away entirely under
+ * HGPCN_TRACING_DISABLED. Argument expressions are not evaluated
+ * when compiled out.
+ */
+#ifdef HGPCN_TRACING_DISABLED
+
+#define HGPCN_TRACE_ENABLED() false
+#define HGPCN_TRACE_WALL_SPAN(varname, ...) ((void)0)
+#define HGPCN_TRACE_EVENT(call) ((void)0)
+
+#else
+
+/** @return whether the global tracer is recording. */
+#define HGPCN_TRACE_ENABLED() (::hgpcn::Tracer::global().enabled())
+
+/** Open a wall-clock RAII span on the global tracer. The argument
+ *  expressions (typically string concatenations) are evaluated only
+ *  when tracing is on — the off cost is one relaxed load. */
+#define HGPCN_TRACE_WALL_SPAN(varname, ...)                            \
+    ::hgpcn::TraceSpan varname;                                        \
+    if (::hgpcn::Tracer::global().enabled()) {                         \
+        varname.begin(::hgpcn::Tracer::global(), __VA_ARGS__);         \
+    }                                                                  \
+    static_assert(true, "")
+
+/**
+ * Guarded event record: @p call runs only when tracing is on.
+ * Usage: HGPCN_TRACE_EVENT(Tracer::global().instant(...)).
+ */
+#define HGPCN_TRACE_EVENT(call)                                        \
+    do {                                                               \
+        if (::hgpcn::Tracer::global().enabled()) {                     \
+            ::hgpcn::call;                                             \
+        }                                                              \
+    } while (0)
+
+#endif // HGPCN_TRACING_DISABLED
+
+} // namespace hgpcn
+
+#endif // HGPCN_OBS_TRACE_H

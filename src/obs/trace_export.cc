@@ -1,0 +1,178 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+
+namespace
+{
+
+/** Fixed-format number: enough digits for microsecond stamps on
+ *  hour-long traces, deterministic for identical doubles. */
+std::string
+num(double x)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", x);
+    return buf;
+}
+
+/** Minimal JSON string escape (names here are ASCII by contract). */
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+int
+pidFor(TraceClock clock)
+{
+    return clock == TraceClock::Virtual ? 1 : 2;
+}
+
+void
+appendIds(std::ostringstream &oss, const TraceIds &ids, bool &first)
+{
+    const auto field = [&](const char *key, std::int64_t v) {
+        if (v < 0)
+            return;
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "\"" << key << "\":" << v;
+    };
+    field("frame", ids.frame);
+    field("sensor", ids.sensor);
+    field("shard", ids.shard);
+    field("batch", ids.batch);
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events,
+                const TraceExportOptions &opts)
+{
+    const auto keep = [&](const TraceEvent &ev) {
+        return ev.clock == TraceClock::Virtual ? opts.includeVirtual
+                                               : opts.includeWall;
+    };
+
+    // tid per (pid, track), numbered in sorted-track order so the
+    // assignment is independent of event order.
+    std::map<std::pair<int, std::string>, int> tid_of;
+    for (const TraceEvent &ev : events) {
+        if (keep(ev))
+            tid_of.emplace(
+                std::make_pair(pidFor(ev.clock), ev.track), 0);
+    }
+    {
+        int next = 1;
+        for (auto &[key, tid] : tid_of)
+            tid = next++;
+    }
+
+    std::ostringstream oss;
+    oss << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first_ev = true;
+    const auto emit = [&](const std::string &body) {
+        if (!first_ev)
+            oss << ",";
+        first_ev = false;
+        oss << "\n" << body;
+    };
+
+    emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"virtual-time\"}}");
+    emit("{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"wall-clock\"}}");
+    for (const auto &[key, tid] : tid_of) {
+        std::ostringstream meta;
+        meta << "{\"ph\":\"M\",\"pid\":" << key.first
+             << ",\"tid\":" << tid
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+             << esc(key.second) << "\"}}";
+        emit(meta.str());
+    }
+
+    for (const TraceEvent &ev : events) {
+        if (!keep(ev))
+            continue;
+        const int pid = pidFor(ev.clock);
+        const int tid = tid_of.at({pid, ev.track});
+        std::ostringstream e;
+        e << "{\"ph\":\"";
+        switch (ev.phase) {
+          case TracePhase::Complete:
+            e << "X";
+            break;
+          case TracePhase::Instant:
+            e << "i";
+            break;
+          case TracePhase::Counter:
+            e << "C";
+            break;
+        }
+        e << "\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"ts\":" << num(ev.tsSec * 1e6);
+        if (ev.phase == TracePhase::Complete)
+            e << ",\"dur\":" << num(ev.durSec * 1e6);
+        if (ev.phase == TracePhase::Instant)
+            e << ",\"s\":\"t\"";
+        e << ",\"name\":\"" << esc(ev.name) << "\"";
+        if (!ev.cat.empty())
+            e << ",\"cat\":\"" << esc(ev.cat) << "\"";
+        e << ",\"args\":{";
+        bool first_arg = true;
+        appendIds(e, ev.ids, first_arg);
+        if (ev.phase == TracePhase::Counter) {
+            if (!first_arg)
+                e << ",";
+            first_arg = false;
+            e << "\"value\":" << num(ev.value);
+        }
+        e << "}}";
+        emit(e.str());
+    }
+
+    oss << "\n]}\n";
+    return oss.str();
+}
+
+void
+writeChromeTrace(const std::string &path,
+                 const std::vector<TraceEvent> &events,
+                 const TraceExportOptions &opts)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output file: ", path);
+    out << chromeTraceJson(events, opts);
+    if (!out)
+        fatal("failed writing trace output file: ", path);
+}
+
+} // namespace hgpcn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome/Perfetto trace_event JSON export for Tracer snapshots.
+ *
+ * Output layout (load with ui.perfetto.dev or chrome://tracing):
+ *  - pid 1 = "virtual-time" process, pid 2 = "wall-clock" process.
+ *  - Every distinct track name becomes a tid on its clock's pid,
+ *    numbered in sorted-track order and labeled with a thread_name
+ *    metadata event.
+ *  - Spans are "X" (complete) events, instants "i", counter samples
+ *    "C"; ts/dur are microseconds; frame/sensor/shard/batch ids ride
+ *    in args.
+ *
+ * Determinism: events are emitted in the canonical snapshot() order
+ * with fixed "%.9g" number formatting, so a virtual-only export of a
+ * deterministic run is byte-identical across runs (CI byte-compares
+ * two exports).
+ */
+
+#ifndef HGPCN_OBS_TRACE_EXPORT_H
+#define HGPCN_OBS_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace hgpcn
+{
+
+/** Which clocks to include in an export. */
+struct TraceExportOptions
+{
+    bool includeWall = true;
+    bool includeVirtual = true;
+};
+
+/** Render events (canonical snapshot order) as trace_event JSON. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events,
+                            const TraceExportOptions &opts = {});
+
+/** chromeTraceJson straight to @p path (fatal on I/O error). */
+void writeChromeTrace(const std::string &path,
+                      const std::vector<TraceEvent> &events,
+                      const TraceExportOptions &opts = {});
+
+} // namespace hgpcn
+
+#endif // HGPCN_OBS_TRACE_EXPORT_H

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
@@ -50,6 +51,9 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
         for (std::size_t i = 0; i <= n_stages; ++i) {
             queues.push_back(std::make_shared<TaskQueue>(
                 cfg.queueCapacity, OverloadPolicy::Block));
+            queues.back()->instrument(
+                &Tracer::global(),
+                i < n_stages ? specs[i].stage->name() : "collect");
         }
         // A requestStop() that raced this entry (after the reset
         // above) targets *this* run: honor it.
@@ -103,7 +107,21 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
                                 ptrs.push_back(t.get());
                             std::vector<double> costs(group.size(),
                                                       0.0);
-                            specs[s].stage->processBatch(ptrs, costs);
+                            {
+                                TraceIds ids;
+                                ids.frame = static_cast<std::int64_t>(
+                                    group.front()->index);
+                                HGPCN_TRACE_WALL_SPAN(
+                                    span,
+                                    "host:" + specs[s].stage->name() +
+                                        ":batch" +
+                                        std::to_string(group.size()),
+                                    specs[s].stage->resource(),
+                                    "wall/" + specs[s].stage->name(),
+                                    ids);
+                                specs[s].stage->processBatch(ptrs,
+                                                             costs);
+                            }
                             for (std::size_t i = 0; i < group.size();
                                  ++i) {
                                 group[i]->stageCostSec[s] = costs[i];
@@ -145,7 +163,7 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
                 });
                 continue;
             }
-            workers.emplace_back([this, s, &alive] {
+            workers.emplace_back([this, s, w, &alive] {
                 TaskQueue &in = *queues[s];
                 TaskQueue &out = *queues[s + 1];
                 while (auto item = in.pop()) {
@@ -153,8 +171,20 @@ StagePipeline::run(std::vector<std::unique_ptr<FrameTask>> tasks,
                         std::move(*item);
                     if (stopped.load())
                         continue; // drain-discard on shutdown
-                    task->stageCostSec[s] =
-                        specs[s].stage->process(*task);
+                    {
+                        TraceIds ids;
+                        ids.frame = static_cast<std::int64_t>(
+                            task->index);
+                        HGPCN_TRACE_WALL_SPAN(
+                            span,
+                            "host:" + specs[s].stage->name(),
+                            specs[s].stage->resource(),
+                            "wall/" + specs[s].stage->name() + "#" +
+                                std::to_string(w),
+                            ids);
+                        task->stageCostSec[s] =
+                            specs[s].stage->process(*task);
+                    }
                     if (out.push(std::move(task)) ==
                         PushOutcome::Closed) {
                         break;

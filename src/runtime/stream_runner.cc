@@ -7,11 +7,121 @@
 #include "backends/hgpcn_backend.h"
 #include "common/logging.h"
 #include "core/temporal_preprocess.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
 namespace
 {
+
+/** Track prefix of this runner's trace events. */
+std::string
+traceScope(std::int64_t shard)
+{
+    return shard >= 0 ? "shard" + std::to_string(shard) : "runner";
+}
+
+/** Spans smaller than this are schedule noise, not stalls; skipping
+ *  them keeps traces compact without losing any attribution mass. */
+constexpr double kMinSpanSec = 1e-12;
+
+/**
+ * Emit the virtual-time schedule as trace events. Runs AFTER
+ * simulateTimeline, purely over its deterministic result, so the
+ * emitted stream is identical across runs and thread interleavings.
+ *
+ * Per frame, the spans partition [arrival, done] exactly:
+ *   pend:source | per stage: wait:<s> (queue) -> batchwait:<s>
+ *   (last stage, fill-gate share) -> exec:<s> -> blocked:<s>
+ *   (back-pressure hold before stage s+1 admits).
+ * trace_report.py's stall table and --check conservation rule rely
+ * on this decomposition.
+ *
+ * @param t0 Global virtual time of local second 0 (the first
+ *        frame's sensor stamp when paced) — shard timelines land on
+ *        the fleet clock with no extra plumbing.
+ */
+void
+emitVirtualTrace(Tracer &tracer, const TimelineResult &timeline,
+                 const std::vector<TimelineStageSpec> &stages,
+                 double t0, std::int64_t shard,
+                 const std::vector<std::int64_t> &frame_ids,
+                 const std::vector<std::int64_t> &sensor_ids)
+{
+    const std::string scope = traceScope(shard);
+    const std::size_t n_stages = stages.size();
+    const std::size_t last = n_stages - 1;
+
+    for (std::size_t j = 0; j < timeline.frames.size(); ++j) {
+        const TimelineFrame &tf = timeline.frames[j];
+        TraceIds ids;
+        ids.frame = frame_ids[j];
+        ids.sensor = sensor_ids[j];
+        ids.shard = shard;
+        if (tf.dropped) {
+            tracer.instant(TraceClock::Virtual,
+                           t0 + tf.droppedAtSec, "drop:source",
+                           "overload", scope + "/source", ids);
+            continue;
+        }
+        if (tf.admitSec - tf.arrivalSec > kMinSpanSec) {
+            tracer.span(TraceClock::Virtual, t0 + tf.arrivalSec,
+                        tf.admitSec - tf.arrivalSec, "pend:source",
+                        "stall", scope + "/source", ids);
+        }
+        ids.batch = tf.batchId;
+        for (std::size_t s = 0; s < n_stages; ++s) {
+            const std::string track = scope + "/" + stages[s].name;
+            const double batch_wait =
+                s == last ? tf.batchWaitSec : 0.0;
+            const double queue_wait =
+                tf.startSec[s] - tf.enqueueSec[s] - batch_wait;
+            if (queue_wait > kMinSpanSec) {
+                tracer.span(TraceClock::Virtual,
+                            t0 + tf.enqueueSec[s], queue_wait,
+                            "wait:" + stages[s].name, "stall",
+                            track, ids);
+            }
+            if (batch_wait > kMinSpanSec) {
+                tracer.span(TraceClock::Virtual,
+                            t0 + tf.startSec[s] - batch_wait,
+                            batch_wait,
+                            "batchwait:" + stages[s].name, "stall",
+                            track, ids);
+            }
+            tracer.span(TraceClock::Virtual, t0 + tf.startSec[s],
+                        tf.finishSec[s] - tf.startSec[s],
+                        "exec:" + stages[s].name,
+                        stages[s].resource, track, ids);
+            if (s < last) {
+                const double held =
+                    tf.enqueueSec[s + 1] - tf.finishSec[s];
+                if (held > kMinSpanSec) {
+                    tracer.span(TraceClock::Virtual,
+                                t0 + tf.finishSec[s], held,
+                                "blocked:" + stages[s].name,
+                                "stall", track, ids);
+                }
+            }
+        }
+    }
+
+    // The device view of batching: one span per coalesced dispatch
+    // (the ONE occupancy interval the schedule charged).
+    for (std::size_t b = 0; b < timeline.batches.size(); ++b) {
+        const TimelineBatch &batch = timeline.batches[b];
+        TraceIds ids;
+        ids.shard = shard;
+        ids.batch = static_cast<std::int64_t>(b);
+        tracer.counter(TraceClock::Virtual, t0 + batch.startSec,
+                       "batch-size", scope + "/batches",
+                       static_cast<double>(batch.members.size()));
+        tracer.span(TraceClock::Virtual, t0 + batch.startSec,
+                    batch.finishSec - batch.startSec,
+                    "batch:" + stages[last].name,
+                    stages[last].resource, scope + "/batches", ids);
+    }
+}
 
 /** Cross-frame cache matching the engine's octree policy, or null
  * when the runner is configured without one. */
@@ -124,6 +234,20 @@ RuntimeReport::toString() const
             << "%, queue mean " << st.meanQueueDepth << " peak "
             << st.peakQueueDepth << "\n";
     }
+    // Absent without a temporal carry, keeping legacy output exact.
+    if (temporalSubtreeReusePct >= 0.0 || temporalKnnHitPct >= 0.0) {
+        oss << "temporal: subtree reuse ";
+        if (temporalSubtreeReusePct >= 0.0)
+            oss << temporalSubtreeReusePct << "%";
+        else
+            oss << "n/a";
+        oss << " | knn cache ";
+        if (temporalKnnHitPct >= 0.0)
+            oss << temporalKnnHitPct << "%";
+        else
+            oss << "n/a";
+        oss << "\n";
+    }
     return oss.str();
 }
 
@@ -155,6 +279,8 @@ StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
     HGPCN_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
     HGPCN_ASSERT(cfg.batchTimeoutVirtualSec >= 0.0,
                  "batchTimeoutVirtualSec must be >= 0");
+    if (carry)
+        carry->setObservability(&metricsReg, cfg.traceShard);
 }
 
 StreamRunner::StreamRunner(const PreprocessingEngine &preprocess,
@@ -191,14 +317,25 @@ StreamRunner::compat(std::size_t n_frames, std::size_t input_points)
 
 RuntimeResult
 StreamRunner::run(const std::vector<Frame> &frames,
-                  const FrameTaskCallback &on_frame)
+                  const FrameTaskCallback &on_frame,
+                  const StreamTraceIds *trace_ids)
 {
+    HGPCN_ASSERT(trace_ids == nullptr ||
+                     (trace_ids->frame.size() == frames.size() &&
+                      trace_ids->sensor.size() == frames.size()),
+                 "trace_ids must parallel the input stream");
     RuntimeResult out;
     out.report.policy = cfg.policy;
     out.report.paced = cfg.paceBySensor;
     out.report.framesIn = frames.size();
-    if (frames.empty())
+    // Fresh registry per run (the runner-reuse contract): the
+    // temporal carry and the sections below write into it, and the
+    // final snapshot is the report's source of truth.
+    metricsReg.clear();
+    if (frames.empty()) {
+        out.metrics = metricsReg.snapshot();
         return out;
+    }
 
     // A malformed stream should fail on this thread before any work
     // is done, not abort a worker mid-run: check the sensor rate
@@ -289,11 +426,80 @@ StreamRunner::run(const std::vector<Frame> &frames,
     const TimelineResult timeline =
         simulateTimeline(tl, arrivals, costs, batch_cost);
 
-    // Assemble the report.
+    // Publish the schedule into the run's metrics registry; the
+    // report reads these back from the snapshot below, so adding a
+    // new attribution is one registration away from every consumer
+    // (RuntimeReport, ServingReport, trace_report.py).
+    metricsReg.counter("frames.in").add(frames.size());
+    metricsReg.counter("frames.processed").add(timeline.processed);
+    metricsReg.counter("frames.dropped").add(timeline.dropped);
+    metricsReg.counter("frames.abandoned")
+        .add(frames.size() - completed.size());
+    metricsReg.gauge("timeline.makespan_sec")
+        .add(timeline.makespanSec);
+    Histogram &latency_hist = metricsReg.histogram(
+        "frame.latency_sec",
+        {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0});
+    Gauge &wait_sum = metricsReg.gauge("stall.queue_wait_sec");
+    Gauge &batch_wait_sum = metricsReg.gauge("stall.batch_wait_sec");
+    Gauge &exec_sum = metricsReg.gauge("stall.exec_sec");
+    Gauge &blocked_sum = metricsReg.gauge("stall.output_blocked_sec");
+    Gauge &pend_sum = metricsReg.gauge("stall.source_pend_sec");
+    const std::size_t last_stage = tl.stages.size() - 1;
+    for (const TimelineFrame &tf : timeline.frames) {
+        if (tf.dropped)
+            continue;
+        latency_hist.observe(tf.latencySec);
+        pend_sum.add(tf.admitSec - tf.arrivalSec);
+        batch_wait_sum.add(tf.batchWaitSec);
+        for (std::size_t s = 0; s < tl.stages.size(); ++s) {
+            const double bw = s == last_stage ? tf.batchWaitSec : 0.0;
+            wait_sum.add(tf.startSec[s] - tf.enqueueSec[s] - bw);
+            exec_sum.add(tf.finishSec[s] - tf.startSec[s]);
+            if (s < last_stage)
+                blocked_sum.add(tf.enqueueSec[s + 1] -
+                                tf.finishSec[s]);
+        }
+    }
+    for (const TimelineStageStats &st : timeline.stages)
+        metricsReg.gauge("stage." + st.name + ".busy_sec")
+            .add(st.busySec);
+    if (cfg.maxBatch > 1) {
+        metricsReg.counter("batch.dispatches")
+            .add(timeline.batchCount);
+        metricsReg.counter("batch.batched_frames")
+            .add(timeline.batchedFrames);
+        metricsReg.counter("batch.solo_frames")
+            .add(timeline.soloFrames);
+    }
+    out.metrics = metricsReg.snapshot();
+
+    // The deterministic virtual schedule as trace events, on the
+    // GLOBAL virtual clock (t0 re-added): shard traces from a fleet
+    // serve align without extra plumbing.
+    if (HGPCN_TRACE_ENABLED()) {
+        std::vector<std::int64_t> frame_ids(completed.size());
+        std::vector<std::int64_t> sensor_ids(completed.size(), -1);
+        for (std::size_t j = 0; j < completed.size(); ++j) {
+            const std::size_t idx = completed[j]->index;
+            frame_ids[j] =
+                trace_ids ? trace_ids->frame[idx]
+                          : static_cast<std::int64_t>(idx);
+            if (trace_ids)
+                sensor_ids[j] = trace_ids->sensor[idx];
+        }
+        emitVirtualTrace(Tracer::global(), timeline, tl.stages,
+                         paced ? t0 : 0.0, cfg.traceShard,
+                         frame_ids, sensor_ids);
+    }
+
+    // Assemble the report — counts come from the frozen snapshot
+    // (the registry is authoritative), schedule detail from the
+    // timeline.
     RuntimeReport &rep = out.report;
-    rep.framesProcessed = timeline.processed;
-    rep.framesDropped = timeline.dropped;
-    rep.framesAbandoned = frames.size() - completed.size();
+    rep.framesProcessed = out.metrics.countOf("frames.processed");
+    rep.framesDropped = out.metrics.countOf("frames.dropped");
+    rep.framesAbandoned = out.metrics.countOf("frames.abandoned");
     rep.makespanSec = timeline.makespanSec;
     rep.sustainedFps =
         rep.makespanSec > 0.0
@@ -337,6 +543,27 @@ StreamRunner::run(const std::vector<Frame> &frames,
         rep.p50LatencySec = percentileNearestRank(latencies, 0.50);
         rep.p95LatencySec = percentileNearestRank(latencies, 0.95);
         rep.p99LatencySec = percentileNearestRank(latencies, 0.99);
+    }
+
+    // Temporal-cache attribution, read back from the registry the
+    // carry wrote into during the functional run.
+    const std::uint64_t reused =
+        out.metrics.countOf("temporal.nodes.reused");
+    const std::uint64_t erected =
+        out.metrics.countOf("temporal.nodes.erected");
+    if (reused + erected > 0) {
+        rep.temporalSubtreeReusePct =
+            100.0 * static_cast<double>(reused) /
+            static_cast<double>(reused + erected);
+    }
+    const std::uint64_t knn_inc =
+        out.metrics.countOf("temporal.knn.incremental");
+    const std::uint64_t knn_scratch =
+        out.metrics.countOf("temporal.knn.scratch");
+    if (knn_inc + knn_scratch > 0) {
+        rep.temporalKnnHitPct =
+            100.0 * static_cast<double>(knn_inc) /
+            static_cast<double>(knn_inc + knn_scratch);
     }
     return out;
 }

@@ -32,6 +32,7 @@
 
 #include "common/real_time.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "runtime/stage_pipeline.h"
 #include "runtime/stages.h"
 #include "runtime/virtual_timeline.h"
@@ -82,6 +83,12 @@ struct RuntimeReport
     /** Per-stage load, in dataflow order. */
     std::vector<TimelineStageStats> stages;
 
+    // Temporal-cache attribution, read back from the run's metrics
+    // registry ("temporal.*" counters). -1 = not applicable (cache
+    // off or no frames); percentages in [0, 100] otherwise.
+    double temporalSubtreeReusePct = -1;
+    double temporalKnnHitPct = -1;
+
     // Batch-occupancy attribution of the inference stage, from the
     // virtual schedule. Defaults (and an absent toString() line)
     // when configuredMaxBatch == 1.
@@ -104,6 +111,22 @@ struct RuntimeResult
     RuntimeReport report;
     /** Aggregated workload counters across all frames. */
     StatSet workload;
+    /** The run's metrics registry, frozen: frame/drop/batch
+     * counters, stall attribution gauges, temporal-cache telemetry.
+     * ServingResult merges these shard-wise. */
+    MetricsSnapshot metrics;
+};
+
+/**
+ * Optional per-frame identity for trace events, parallel to the
+ * input stream. A ShardedRunner passes each shard's global frame
+ * indices and sensor ids so the shard's spans carry fleet-level ids
+ * instead of shard-local positions.
+ */
+struct StreamTraceIds
+{
+    std::vector<std::int64_t> frame;
+    std::vector<std::int64_t> sensor;
 };
 
 /** Concurrent stage-pipeline runner over the HgPCN engines. */
@@ -174,6 +197,12 @@ class StreamRunner
          * greedy/work-conserving (batches form only under backlog).
          * Used only when maxBatch > 1. */
         double batchTimeoutVirtualSec = 0.0;
+
+        /** Shard id stamped on this runner's trace events and used
+         * as its track prefix ("shard<N>/..."); -1 = standalone
+         * ("runner/..."). Observability-only — never read by
+         * scheduling. */
+        std::int64_t traceShard = -1;
     };
 
     /**
@@ -206,9 +235,13 @@ class StreamRunner
      *        increasing when paceBySensor is set.
      * @param on_frame Optional per-frame hook, called in stream
      *        order on the collecting thread.
+     * @param trace_ids Optional fleet-level frame/sensor ids for
+     *        trace events (see StreamTraceIds); sizes must match
+     *        @p frames when given.
      */
     RuntimeResult run(const std::vector<Frame> &frames,
-                      const FrameTaskCallback &on_frame = {});
+                      const FrameTaskCallback &on_frame = {},
+                      const StreamTraceIds *trace_ids = nullptr);
 
     /** Abort the in-progress run() from any thread (including the
      * on_frame hook); run() returns the frames completed so far.
@@ -237,6 +270,9 @@ class StreamRunner
                  const Config &config);
 
     Config cfg;
+    /** Per-run metrics registry (cleared at each run() start;
+     * frozen into RuntimeResult::metrics at the end). */
+    MetricsRegistry metricsReg;
     /** Set only by the compatibility constructor (declared before
      * the stages so the InferenceStage can reference it). */
     std::unique_ptr<ExecutionBackend> owned;

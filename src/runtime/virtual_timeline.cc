@@ -80,6 +80,7 @@ simulateTimeline(const TimelineConfig &cfg,
         out.frames[i].arrivalSec = arrivals[i];
         out.frames[i].startSec.assign(n_stages, 0.0);
         out.frames[i].finishSec.assign(n_stages, 0.0);
+        out.frames[i].enqueueSec.assign(n_stages, 0.0);
     }
 
     // Device units: configured, defaulting to 1 per named resource.
@@ -105,7 +106,11 @@ simulateTimeline(const TimelineConfig &cfg,
     const double batch_timeout = cfg.batch.timeoutSec;
     std::vector<double> ready_at(batching ? n : 0, 0.0);
     std::vector<char> timeout_scheduled(batching ? n : 0, 0);
-    std::vector<std::vector<std::size_t>> batches; //!< dispatch log
+    // First time a frame was seen waiting on the dispatch gate with
+    // a unit free (-1 = never). Pure attribution bookkeeping: turns
+    // into TimelineFrame::batchWaitSec at dispatch, never read by
+    // the scheduling decisions themselves.
+    std::vector<double> form_start(batching ? n : 0, -1.0);
 
     std::priority_queue<Event, std::vector<Event>, EventLater> events;
     std::uint64_t seq = 0;
@@ -128,6 +133,7 @@ simulateTimeline(const TimelineConfig &cfg,
         meter[s].advance(now, queue[s].size());
         queue[s].push_back(f);
         meter[s].peak = std::max(meter[s].peak, queue[s].size());
+        out.frames[f].enqueueSec[s] = now;
         if (batching && s == last)
             ready_at[f] = now; // batch-fill wait starts here
     };
@@ -139,8 +145,9 @@ simulateTimeline(const TimelineConfig &cfg,
         return f;
     };
 
-    const auto dropFrame = [&](std::size_t f) {
+    const auto dropFrame = [&](std::size_t f, double now) {
         out.frames[f].dropped = true;
+        out.frames[f].droppedAtSec = now;
         ++out.dropped;
     };
 
@@ -177,13 +184,13 @@ simulateTimeline(const TimelineConfig &cfg,
                     scheduleArrival(now);
                     changed = true;
                 } else if (cfg.policy == OverloadPolicy::DropNewest) {
-                    dropFrame(f);
+                    dropFrame(f, now);
                     pending = false;
                     scheduleArrival(now);
                     changed = true;
                 } else if (cfg.policy == OverloadPolicy::DropOldest) {
                     if (!queue[0].empty()) {
-                        dropFrame(dequeueFront(0, now));
+                        dropFrame(dequeueFront(0, now), now);
                         --in_flight;
                         out.frames[f].admitSec = now;
                         enqueue(0, f, now);
@@ -192,7 +199,7 @@ simulateTimeline(const TimelineConfig &cfg,
                         // Credit exhausted with nothing still queued:
                         // every admitted frame is already on a device,
                         // so the newcomer is the only evictable one.
-                        dropFrame(f);
+                        dropFrame(f, now);
                     }
                     pending = false;
                     scheduleArrival(now);
@@ -229,6 +236,18 @@ simulateTimeline(const TimelineConfig &cfg,
                                      seq++, Event::Timeout, front,
                                      s});
                             }
+                            // The queued frames that would join this
+                            // dispatch are now waiting on FILL, not
+                            // on a busy device — stamp the moment the
+                            // formation wait became the only blocker.
+                            const std::size_t would_join = std::min(
+                                queue[s].size(), cfg.batch.maxBatch);
+                            for (std::size_t i = 0; i < would_join;
+                                 ++i) {
+                                const std::size_t qf = queue[s][i];
+                                if (form_start[qf] < 0.0)
+                                    form_start[qf] = now;
+                            }
                             break; // hold for fill or timeout
                         }
                         const std::size_t count = std::min(
@@ -255,12 +274,23 @@ simulateTimeline(const TimelineConfig &cfg,
                             out.frames[f].startSec[s] = now;
                             out.frames[f].finishSec[s] = now + cost;
                             out.frames[f].batchSize = members.size();
+                            out.frames[f].batchId =
+                                static_cast<std::int64_t>(
+                                    out.batches.size());
+                            if (form_start[f] >= 0.0) {
+                                out.frames[f].batchWaitSec =
+                                    now - form_start[f];
+                            }
                         }
                         busy[s] += cost; // ONE occupancy interval
                         events.push({now + cost, seq++,
                                      Event::BatchComplete,
-                                     batches.size(), s});
-                        batches.push_back(std::move(members));
+                                     out.batches.size(), s});
+                        TimelineBatch batch;
+                        batch.startSec = now;
+                        batch.finishSec = now + cost;
+                        batch.members = std::move(members);
+                        out.batches.push_back(std::move(batch));
                         changed = true;
                     }
                     continue;
@@ -296,7 +326,7 @@ simulateTimeline(const TimelineConfig &cfg,
             // gate at `now`. Spurious after dispatch — harmless.
         } else if (ev.kind == Event::BatchComplete) {
             const std::size_t s = ev.stage;
-            for (const std::size_t f : batches[ev.frame]) {
+            for (const std::size_t f : out.batches[ev.frame].members) {
                 out.frames[f].doneSec = now;
                 out.frames[f].latencySec =
                     now - out.frames[f].arrivalSec;
@@ -350,14 +380,14 @@ simulateTimeline(const TimelineConfig &cfg,
     }
 
     if (batching) {
-        out.batchCount = batches.size();
+        out.batchCount = out.batches.size();
         std::size_t total = 0;
-        for (const std::vector<std::size_t> &members : batches) {
-            total += members.size();
+        for (const TimelineBatch &batch : out.batches) {
+            total += batch.members.size();
             out.maxBatchSize =
-                std::max(out.maxBatchSize, members.size());
-            if (members.size() >= 2)
-                out.batchedFrames += members.size();
+                std::max(out.maxBatchSize, batch.members.size());
+            if (batch.members.size() >= 2)
+                out.batchedFrames += batch.members.size();
             else
                 ++out.soloFrames;
         }

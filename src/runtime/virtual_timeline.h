@@ -35,6 +35,7 @@
 #define HGPCN_RUNTIME_VIRTUAL_TIMELINE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -111,6 +112,29 @@ struct TimelineFrame
     double doneSec = 0;     //!< completion of the last stage
     double latencySec = 0;  //!< doneSec - arrivalSec
 
+    /**
+     * Per-stage queue-entry time (enqueueSec[0] == admitSec), so a
+     * frame's life decomposes exactly into queue wait
+     * (startSec[s] - enqueueSec[s]), execution
+     * (finishSec[s] - startSec[s]) and back-pressure hold
+     * (enqueueSec[s+1] - finishSec[s]). Tracing-side bookkeeping;
+     * never feeds back into scheduling.
+     */
+    std::vector<double> enqueueSec;
+
+    /**
+     * Of the last-stage queue wait, the seconds spent with a device
+     * unit FREE but the dispatch gate held for batch fill (bounded
+     * by TimelineBatchSpec::timeoutSec). 0 without batching.
+     */
+    double batchWaitSec = 0;
+
+    /** Index into TimelineResult::batches (-1 without batching). */
+    std::int64_t batchId = -1;
+
+    /** When the overload policy discarded this frame (dropped only). */
+    double droppedAtSec = 0;
+
     /** Frames sharing this frame's last-stage dispatch (1 = served
      * solo; > 1 only with batching enabled). */
     std::size_t batchSize = 1;
@@ -128,10 +152,19 @@ struct TimelineStageStats
     std::size_t peakQueueDepth = 0;
 };
 
+/** One coalesced last-stage dispatch (batching only). */
+struct TimelineBatch
+{
+    double startSec = 0;
+    double finishSec = 0;
+    std::vector<std::size_t> members; //!< frame indices, FIFO order
+};
+
 /** Result of one simulation. */
 struct TimelineResult
 {
     std::vector<TimelineFrame> frames; //!< parallel to the input
+    std::vector<TimelineBatch> batches; //!< dispatch log (batching only)
     std::size_t processed = 0;
     std::size_t dropped = 0;
     double makespanSec = 0; //!< first arrival -> last completion

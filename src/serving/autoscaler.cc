@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
@@ -309,6 +310,28 @@ ElasticRunner::serve(const SensorStream &stream,
             log.framesAdmitted = outcome.globalIndex.size();
             log.framesShed = outcome.shedGlobalIndex.size();
 
+            // Epoch telemetry (virtual clock; timestamps are epoch
+            // boundaries, so the events join the deterministic
+            // virtual trace).
+            if (HGPCN_TRACE_ENABLED()) {
+                Tracer &tr = Tracer::global();
+                tr.span(TraceClock::Virtual, start, cfg.epochSec,
+                        "epoch:" + std::to_string(e), "elastic",
+                        "serving/epochs");
+                tr.counter(TraceClock::Virtual, start,
+                           "activeShards", "serving/shards",
+                           static_cast<double>(log.activeShards));
+                for (const std::size_t sensor : log.shedSensors) {
+                    TraceIds ids;
+                    ids.sensor = static_cast<std::int64_t>(sensor);
+                    tr.instant(TraceClock::Virtual, start,
+                               "shed:sensor" +
+                                   std::to_string(sensor),
+                               "admission", "serving/admission",
+                               ids);
+                }
+            }
+
             // The epoch serve: an ordinary fleet serve over the
             // admitted sub-stream at the current width.
             outcome.result = runner.serve(sub);
@@ -357,6 +380,14 @@ ElasticRunner::serve(const SensorStream &stream,
                 event.fromShards = runner.shardCount();
                 event.toShards = log.decision.shards;
                 event.reason = log.decision.reason;
+                HGPCN_TRACE_EVENT(Tracer::global().instant(
+                    TraceClock::Virtual, end,
+                    (event.action == ScaleAction::Up
+                         ? std::string("scale:up:")
+                         : std::string("scale:down:")) +
+                        std::to_string(event.fromShards) + "->" +
+                        std::to_string(event.toShards),
+                    "elastic", "serving/epochs"));
                 out.events.push_back(std::move(event));
                 runner.setShardCount(log.decision.shards);
             }

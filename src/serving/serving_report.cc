@@ -140,6 +140,7 @@ mergeShardOutcomes(const SensorStream &stream,
             rep.paced = rep.paced && r.paced;
         rep.shardReports.push_back(r);
         rep.shardBackends.push_back(oc.backend);
+        out.metrics.merge(oc.result.metrics);
     }
 
     // Re-anchor every shard clock onto the global timeline and
@@ -376,6 +377,7 @@ mergeEpochResults(const SensorStream &stream,
                          " outside the stream");
             sensor_shed[stream.sensors[g]]++;
         }
+        out.metrics.merge(ep.result.metrics);
     }
 
     // Collect completions onto global indices. Epoch serves stamp

@@ -171,6 +171,10 @@ struct ServingResult
      * by stream position); dropped/abandoned frames absent. */
     std::vector<ServedFrame> frames;
     ServingReport report;
+    /** Fleet-wide metrics: every shard's (or epoch's) registry
+     * snapshot merged — counters summed, additive gauges summed,
+     * histograms folded bucket-wise (obs/metrics.h). */
+    MetricsSnapshot metrics;
 };
 
 /** What one shard contributed to a serve. */

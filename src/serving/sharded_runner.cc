@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace hgpcn
 {
@@ -24,6 +25,15 @@ resolveRunnerConfig(const HgPcnSystem::Config &system,
                                      ? spec.inputPoints
                                      : system.inputPoints;
     }
+    return runner_cfg;
+}
+
+/** The fleet config with the shard's identity stamped on for trace
+ * attribution (observability-only; see StreamRunner::Config). */
+StreamRunner::Config
+shardRunnerConfig(StreamRunner::Config runner_cfg, std::size_t s)
+{
+    runner_cfg.traceShard = static_cast<std::int64_t>(s);
     return runner_cfg;
 }
 
@@ -63,7 +73,8 @@ ShardedRunner::ShardedRunner(const HgPcnSystem::Config &system_cfg,
     fleet.reserve(cfg.shards);
     for (std::size_t s = 0; s < cfg.shards; ++s)
         fleet.push_back(std::make_unique<Shard>(
-            system, spec, backendNameFor(s), runnerCfg));
+            system, spec, backendNameFor(s),
+            shardRunnerConfig(runnerCfg, s)));
     active = cfg.shards;
 }
 
@@ -80,7 +91,8 @@ ShardedRunner::setShardCount(std::size_t shards)
         fleet[s]->stopRequested.store(false);
     while (fleet.size() < shards)
         fleet.push_back(std::make_unique<Shard>(
-            system, spec, backendNameFor(fleet.size()), runnerCfg));
+            system, spec, backendNameFor(fleet.size()),
+            shardRunnerConfig(runnerCfg, fleet.size())));
     active = shards;
 }
 
@@ -150,6 +162,36 @@ ShardedRunner::serve(const SensorStream &stream,
         outcomes[s].globalIndex.push_back(i);
     }
 
+    // Trace the placement decisions (virtual clock, at the frame's
+    // capture time — deterministic payload) and give every shard its
+    // sub-stream's fleet-level frame/sensor ids so shard spans are
+    // attributable without the globalIndex mapping.
+    std::vector<StreamTraceIds> trace_ids(n_shards);
+    if (HGPCN_TRACE_ENABLED()) {
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            TraceIds ids;
+            ids.frame = static_cast<std::int64_t>(i);
+            ids.sensor =
+                static_cast<std::int64_t>(stream.sensors[i]);
+            ids.shard = static_cast<std::int64_t>(assignment[i]);
+            HGPCN_TRACE_EVENT(Tracer::global().instant(
+                TraceClock::Virtual, stream.frames[i].timestamp,
+                "place:shard" + std::to_string(assignment[i]),
+                "placement", "serving/placement", ids));
+        }
+        for (std::size_t s = 0; s < n_shards; ++s) {
+            trace_ids[s].frame.reserve(outcomes[s].globalIndex.size());
+            trace_ids[s].sensor.reserve(
+                outcomes[s].globalIndex.size());
+            for (const std::size_t g : outcomes[s].globalIndex) {
+                trace_ids[s].frame.push_back(
+                    static_cast<std::int64_t>(g));
+                trace_ids[s].sensor.push_back(
+                    static_cast<std::int64_t>(stream.sensors[g]));
+            }
+        }
+    }
+
     // Execute: every shard drains its sub-stream on its own
     // pipeline, concurrently with the others. Stops (fleet-wide or
     // per-shard) are re-asserted through the per-frame hook so a
@@ -159,7 +201,8 @@ ShardedRunner::serve(const SensorStream &stream,
     std::vector<std::thread> threads;
     threads.reserve(n_shards);
     for (std::size_t s = 0; s < n_shards; ++s) {
-        threads.emplace_back([this, s, &sub, &outcomes, &on_frame] {
+        threads.emplace_back([this, s, &sub, &outcomes, &on_frame,
+                              &trace_ids] {
             Shard &shard = *fleet[s];
             if (stopped.load() || shard.stopRequested.load()) {
                 outcomes[s].result.report.framesIn = sub[s].size();
@@ -177,7 +220,10 @@ ShardedRunner::serve(const SensorStream &stream,
                         shard.stopRequested.load())
                         shard.runner.requestStop();
                 };
-            outcomes[s].result = shard.runner.run(sub[s], hook);
+            outcomes[s].result = shard.runner.run(
+                sub[s], hook,
+                trace_ids[s].frame.empty() ? nullptr
+                                           : &trace_ids[s]);
         });
     }
     for (std::thread &t : threads)

@@ -11,8 +11,10 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "common/bounded_queue.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "core/hgpcn_system.h"
 #include "datasets/kitti_like.h"
@@ -522,10 +524,21 @@ TEST(StreamRunner, UnstampedStreamFallsBackToBatch)
         frame.timestamp = 0.0;
     HgPcnSystem::Config cfg;
     const HgPcnSystem system(cfg, tinyClassifier());
-    setLogQuiet(true);
+    // Capture the degradation warning instead of silencing it: the
+    // fallback must be announced, not just taken.
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    LogSink prev = setLogSink(
+        [&captured](LogLevel level, const std::string &msg) {
+            captured.emplace_back(level, msg);
+        });
     const RuntimeResult rt =
         system.runStream(frames, StreamRunner::Config{});
-    setLogQuiet(false);
+    setLogSink(std::move(prev));
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_NE(captured[0].second.find("batch admission"),
+              std::string::npos)
+        << "warning text was: " << captured[0].second;
     EXPECT_FALSE(rt.report.paced);
     EXPECT_EQ(rt.report.framesProcessed, 3u);
     EXPECT_DOUBLE_EQ(rt.report.generationFps, 0.0);

@@ -25,6 +25,7 @@ grow; removing a committed key still fails.
 
 Usage:
     tools/check_bench_trend.py <committed.json> <fresh.json>
+    tools/check_bench_trend.py --self-test
 
 The rule set is selected by the record's "bench" field. Exit status
 is nonzero on any violation; every violation is printed. Stdlib
@@ -45,6 +46,11 @@ import sys
 RULES = {
     "runtime_throughput": [
         (r"^wallClockFps$", ("higher", 0.25)),
+        (r"^wallClockFpsTraced$", ("higher", 0.25)),
+        # Difference of two same-machine wall clocks; tiny and noise-
+        # dominated (can go negative). The hard bound is the bench's
+        # own --assert-tracer-overhead gate, not the trend.
+        (r"^tracerOverheadPct$", ("ignore",)),
     ],
     "microbench_kernels": [
         (r"\.ns_per_op$", ("lower", 0.25)),
@@ -150,7 +156,68 @@ def check(committed, fresh):
     return problems, notices
 
 
+def self_test():
+    """Verify the checker's verdicts on synthetic perturbations.
+
+    Guards the gate itself: a rules edit that silently stops
+    failing on drift (or starts flaking on noise) is caught here,
+    without needing a real bench run. Run by CI before the real
+    comparisons.
+    """
+    base = {
+        "bench": "runtime_throughput",
+        "schema": "hgpcn-bench-runtime/2",
+        "frames": 8,
+        "serialModeledFps": 123.13,
+        "wallClockFps": 2.2,
+        "wallClockFpsTraced": 2.1,
+        "tracerOverheadPct": 1.2,
+        "pacedModeledFps": 11.297,
+        "traceVirtualEvents": 24,
+    }
+    cases = []
+
+    def case(name, mutate, expect_problems, expect_notices=0):
+        fresh = dict(base)
+        mutate(fresh)
+        problems, notices = check(base, fresh)
+        ok = (bool(problems) == expect_problems
+              and len(notices) == expect_notices)
+        cases.append((name, ok, problems, notices))
+
+    case("identical record passes", lambda f: None, False)
+    case("fresh-only key is a NOTE, not a failure",
+         lambda f: f.update(newOverheadKey=1.0), False, 1)
+    case("machine-independent drift fails",
+         lambda f: f.update(pacedModeledFps=11.298), True)
+    case("wall-clock collapse fails",
+         lambda f: f.update(wallClockFpsTraced=0.1), True)
+    case("wall-clock noise within band passes",
+         lambda f: f.update(wallClockFps=1.9,
+                            wallClockFpsTraced=2.6), False)
+    case("ignored key may move freely",
+         lambda f: f.update(tracerOverheadPct=-3.0), False)
+    case("dropped committed key fails",
+         lambda f: f.pop("traceVirtualEvents"), True)
+
+    failed = [c for c in cases if not c[1]]
+    for name, ok, problems, notices in cases:
+        print(f"{'ok' if ok else 'FAIL'}  {name}")
+        if not ok:
+            for p in problems:
+                print(f"      problem: {p}")
+            for n in notices:
+                print(f"      notice: {n}")
+    if failed:
+        print(f"SELF-TEST FAIL: {len(failed)}/{len(cases)} cases")
+        return 1
+    print(f"SELF-TEST OK: {len(cases)} cases")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

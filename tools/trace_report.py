@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Stall-attribution report over a Chrome trace_event export.
+
+Reads a trace written by the obs layer (src/obs/trace_export.cc —
+`runtime_throughput --trace`, `serving_scaling --trace`, or a
+test's writeChromeTrace call) and breaks each pipeline stage's
+virtual time down by where frames spent it:
+
+- exec      the stage was executing the frame;
+- wait      the frame sat in the stage's input queue (upstream
+            finished, stage busy or unit taken);
+- batchwait the frame was held back by batch formation (coalescing
+            stages only);
+- blocked   the frame finished the stage but could not enqueue
+            downstream (bounded queue full — backpressure);
+- pend      the frame waited at the source for admission credit.
+
+Rows are (shard, stage); a standalone runner reports as shard "-".
+The decomposition is exact by construction: the runtime emits these
+spans as a partition of every frame's [arrival, completion] interval
+(docs/OBSERVABILITY.md), which `--check` verifies.
+
+Usage:
+    tools/trace_report.py <trace.json>           # print the table
+    tools/trace_report.py --check <trace.json>   # validate, exit 1
+                                                 # on any violation
+
+`--check` validates structure (phases, pids, required fields),
+non-negative durations, known span categories, and per-frame
+conservation: each frame's virtual spans must tile its arrival-to-
+completion interval with no gaps or overlaps beyond float-formatting
+noise. Stdlib only (runs on a bare CI python3).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+# Span-name prefixes the runtime emits on the virtual clock
+# (src/runtime/stream_runner.cc emitVirtualTrace).
+STALL_PREFIXES = ("exec", "wait", "batchwait", "blocked", "pend")
+# Spans excluded from per-frame conservation: batch spans aggregate
+# several frames, epoch spans are control-loop time.
+NON_FRAME_SPAN_PREFIXES = ("batch", "epoch")
+KNOWN_INSTANT_PREFIXES = ("place", "drop", "shed", "scale", "octree")
+VIRTUAL_PID = 1
+WALL_PID = 2
+# %.9g formatting keeps ~9 significant digits; at megasecond-scale
+# microsecond timestamps that leaves ~1e-3 us of rounding. Spans
+# under the runtime's 1e-12 s emission floor are suppressed, so a
+# tiling gap is either formatting noise or a real hole.
+TILE_EPS_US = 0.5
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise SystemExit(f"{path}: not a trace_event document")
+    return doc
+
+
+def span_prefix(name):
+    return name.split(":", 1)[0]
+
+
+def iter_spans(events):
+    for ev in events:
+        if ev.get("ph") == "X" and ev.get("pid") == VIRTUAL_PID:
+            yield ev
+
+
+def shard_of(ev):
+    shard = ev.get("args", {}).get("shard", -1)
+    return "-" if shard < 0 else str(shard)
+
+
+def stage_of(name):
+    parts = name.split(":", 1)
+    return parts[1] if len(parts) == 2 else name
+
+
+def report(doc):
+    """Per-(shard, stage) stall table from the virtual spans."""
+    # (shard, stage) -> prefix -> seconds; frame counts per key.
+    table = defaultdict(lambda: defaultdict(float))
+    frames = defaultdict(set)
+    for ev in iter_spans(doc["traceEvents"]):
+        prefix = span_prefix(ev["name"])
+        if prefix not in STALL_PREFIXES:
+            continue
+        if prefix == "pend":
+            key = (shard_of(ev), "source")
+        else:
+            key = (shard_of(ev), stage_of(ev["name"]))
+        table[key][prefix] += ev.get("dur", 0.0) / 1e6
+        frame = ev.get("args", {}).get("frame")
+        if frame is not None:
+            frames[key].add(frame)
+
+    if not table:
+        print("no virtual-time stall spans in trace")
+        return
+
+    cols = ["shard", "stage", "frames", "exec s", "wait s",
+            "batchwait s", "blocked s", "pend s", "stalled %"]
+    rows = []
+    for key in sorted(table):
+        shard, stage = key
+        t = table[key]
+        stalled = t["wait"] + t["batchwait"] + t["blocked"] + t["pend"]
+        total = stalled + t["exec"]
+        rows.append([
+            shard, stage, str(len(frames[key])),
+            f"{t['exec']:.4f}", f"{t['wait']:.4f}",
+            f"{t['batchwait']:.4f}", f"{t['blocked']:.4f}",
+            f"{t['pend']:.4f}",
+            f"{100.0 * stalled / total:.1f}" if total > 0 else "-",
+        ])
+    widths = [max(len(c), *(len(r[i]) for r in rows))
+              for i, c in enumerate(cols)]
+    line = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(v.ljust(widths[i]) for i, v in enumerate(r)))
+
+
+def check(doc, path):
+    """Validate the export contract; return a list of violations."""
+    bad = []
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return [f"{path}: traceEvents empty or not a list"]
+    if doc.get("displayTimeUnit") != "ms":
+        bad.append("displayTimeUnit is not 'ms'")
+
+    # Per-frame virtual spans for the conservation check.
+    per_frame = defaultdict(list)
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        where = f"event {i} ({ev.get('name', '?')})"
+        if ph not in ("M", "X", "i", "C"):
+            bad.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ev.get("pid") not in (VIRTUAL_PID, WALL_PID):
+            bad.append(f"{where}: pid not in (1, 2)")
+        if ph == "M":
+            continue
+        if "tid" not in ev or "ts" not in ev or "name" not in ev:
+            bad.append(f"{where}: missing tid/ts/name")
+            continue
+        if ph == "X":
+            if ev.get("dur", -1.0) < 0.0:
+                bad.append(f"{where}: negative/missing dur")
+            prefix = span_prefix(ev["name"])
+            if (prefix not in STALL_PREFIXES and
+                    prefix not in NON_FRAME_SPAN_PREFIXES):
+                bad.append(f"{where}: unknown span prefix "
+                           f"{prefix!r}")
+            elif (prefix in STALL_PREFIXES and
+                  ev.get("pid") == VIRTUAL_PID):
+                frame = ev.get("args", {}).get("frame")
+                if frame is None:
+                    bad.append(f"{where}: stall span without a "
+                               "frame id")
+                else:
+                    shard = ev.get("args", {}).get("shard", -1)
+                    per_frame[(shard, frame)].append(ev)
+        elif ph == "i":
+            if span_prefix(ev["name"]) not in KNOWN_INSTANT_PREFIXES:
+                bad.append(f"{where}: unknown instant prefix")
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                bad.append(f"{where}: counter without args.value")
+
+    # Conservation: a frame's stall+exec spans tile one contiguous
+    # interval — no gaps (unattributed time) and no overlaps
+    # (double-charged time) beyond formatting noise.
+    for (shard, frame), spans in sorted(per_frame.items()):
+        spans.sort(key=lambda ev: (ev["ts"], ev["ts"] + ev["dur"]))
+        for a, b in zip(spans, spans[1:]):
+            gap = b["ts"] - (a["ts"] + a["dur"])
+            if abs(gap) > TILE_EPS_US:
+                kind = "gap" if gap > 0 else "overlap"
+                bad.append(
+                    f"shard {shard} frame {frame}: {abs(gap):.3f} us "
+                    f"{kind} between {a['name']} and {b['name']}")
+    if not per_frame:
+        bad.append("no per-frame stall spans on the virtual clock")
+    return bad
+
+
+def main(argv):
+    checking = "--check" in argv
+    paths = [a for a in argv[1:] if a != "--check"]
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    doc = load(paths[0])
+    if checking:
+        bad = check(doc, paths[0])
+        for b in bad:
+            print(f"FAIL: {b}")
+        if bad:
+            return 1
+        n = sum(1 for _ in iter_spans(doc["traceEvents"]))
+        print(f"OK: {paths[0]} ({len(doc['traceEvents'])} events, "
+              f"{n} virtual spans, conservation holds)")
+        return 0
+    report(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
