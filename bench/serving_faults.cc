@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Fault-tolerant serving under a scripted fault schedule: shard
+ * crash + slowdown + transient error storm against the failover /
+ * retry / degradation machinery (docs/RUNTIME.md §fault-tolerance).
+ *
+ * A seeded 64-sensor TrafficGen trace is served three ways by the
+ * same 4-shard fleet:
+ *
+ *   1. clean — no fault plan at all (the baseline schedule);
+ *   2. zero-fault plan — a FaultPlan with no windows, which must be
+ *      completely inert: the serve is checked frame-for-frame
+ *      identical to the clean run (the no-regression oracle);
+ *   3. faulted — shard 1 crashes for 30% of the trace, shard 2 runs
+ *      1.5x slow, and a fleet-wide transient error storm (35%
+ *      failure probability per attempt) covers the last fifth. The
+ *      fleet fails over, retries with exponential backoff, degrades
+ *      on half-open breakers — and must still complete >= 99% of
+ *      offered frames.
+ *
+ * Every fault decision is virtual-timeline arithmetic: the faulted
+ * serve is run twice and checked byte-identical (CI additionally
+ * diffs the JSON of a double run of this binary).
+ *
+ *   ./build/bench/serving_faults [--small] [--json path]
+ *                                [--assert-faults]
+ *
+ * `--small` shrinks to 16 sensors / half the trace (the CI smoke
+ * configuration). `--json <path>` writes a BENCH_faults.json
+ * record. `--assert-faults` exits nonzero unless the faulted serve
+ * completes >= 99% with retries and failovers actually exercised
+ * (the PR acceptance gate; CI runs it). The determinism checks
+ * (zero-fault inertness, double-run identity) always gate.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/hgpcn_system.h"
+#include "datasets/traffic_gen.h"
+#include "serving/sharded_runner.h"
+#include "sim/fault_plan.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+constexpr std::size_t kShards = 4;
+
+PointNet2Spec
+cityClassifier()
+{
+    // Small per-frame network: the fault machinery is exercised by
+    // many frames, not heavy ones.
+    PointNet2Spec spec = PointNet2Spec::classification(8);
+    spec.inputPoints = 256;
+    spec.sa[0].npoint = 64;
+    spec.sa[0].k = 8;
+    spec.sa[1].npoint = 16;
+    spec.sa[1].k = 8;
+    return spec;
+}
+
+/** True when two serves produced the same schedule, frame for
+ * frame (completion times, latencies, report rendering). */
+bool
+identicalServes(const ServingResult &a, const ServingResult &b)
+{
+    if (a.report.toString() != b.report.toString())
+        return false;
+    if (a.frames.size() != b.frames.size())
+        return false;
+    for (std::size_t i = 0; i < a.frames.size(); ++i) {
+        if (a.frames[i].globalIndex != b.frames[i].globalIndex ||
+            a.frames[i].shard != b.frames[i].shard ||
+            a.frames[i].doneSec != b.frames[i].doneSec ||
+            a.frames[i].latencySec != b.frames[i].latencySec)
+            return false;
+    }
+    return true;
+}
+
+int
+run(bool small, const std::string &json_path, bool assert_faults)
+{
+    bench::banner(
+        "SERVING: FAULT TOLERANCE UNDER A SCRIPTED FAULT SCHEDULE",
+        "shard crash + slowdown + transient error storm vs "
+        "failover, retry/backoff and graceful degradation");
+
+    HgPcnSystem::Config system;
+    const PointNet2Spec spec = cityClassifier();
+
+    ShardedRunner::Config base_cfg;
+    base_cfg.shards = kShards;
+    base_cfg.placement = PlacementPolicy::HashBySensor;
+
+    // Calibrate trace length and fault windows to the modeled
+    // per-frame service time, so the schedule — and every number
+    // printed — is machine-independent.
+    ShardedRunner probe(system, spec, base_cfg);
+    const double svc = probe.shardBackend(0).estimateServiceSec();
+    const double cap1 = 1.0 / svc; // one shard's modeled FPS
+
+    const std::size_t sensors = small ? 16 : 64;
+    const double duration =
+        (small ? 200.0 : 400.0) * svc;
+
+    TrafficGen::Config traffic;
+    traffic.sensors = sensors;
+    traffic.durationSec = duration;
+    // Steady ~1.8x one shard across the 4-shard fleet: enough
+    // headroom that a crashed shard's sensors fit on the three
+    // survivors, so completion losses are *faults*, not overload.
+    traffic.baseRateHz =
+        1.8 * cap1 / static_cast<double>(sensors);
+    traffic.rateJitter = 0.15;
+    traffic.burstFactor = 1.3;
+    traffic.burstDuty = 0.25;
+    traffic.burstPeriodSec = duration / 5.0;
+    traffic.cloudPoints = 300;
+    traffic.seed = 4242;
+    const TrafficGen gen(traffic);
+    const TrafficTrace trace = gen.generate();
+
+    // The scripted schedule, phased so each mechanism is visible
+    // on its own: failover first, then failover under slowdown,
+    // then the retry storm on a healed fleet.
+    FaultPlan::Config fault_cfg;
+    fault_cfg.seed = 99;
+    fault_cfg.crashes.push_back(
+        {/*shard=*/1, 0.25 * duration, 0.55 * duration});
+    fault_cfg.slowdowns.push_back(
+        {/*shard=*/2, 0.30 * duration, 0.50 * duration,
+         /*multiplier=*/1.5});
+    fault_cfg.errors.push_back(
+        {/*backend=*/"", /*rate=*/0.35, 0.60 * duration,
+         0.80 * duration});
+    const FaultPlan plan(fault_cfg);
+
+    FaultToleranceConfig ft;
+    ft.maxAttempts = 4;
+    ft.backoffBaseSec = svc;
+    ft.backoffMultiplier = 2.0;
+    ft.deadlineSec = 50.0 * svc; // generous: rarely binds
+    ft.breaker.failureThreshold = 4;
+    ft.breaker.openSec = 25.0 * svc;
+    ft.breaker.halfOpenSuccesses = 2;
+    ft.degradeOnHalfOpen = true;
+    ft.degradedSampleFraction = 0.5;
+
+    std::printf("trace: %zu frames from %zu sensors over %.3f s "
+                "(modeled), service %.4g s/frame\n",
+                trace.stream.size(), trace.stream.sensorCount,
+                duration, svc);
+    std::printf("faults: shard 1 down [%.3f,%.3f)s, shard 2 at "
+                "1.5x [%.3f,%.3f)s, error storm p=0.35 "
+                "[%.3f,%.3f)s\n\n",
+                0.25 * duration, 0.55 * duration, 0.30 * duration,
+                0.50 * duration, 0.60 * duration, 0.80 * duration);
+
+    // --- Clean baseline. -----------------------------------------
+    bench::section("clean serve (no fault plan)");
+    ShardedRunner clean_fleet(system, spec, base_cfg);
+    const ServingResult clean = clean_fleet.serve(trace.stream);
+    std::printf("sustained %.1f FPS | p99 %.2f ms | %zu/%zu "
+                "processed\n",
+                clean.report.sustainedFps,
+                clean.report.p99LatencySec * 1e3,
+                clean.report.framesProcessed,
+                clean.report.framesIn);
+
+    // --- Zero-fault plan must be inert. --------------------------
+    bench::section("zero-fault plan (must be inert)");
+    const FaultPlan zero(FaultPlan::Config{});
+    ShardedRunner::Config zero_cfg = base_cfg;
+    zero_cfg.faultPlan = &zero;
+    zero_cfg.faultTolerance = ft;
+    ShardedRunner zero_fleet(system, spec, zero_cfg);
+    const ServingResult zeroed = zero_fleet.serve(trace.stream);
+    const bool zero_identical = identicalServes(clean, zeroed);
+    std::printf("zero-fault schedule %s the clean schedule\n",
+                zero_identical ? "matches" : "DIVERGES FROM");
+
+    // --- The faulted serve, twice. -------------------------------
+    bench::section("faulted serve (crash + slowdown + storm)");
+    ShardedRunner::Config fault_run_cfg = base_cfg;
+    fault_run_cfg.faultPlan = &plan;
+    fault_run_cfg.faultTolerance = ft;
+    ShardedRunner faulted_fleet(system, spec, fault_run_cfg);
+    const ServingResult faulted = faulted_fleet.serve(trace.stream);
+    const ServingResult replay = faulted_fleet.serve(trace.stream);
+    const bool replay_identical = identicalServes(faulted, replay);
+
+    const ServingReport &fr = faulted.report;
+    const double completion =
+        fr.framesIn == 0
+            ? 1.0
+            : static_cast<double>(fr.framesProcessed) /
+                  static_cast<double>(fr.framesIn);
+    const std::uint64_t failovers =
+        faulted.metrics.countOf("fault.failovers");
+    const std::uint64_t redirected =
+        faulted.metrics.countOf("fault.frames_redirected");
+    const std::uint64_t trips =
+        faulted.metrics.countOf("fault.breaker_trips");
+    std::printf("sustained %.1f FPS | p99 %.2f ms | %zu/%zu "
+                "processed (%.2f%%)\n",
+                fr.sustainedFps, fr.p99LatencySec * 1e3,
+                fr.framesProcessed, fr.framesIn,
+                100.0 * completion);
+    std::printf("faults: %zu failed | %zu retried | %zu degraded "
+                "| %zu dropped\n",
+                fr.framesFailed, fr.framesRetried,
+                fr.framesDegraded, fr.framesDropped);
+    std::printf("failover: %llu events, %llu frames redirected, "
+                "%llu breaker trips\n",
+                static_cast<unsigned long long>(failovers),
+                static_cast<unsigned long long>(redirected),
+                static_cast<unsigned long long>(trips));
+    std::printf("replay %s\n", replay_identical
+                                   ? "byte-identical"
+                                   : "DIVERGED");
+
+    bench::section("verdict");
+    TablePrinter table({"serve", "sustained FPS", "p99 latency",
+                        "completion", "failed", "retried",
+                        "degraded"});
+    table.addRow({"clean",
+                  TablePrinter::fmt(clean.report.sustainedFps, 1),
+                  TablePrinter::fmtTime(
+                      clean.report.p99LatencySec),
+                  "100.00%", "0", "0", "0"});
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%.2f%%", 100.0 * completion);
+    table.addRow({"faulted", TablePrinter::fmt(fr.sustainedFps, 1),
+                  TablePrinter::fmtTime(fr.p99LatencySec), pct,
+                  std::to_string(fr.framesFailed),
+                  std::to_string(fr.framesRetried),
+                  std::to_string(fr.framesDegraded)});
+    table.print();
+
+    const bool conservation =
+        fr.framesIn == fr.framesProcessed + fr.framesDropped +
+                           fr.framesAbandoned + fr.framesShed +
+                           fr.framesFailed;
+
+    // --- Machine-readable record (no wall-clock numbers: the
+    // record must be byte-identical across runs and machines). ----
+    if (!json_path.empty()) {
+        bench::JsonWriter json;
+        json.obj()
+            .field("bench", "serving_faults")
+            .field("schema", "hgpcn-bench-faults/1")
+            .field("small", small)
+            .field("sensors",
+                   static_cast<std::uint64_t>(sensors))
+            .field("frames", static_cast<std::uint64_t>(
+                                 trace.stream.size()))
+            .field("trafficSeed",
+                   static_cast<std::uint64_t>(traffic.seed))
+            .field("faultSeed",
+                   static_cast<std::uint64_t>(fault_cfg.seed))
+            .field("serviceSec", svc)
+            .field("completionRatio", completion)
+            .field("framesIn",
+                   static_cast<std::uint64_t>(fr.framesIn))
+            .field("framesProcessed",
+                   static_cast<std::uint64_t>(fr.framesProcessed))
+            .field("framesFailed",
+                   static_cast<std::uint64_t>(fr.framesFailed))
+            .field("framesRetried",
+                   static_cast<std::uint64_t>(fr.framesRetried))
+            .field("framesDegraded",
+                   static_cast<std::uint64_t>(fr.framesDegraded))
+            .field("framesDropped",
+                   static_cast<std::uint64_t>(fr.framesDropped))
+            .field("failovers", failovers)
+            .field("framesRedirected", redirected)
+            .field("breakerTrips", trips)
+            .field("cleanSustainedFps",
+                   clean.report.sustainedFps)
+            .field("faultedSustainedFps", fr.sustainedFps)
+            .field("cleanP99LatencySec",
+                   clean.report.p99LatencySec)
+            .field("faultedP99LatencySec", fr.p99LatencySec)
+            .field("zeroPlanIdentical", zero_identical)
+            .field("replayIdentical", replay_identical)
+            .field("conservation", conservation)
+            .close();
+        json.writeTo(json_path);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    // Determinism is non-negotiable: these gate every run.
+    if (!zero_identical || !replay_identical || !conservation) {
+        std::printf("FAIL: %s\n",
+                    !zero_identical ? "zero-fault plan is not inert"
+                    : !replay_identical
+                        ? "faulted replay diverged"
+                        : "conservation violated");
+        return 1;
+    }
+
+    if (assert_faults) {
+        bench::section("acceptance (--assert-faults)");
+        bool ok = true;
+        if (completion < 0.99) {
+            std::printf("FAIL: completion %.4f < 0.99\n",
+                        completion);
+            ok = false;
+        }
+        if (fr.framesRetried == 0) {
+            std::printf("FAIL: no frame was retried — the storm "
+                        "never bit\n");
+            ok = false;
+        }
+        if (failovers == 0) {
+            std::printf("FAIL: no failover event — the crash "
+                        "never bit\n");
+            ok = false;
+        }
+        std::printf("%s\n",
+                    ok ? "PASS: >= 99% completion through crash, "
+                         "slowdown and error storm"
+                       : "acceptance failed");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace hgpcn
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        hgpcn::bench::extractJsonPath(argc, argv);
+    bool small = false;
+    bool assert_faults = false;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0) {
+            small = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--assert-faults") == 0) {
+            assert_faults = true;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return hgpcn::run(small, json_path, assert_faults);
+}

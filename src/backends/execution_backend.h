@@ -38,6 +38,26 @@ namespace hgpcn
 class FrameWorkspace;
 
 /**
+ * Outcome of one inference: backends report failure through this
+ * status, never through exceptions, so the streaming pipeline can
+ * charge the failed attempt as virtual time and retry or fail over
+ * (serving/failover.h). Today only the fault-injection layer sets
+ * TransientError — real backends are deterministic — but the
+ * channel is part of the interface so a hardware backend with real
+ * error paths slots in unchanged.
+ */
+enum class InferenceStatus
+{
+    Ok,
+    /** The attempt produced no usable output but the device is
+     * believed healthy; retrying may succeed. */
+    TransientError,
+};
+
+/** Stable display name ("ok", "transient-error"). */
+const char *inferenceStatusName(InferenceStatus status);
+
+/**
  * Result of one frame through an execution backend.
  *
  * Every modeled accelerator has a data-structuring side (neighbor
@@ -66,6 +86,11 @@ struct BackendInference
      * HgPCN, Mesorasi and PointACC; false: serial sum, as on the
      * general-purpose CPU/GPU baselines. */
     bool dsFcOverlap = true;
+
+    /** Attempt outcome; on TransientError the output is not to be
+     * trusted (the modeled latencies still are — a failed attempt
+     * occupies the device for a full service). */
+    InferenceStatus status = InferenceStatus::Ok;
 
     /** @return modeled end-to-end seconds of the inference phase. */
     double

@@ -27,15 +27,13 @@ mergeSensorStreams(std::vector<std::vector<Frame>> per_sensor)
     SensorStream stream;
     stream.sensorCount = per_sensor.size();
 
-    // Per-sensor capture order must be strictly increasing; the
-    // shared derivation already fails fast on violations.
-    for (const std::vector<Frame> &frames : per_sensor)
-        (void)streamGenerationFps(frames);
-
-    // K-way merge by timestamp. Equal stamps across sensors would
-    // make the interleaved order (and any per-shard sub-stream)
-    // non-strict, which the paced runtime rejects — surface that
-    // here, where the fix (phase offsets) is actionable.
+    // K-way merge by timestamp. Equal stamps across sensors — or
+    // non-increasing stamps within one — would make the interleave
+    // (and any per-shard sub-stream) non-strict, which the paced
+    // runtime rejects. Malformed stamps are sensor *data*, not
+    // programmer error: reject the offending frame (warn + count),
+    // keep merging the well-formed rest, and reserve fatal for
+    // genuinely unusable configuration.
     std::vector<std::size_t> cursor(per_sensor.size(), 0);
     while (true) {
         std::size_t best = per_sensor.size();
@@ -50,27 +48,32 @@ mergeSensorStreams(std::vector<std::vector<Frame>> per_sensor)
         }
         if (best == per_sensor.size())
             break;
+        const Frame &head = per_sensor[best][cursor[best]];
         if (!stream.frames.empty() &&
-            per_sensor[best][cursor[best]].timestamp <=
-                stream.frames.back().timestamp) {
-            // Same-sensor ties only get here when every stamp of
-            // that sensor is identical (an unstamped sequence —
-            // partial duplicates already died in the strictly-
-            // increasing pre-check above): distinguish them, since
-            // "add phase offsets" is not the fix for a sensor that
-            // carries no timing at all.
+            head.timestamp <= stream.frames.back().timestamp) {
+            // Distinguish a sensor that does not advance its own
+            // clock (unstamped or duplicated captures) from a
+            // cross-sensor collision, where the actionable fix is
+            // phase offsets.
             if (stream.sensors.back() == best) {
-                fatal("sensor ", best, " repeats timestamp ",
-                      per_sensor[best][cursor[best]].timestamp,
-                      "s; an unstamped sequence cannot be merged "
-                      "into a paced interleave — stamp its frames "
-                      "with the capture times");
+                warn("rejecting frame '", head.name, "': sensor ",
+                     best, " does not advance its timestamp (",
+                     head.timestamp, "s after ",
+                     stream.frames.back().timestamp,
+                     "s) — stamp frames with strictly increasing "
+                     "capture times");
+            } else {
+                warn("rejecting frame '", head.name, "': sensor ",
+                     best, " at ", head.timestamp,
+                     "s does not advance the interleave past "
+                     "sensor ", stream.sensors.back(), " at ",
+                     stream.frames.back().timestamp,
+                     "s — give same-rate sensors distinct phase "
+                     "offsets");
             }
-            fatal("sensor streams share a timestamp (",
-                  per_sensor[best][cursor[best]].timestamp,
-                  "s, sensors ", stream.sensors.back(), " and ",
-                  best,
-                  "); give same-rate sensors distinct phase offsets");
+            ++stream.rejectedFrames;
+            ++cursor[best];
+            continue;
         }
         stream.frames.push_back(
             std::move(per_sensor[best][cursor[best]]));

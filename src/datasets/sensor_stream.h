@@ -30,14 +30,20 @@ namespace hgpcn
  * `frames` and `sensors` are parallel: sensors[i] is the 0-based id
  * of the sensor that captured frames[i]. Timestamps are strictly
  * increasing across the whole interleaved sequence (the merge
- * helper enforces this — give same-rate sensors distinct phase
- * offsets), hence also within every sensor.
+ * helper enforces this by rejecting non-advancing frames — give
+ * same-rate sensors distinct phase offsets), hence also within
+ * every sensor.
  */
 struct SensorStream
 {
     std::vector<Frame> frames;
     std::vector<std::size_t> sensors; //!< parallel to frames
     std::size_t sensorCount = 0;
+
+    /** Frames mergeSensorStreams refused (non-advancing stamps).
+     * Malformed capture data is per-frame recoverable — warned and
+     * counted here, never fatal. */
+    std::size_t rejectedFrames = 0;
 
     std::size_t size() const { return frames.size(); }
 
@@ -48,11 +54,16 @@ struct SensorStream
 /**
  * Interleave per-sensor sequences into one tagged stream.
  *
- * Each inner sequence must have strictly increasing timestamps;
- * timestamps must also be distinct *across* sensors (fatal
- * otherwise — give same-rate sensors phase offsets, as
- * makeLidarSensorStream does), so the merged order is total and
- * per-shard sub-streams stay strictly monotonic under any placement.
+ * Well-formed inner sequences have strictly increasing timestamps,
+ * distinct also *across* sensors (give same-rate sensors phase
+ * offsets, as makeLidarSensorStream does), so the merged order is
+ * total and per-shard sub-streams stay strictly monotonic under any
+ * placement. Frames that violate this — duplicate stamps within a
+ * sensor, shared stamps across sensors, out-of-order captures — are
+ * *rejected per frame*, not fatal: each rejection warns through the
+ * log sink and counts in SensorStream::rejectedFrames, and the
+ * merge carries the well-formed rest. Malformed frames are sensor
+ * data, not programmer error; a serving layer survives them.
  *
  * @param per_sensor One frame sequence per sensor; moved in.
  */

@@ -26,6 +26,7 @@
 
 #include "core/e2e_result.h"
 #include "datasets/frame.h"
+#include "sim/fault_plan.h"
 
 namespace hgpcn
 {
@@ -48,6 +49,18 @@ struct FrameTask
 
     /** Modeled seconds charged by each stage (indexed by stage). */
     std::vector<double> stageCostSec;
+
+    /** Resolved fault outcome for this frame (serving/failover.h);
+     * default is the clean directive, which changes nothing. The
+     * down-sample stage honors the degraded budget, the inference
+     * stage charges retries/backoff/slowdown as virtual time. */
+    FrameFaultDirective fault;
+
+    /** Virtual seconds the inference stage charged beyond the solo
+     * service (retries, backoff, slowdown). Batched execution adds
+     * each member's extra to the shared batch occupancy instead of
+     * per-frame spans. */
+    double faultExtraSec = 0.0;
 };
 
 /** One station of the pipeline. */

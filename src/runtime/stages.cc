@@ -7,6 +7,35 @@
 
 namespace hgpcn
 {
+namespace
+{
+
+/**
+ * Charge a frame's resolved fault directive against its solo
+ * modeled inference seconds: every attempt re-occupies the device
+ * for a full (slowed-down) service and the deterministic backoff is
+ * device-idle-but-frame-blocked time, both charged to the frame's
+ * inference span. Records the surcharge on the task (batched
+ * execution folds it into the shared occupancy) and marks the
+ * terminal failure on the inference status.
+ */
+double
+chargeFault(FrameTask &task, double solo_sec)
+{
+    if (task.fault.clean())
+        return solo_sec;
+    const double charged = solo_sec * task.fault.slowdownMult *
+                               static_cast<double>(
+                                   task.fault.attempts) +
+                           task.fault.backoffSec;
+    task.faultExtraSec = charged - solo_sec;
+    if (task.fault.failed)
+        task.result.inference.status =
+            InferenceStatus::TransientError;
+    return charged;
+}
+
+} // namespace
 
 double
 OctreeBuildStage::process(FrameTask &task) const
@@ -18,7 +47,12 @@ OctreeBuildStage::process(FrameTask &task) const
 double
 DownSampleStage::process(FrameTask &task) const
 {
-    pre.sampleStage(task.result.preprocess, k);
+    // Graceful degradation: a degraded frame keeps a reduced sample
+    // budget — less work everywhere downstream, same code path.
+    std::size_t k_eff = k;
+    if (task.fault.samplePoints > 0 && task.fault.samplePoints < k)
+        k_eff = task.fault.samplePoints;
+    pre.sampleStage(task.result.preprocess, k_eff);
     // preprocess.stats is complete here (build + sampler counters);
     // merge the frame into the stream aggregate from this worker.
     if (workload != nullptr)
@@ -45,7 +79,7 @@ InferenceStage::process(FrameTask &task) const
     } else {
         task.result.inference = be.infer(input);
     }
-    return task.result.inference.totalSec();
+    return chargeFault(task, task.result.inference.totalSec());
 }
 
 void
@@ -80,7 +114,8 @@ InferenceStage::processBatch(std::span<FrameTask *const> tasks,
                  " inferences for ", tasks.size(), " frames");
     for (std::size_t i = 0; i < tasks.size(); ++i) {
         tasks[i]->result.inference = std::move(batch.frames[i]);
-        costs[i] = tasks[i]->result.inference.totalSec();
+        costs[i] = chargeFault(*tasks[i],
+                               tasks[i]->result.inference.totalSec());
     }
 }
 

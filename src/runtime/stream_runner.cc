@@ -40,17 +40,25 @@ constexpr double kMinSpanSec = 1e-12;
  * @param t0 Global virtual time of local second 0 (the first
  *        frame's sensor stamp when paced) — shard timelines land on
  *        the fleet clock with no extra plumbing.
+ * @param faults Optional per-frame fault directives aligned with
+ *        timeline.frames; retry/fail/degrade markers are emitted as
+ *        instants (the charged time already lives inside the exec
+ *        span, so the tiling decomposition above is undisturbed).
  */
 void
 emitVirtualTrace(Tracer &tracer, const TimelineResult &timeline,
                  const std::vector<TimelineStageSpec> &stages,
                  double t0, std::int64_t shard,
                  const std::vector<std::int64_t> &frame_ids,
-                 const std::vector<std::int64_t> &sensor_ids)
+                 const std::vector<std::int64_t> &sensor_ids,
+                 const std::vector<FrameFaultDirective> *faults)
 {
     const std::string scope = traceScope(shard);
     const std::size_t n_stages = stages.size();
     const std::size_t last = n_stages - 1;
+    // The stage honoring the degraded sample budget (down-sample in
+    // the standard three-stage graph).
+    const std::size_t ds = n_stages >= 2 ? last - 1 : 0;
 
     for (std::size_t j = 0; j < timeline.frames.size(); ++j) {
         const TimelineFrame &tf = timeline.frames[j];
@@ -63,6 +71,28 @@ emitVirtualTrace(Tracer &tracer, const TimelineResult &timeline,
                            t0 + tf.droppedAtSec, "drop:source",
                            "overload", scope + "/source", ids);
             continue;
+        }
+        if (faults != nullptr && !(*faults)[j].clean()) {
+            const FrameFaultDirective &d = (*faults)[j];
+            const std::string track =
+                scope + "/" + stages[last].name;
+            if (d.attempts > 1) {
+                tracer.instant(TraceClock::Virtual,
+                               t0 + tf.startSec[last],
+                               "retry:" + stages[last].name, "fault",
+                               track, ids);
+            }
+            if (d.failed) {
+                tracer.instant(TraceClock::Virtual, t0 + tf.doneSec,
+                               "fail:" + stages[last].name, "fault",
+                               track, ids);
+            }
+            if (d.degraded) {
+                tracer.instant(TraceClock::Virtual,
+                               t0 + tf.startSec[ds],
+                               "degrade:" + stages[ds].name, "fault",
+                               scope + "/" + stages[ds].name, ids);
+            }
         }
         if (tf.admitSec - tf.arrivalSec > kMinSpanSec) {
             tracer.span(TraceClock::Virtual, t0 + tf.arrivalSec,
@@ -205,6 +235,12 @@ RuntimeReport::toString() const
     if (framesAbandoned > 0)
         oss << ", " << framesAbandoned << " abandoned (stopped)";
     oss << (paced ? ", sensor-paced" : ", batch") << "\n";
+    // Absent on fault-free runs, keeping legacy output exact.
+    if (framesFailed > 0 || framesRetried > 0 || framesDegraded > 0) {
+        oss << "faults: " << framesFailed << " failed | "
+            << framesRetried << " retried | " << framesDegraded
+            << " degraded\n";
+    }
     oss << "sustained: " << sustainedFps << " FPS over "
         << makespanSec * 1e3 << " ms";
     if (generationFps > 0.0)
@@ -318,12 +354,16 @@ StreamRunner::compat(std::size_t n_frames, std::size_t input_points)
 RuntimeResult
 StreamRunner::run(const std::vector<Frame> &frames,
                   const FrameTaskCallback &on_frame,
-                  const StreamTraceIds *trace_ids)
+                  const StreamTraceIds *trace_ids,
+                  const std::vector<FrameFaultDirective> *faults)
 {
     HGPCN_ASSERT(trace_ids == nullptr ||
                      (trace_ids->frame.size() == frames.size() &&
                       trace_ids->sensor.size() == frames.size()),
                  "trace_ids must parallel the input stream");
+    HGPCN_ASSERT(faults == nullptr ||
+                     faults->size() == frames.size(),
+                 "fault directives must parallel the input stream");
     RuntimeResult out;
     out.report.policy = cfg.policy;
     out.report.paced = cfg.paceBySensor;
@@ -376,6 +416,8 @@ StreamRunner::run(const std::vector<Frame> &frames,
         auto task = std::make_unique<FrameTask>();
         task->index = i;
         task->frame = &frames[i];
+        if (faults != nullptr)
+            task->fault = (*faults)[i];
         tasks.push_back(std::move(task));
     }
     std::vector<std::unique_ptr<FrameTask>> completed =
@@ -418,23 +460,62 @@ StreamRunner::run(const std::vector<Frame> &frames,
                          const std::vector<std::size_t> &members) {
             std::vector<const BackendInference *> ptrs;
             ptrs.reserve(members.size());
-            for (const std::size_t j : members)
+            // Each member's fault surcharge (retries, backoff,
+            // slowdown) extends the shared occupancy — the device
+            // is held exactly as long as in solo dispatch. Zero for
+            // clean directives, keeping the sum bit-exact.
+            double fault_extra = 0.0;
+            for (const std::size_t j : members) {
                 ptrs.push_back(&completed[j]->result.inference);
-            return backend().batchServiceSec(ptrs);
+                fault_extra += completed[j]->faultExtraSec;
+            }
+            return backend().batchServiceSec(ptrs) + fault_extra;
         };
     }
     const TimelineResult timeline =
         simulateTimeline(tl, arrivals, costs, batch_cost);
+
+    // Fault tallies over the scheduled frames: a terminally failed
+    // frame occupied the device (the schedule charged it) but
+    // delivers nothing, so it moves from "processed" to "failed" —
+    // conservation: in == processed + dropped + abandoned + failed.
+    std::size_t n_failed = 0;
+    if (faults != nullptr) {
+        for (std::size_t j = 0; j < completed.size(); ++j) {
+            if (timeline.frames[j].dropped)
+                continue;
+            const FrameFaultDirective &d = completed[j]->fault;
+            if (d.failed) {
+                ++n_failed;
+                out.failedFrames.push_back(completed[j]->index);
+                continue;
+            }
+            if (d.attempts > 1)
+                out.retriedFrames.push_back(completed[j]->index);
+            if (d.degraded)
+                out.degradedFrames.push_back(completed[j]->index);
+        }
+    }
 
     // Publish the schedule into the run's metrics registry; the
     // report reads these back from the snapshot below, so adding a
     // new attribution is one registration away from every consumer
     // (RuntimeReport, ServingReport, trace_report.py).
     metricsReg.counter("frames.in").add(frames.size());
-    metricsReg.counter("frames.processed").add(timeline.processed);
+    metricsReg.counter("frames.processed")
+        .add(timeline.processed - n_failed);
     metricsReg.counter("frames.dropped").add(timeline.dropped);
     metricsReg.counter("frames.abandoned")
         .add(frames.size() - completed.size());
+    if (faults != nullptr) {
+        // Registered only on faulted runs: the zero-fault metrics
+        // snapshot stays byte-identical to a pre-fault build.
+        metricsReg.counter("frames.failed").add(n_failed);
+        metricsReg.counter("frames.retried")
+            .add(out.retriedFrames.size());
+        metricsReg.counter("frames.degraded")
+            .add(out.degradedFrames.size());
+    }
     metricsReg.gauge("timeline.makespan_sec")
         .add(timeline.makespanSec);
     Histogram &latency_hist = metricsReg.histogram(
@@ -446,10 +527,14 @@ StreamRunner::run(const std::vector<Frame> &frames,
     Gauge &blocked_sum = metricsReg.gauge("stall.output_blocked_sec");
     Gauge &pend_sum = metricsReg.gauge("stall.source_pend_sec");
     const std::size_t last_stage = tl.stages.size() - 1;
-    for (const TimelineFrame &tf : timeline.frames) {
+    for (std::size_t j = 0; j < timeline.frames.size(); ++j) {
+        const TimelineFrame &tf = timeline.frames[j];
         if (tf.dropped)
             continue;
-        latency_hist.observe(tf.latencySec);
+        // Failed frames still contribute their stall attribution
+        // (they held real schedule time) but not completion latency.
+        if (!completed[j]->fault.failed)
+            latency_hist.observe(tf.latencySec);
         pend_sum.add(tf.admitSec - tf.arrivalSec);
         batch_wait_sum.add(tf.batchWaitSec);
         for (std::size_t s = 0; s < tl.stages.size(); ++s) {
@@ -488,9 +573,16 @@ StreamRunner::run(const std::vector<Frame> &frames,
             if (trace_ids)
                 sensor_ids[j] = trace_ids->sensor[idx];
         }
+        std::vector<FrameFaultDirective> fault_by_j;
+        if (faults != nullptr) {
+            fault_by_j.reserve(completed.size());
+            for (const auto &task : completed)
+                fault_by_j.push_back(task->fault);
+        }
         emitVirtualTrace(Tracer::global(), timeline, tl.stages,
                          paced ? t0 : 0.0, cfg.traceShard,
-                         frame_ids, sensor_ids);
+                         frame_ids, sensor_ids,
+                         faults != nullptr ? &fault_by_j : nullptr);
     }
 
     // Assemble the report — counts come from the frozen snapshot
@@ -500,6 +592,9 @@ StreamRunner::run(const std::vector<Frame> &frames,
     rep.framesProcessed = out.metrics.countOf("frames.processed");
     rep.framesDropped = out.metrics.countOf("frames.dropped");
     rep.framesAbandoned = out.metrics.countOf("frames.abandoned");
+    rep.framesFailed = out.metrics.countOf("frames.failed");
+    rep.framesRetried = out.metrics.countOf("frames.retried");
+    rep.framesDegraded = out.metrics.countOf("frames.degraded");
     rep.makespanSec = timeline.makespanSec;
     rep.sustainedFps =
         rep.makespanSec > 0.0
@@ -524,6 +619,10 @@ StreamRunner::run(const std::vector<Frame> &frames,
     for (std::size_t j = 0; j < completed.size(); ++j) {
         const TimelineFrame &tf = timeline.frames[j];
         if (tf.dropped)
+            continue;
+        // A terminally failed frame delivers no output: counted in
+        // framesFailed above, absent from completions and latency.
+        if (completed[j]->fault.failed)
             continue;
         ProcessedFrame pf;
         pf.index = completed[j]->index;

@@ -59,6 +59,12 @@ struct RuntimeReport
     std::size_t framesDropped = 0;   //!< overload-policy victims
     std::size_t framesAbandoned = 0; //!< lost to requestStop()
 
+    // Fault-tolerance attribution (zero without a fault schedule).
+    // Conservation: in == processed + dropped + abandoned + failed.
+    std::size_t framesFailed = 0;   //!< retries/deadline exhausted
+    std::size_t framesRetried = 0;  //!< completed with > 1 attempt
+    std::size_t framesDegraded = 0; //!< completed at reduced fidelity
+
     double makespanSec = 0;   //!< first arrival -> last completion
     double sustainedFps = 0;  //!< processed / makespan
 
@@ -115,6 +121,14 @@ struct RuntimeResult
      * counters, stall attribution gauges, temporal-cache telemetry.
      * ServingResult merges these shard-wise. */
     MetricsSnapshot metrics;
+
+    /** Stream-local indices of frames that terminally failed /
+     * completed after retries / completed degraded. Empty without a
+     * fault schedule; the serving layer maps them to global frame
+     * indices for per-sensor and per-backend attribution. */
+    std::vector<std::size_t> failedFrames;
+    std::vector<std::size_t> retriedFrames;
+    std::vector<std::size_t> degradedFrames;
 };
 
 /**
@@ -238,10 +252,20 @@ class StreamRunner
      * @param trace_ids Optional fleet-level frame/sensor ids for
      *        trace events (see StreamTraceIds); sizes must match
      *        @p frames when given.
+     * @param faults Optional resolved per-frame fault directives,
+     *        parallel to @p frames (serving/failover.h): retries,
+     *        backoff and slowdown are charged as virtual time on
+     *        the inference stage, degraded frames run with their
+     *        reduced sample budget, failed frames are scheduled but
+     *        excluded from completions. Null (or all-clean
+     *        directives) leaves the run byte-identical to a build
+     *        without the fault layer.
      */
     RuntimeResult run(const std::vector<Frame> &frames,
                       const FrameTaskCallback &on_frame = {},
-                      const StreamTraceIds *trace_ids = nullptr);
+                      const StreamTraceIds *trace_ids = nullptr,
+                      const std::vector<FrameFaultDirective> *faults =
+                          nullptr);
 
     /** Abort the in-progress run() from any thread (including the
      * on_frame hook); run() returns the frames completed so far.

@@ -40,6 +40,15 @@ struct AdmissionConfig
      * occupy, in (0, 1]. 0.9 keeps 10% slack for burst absorption
      * inside the epoch. */
     double headroom = 0.9;
+
+    /** Graceful degradation: sensors the shed pass would refuse
+     * are admitted anyway, served at the fleet's reduced fidelity
+     * budget (FaultToleranceConfig::degradedSampleFraction), so
+     * every sensor keeps a live — if coarser — stream under
+     * overload. The shed *decision* is unchanged (same pure
+     * arithmetic, same sensor sets); only its enforcement flips
+     * from refusal to down-sampling. */
+    bool degradeInsteadOfShed = false;
 };
 
 /** One epoch's admission decision. */

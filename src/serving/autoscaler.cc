@@ -25,6 +25,16 @@ fixed3(double v)
     return oss.str();
 }
 
+/** ElasticRunner's control epochs are per-epoch fleet serves over
+ * one shared fleet history: circuit-breaker state must carry
+ * across them (and is reset at every elastic serve() start). */
+ShardedRunner::Config
+persistentFleet(ShardedRunner::Config fleet)
+{
+    fleet.persistHealth = true;
+    return fleet;
+}
+
 } // namespace
 
 const char *
@@ -165,6 +175,18 @@ ElasticResult::decisionLog() const
             for (std::size_t i = 0; i < ep.shedSensors.size(); ++i)
                 oss << (i ? "," : "") << ep.shedSensors[i];
         }
+        // Fault-tolerance fields print only when live, so the
+        // zero-fault decision log stays byte-identical to a
+        // pre-fault build.
+        if (ep.framesDegraded > 0 || !ep.degradedSensors.empty()) {
+            oss << " degraded=" << ep.framesDegraded;
+            if (!ep.degradedSensors.empty()) {
+                oss << " degradedSensors=";
+                for (std::size_t i = 0;
+                     i < ep.degradedSensors.size(); ++i)
+                    oss << (i ? "," : "") << ep.degradedSensors[i];
+            }
+        }
         oss << " capacity=" << fixed3(ep.capacityFps)
             << " util=" << fixed3(ep.signals.utilization)
             << " sustained=" << fixed3(ep.signals.sustainedFps)
@@ -180,8 +202,10 @@ ElasticResult::decisionLog() const
 ElasticRunner::ElasticRunner(const HgPcnSystem::Config &system,
                              const PointNet2Spec &spec,
                              const Config &config)
-    : cfg(config), runner(system, spec, config.fleet)
+    : cfg(config),
+      runner(system, spec, persistentFleet(config.fleet))
 {
+    cfg.fleet.persistHealth = true; // mirror the fleet's reality
     HGPCN_ASSERT(cfg.epochSec > 0.0, "epoch length must be positive");
     HGPCN_ASSERT(cfg.fleet.runner.paceBySensor,
                  "elastic serving requires a sensor-paced runner "
@@ -246,6 +270,9 @@ ElasticRunner::serve(const SensorStream &stream,
     // Reusable + deterministic: every serve starts from the
     // configured width and a fresh autoscaler.
     runner.setShardCount(cfg.fleet.shards);
+    // Breakers persist across the epochs *within* a serve
+    // (persistHealth) but never across serves.
+    runner.resetHealth();
     Autoscaler scaler(cfg.autoscaler);
 
     std::vector<EpochOutcome> outcomes;
@@ -290,7 +317,22 @@ ElasticRunner::serve(const SensorStream &stream,
             const ShedDecision admission = decideAdmission(
                 offered_fps, priority, log.capacityFps,
                 cfg.admission);
-            log.shedSensors = admission.shedSensors;
+            // Degrade-instead-of-shed: the shed *decision* stands,
+            // its enforcement becomes down-sampling — every sensor
+            // keeps a live stream.
+            const bool degrade_mode =
+                cfg.admission.degradeInsteadOfShed &&
+                !admission.shedSensors.empty();
+            if (degrade_mode)
+                log.degradedSensors = admission.shedSensors;
+            else
+                log.shedSensors = admission.shedSensors;
+            std::vector<bool> degrade_flags;
+            if (degrade_mode) {
+                degrade_flags.assign(stream.sensorCount, false);
+                for (const std::size_t sensor : log.degradedSensors)
+                    degrade_flags[sensor] = true;
+            }
 
             EpochOutcome outcome;
             outcome.startSec = start;
@@ -299,7 +341,8 @@ ElasticRunner::serve(const SensorStream &stream,
             SensorStream sub;
             sub.sensorCount = stream.sensorCount;
             for (std::size_t i = first; i < cursor; ++i) {
-                if (admission.admitted[stream.sensors[i]]) {
+                if (degrade_mode ||
+                    admission.admitted[stream.sensors[i]]) {
                     sub.frames.push_back(stream.frames[i]);
                     sub.sensors.push_back(stream.sensors[i]);
                     outcome.globalIndex.push_back(i);
@@ -330,11 +373,24 @@ ElasticRunner::serve(const SensorStream &stream,
                                "admission", "serving/admission",
                                ids);
                 }
+                for (const std::size_t sensor :
+                     log.degradedSensors) {
+                    TraceIds ids;
+                    ids.sensor = static_cast<std::int64_t>(sensor);
+                    tr.instant(TraceClock::Virtual, start,
+                               "degrade:sensor" +
+                                   std::to_string(sensor),
+                               "admission", "serving/admission",
+                               ids);
+                }
             }
 
             // The epoch serve: an ordinary fleet serve over the
             // admitted sub-stream at the current width.
-            outcome.result = runner.serve(sub);
+            outcome.result = runner.serve(
+                sub, {}, degrade_mode ? &degrade_flags : nullptr);
+            log.framesDegraded =
+                outcome.result.report.framesDegraded;
 
             // Signals — all modeled arithmetic from the epoch's
             // report, normalized by the epoch length.

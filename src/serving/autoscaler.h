@@ -10,7 +10,9 @@
  *      epoch (ShardedRunner::setShardCount — never during a serve);
  *   2. runs admission control (serving/admission.h) against the
  *      epoch's offered load and the active fleet's modeled
- *      capacity, shedding whole sensors lowest-priority first;
+ *      capacity, shedding whole sensors lowest-priority first —
+ *      or, under AdmissionConfig::degradeInsteadOfShed, serving
+ *      the would-be-shed sensors at reduced fidelity instead;
  *   3. serves the admitted sub-stream as an ordinary fleet serve;
  *   4. derives EpochSignals from the epoch's ServingReport —
  *      offered vs sustained FPS, bottleneck-stage occupancy and
@@ -176,6 +178,13 @@ struct EpochLog
     std::size_t framesAdmitted = 0; //!< dispatched to the fleet
     std::size_t framesShed = 0;     //!< refused by admission
     std::vector<std::size_t> shedSensors; //!< ascending ids
+    /** Sensors served at reduced fidelity instead of refused
+     * (AdmissionConfig::degradeInsteadOfShed), ascending ids;
+     * disjoint from shedSensors (degrade mode empties it). */
+    std::vector<std::size_t> degradedSensors;
+    /** Frames this epoch completed at reduced fidelity (degraded
+     * sensors + any half-open-breaker degradation). */
+    std::size_t framesDegraded = 0;
     double capacityFps = 0; //!< modeled fleet capacity used
     EpochSignals signals;
     ScaleDecision decision;
@@ -235,9 +244,12 @@ class ElasticRunner
 
     /**
      * Serve @p stream elastically (blocking). Reusable: every
-     * serve resets the fleet to the initial width and the
-     * autoscaler to its initial state, so identical inputs produce
-     * identical results no matter what ran before.
+     * serve resets the fleet to the initial width, the autoscaler
+     * to its initial state and the fleet's circuit breakers to
+     * pristine Closed, so identical inputs produce identical
+     * results no matter what ran before. Within one serve, breaker
+     * health persists across the control epochs (the epochs share
+     * one fleet history).
      *
      * @param stream Tagged multi-sensor stream, strictly
      *        increasing stamps (the pacing contract).

@@ -1,0 +1,34 @@
+#include "serving/health.h"
+
+namespace hgpcn
+{
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+double
+breakerStateGauge(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed:
+        return 0.0;
+    case BreakerState::HalfOpen:
+        return 1.0;
+    case BreakerState::Open:
+        return 2.0;
+    }
+    return 0.0;
+}
+
+} // namespace hgpcn

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Per-shard health tracking: a circuit breaker on the virtual
+ * clock, plus the fleet's fault-tolerance parameters.
+ *
+ * The breaker is the classic three-state machine, driven entirely
+ * by virtual-time observations so its trajectory is deterministic
+ * and hand-computable:
+ *
+ *   Closed    — healthy; consecutive failures are counted, and
+ *               reaching failureThreshold trips the breaker Open.
+ *   Open      — the shard takes no traffic (frames fail over);
+ *               after openSec of virtual time it is eligible for a
+ *               Half-Open probe.
+ *   Half-Open — traffic flows again, at reduced fidelity when the
+ *               degradation policy says so; halfOpenSuccesses
+ *               consecutive successes close the breaker, any
+ *               failure re-opens it.
+ *
+ * The serving layer resolves all breaker transitions at dispatch
+ * time (serving/failover.h): "now" is always a frame's arrival
+ * stamp, never wall clock, so a faulted serve replays bit for bit.
+ */
+
+#ifndef HGPCN_SERVING_HEALTH_H
+#define HGPCN_SERVING_HEALTH_H
+
+#include <cstddef>
+
+namespace hgpcn
+{
+
+/** Circuit-breaker parameters. */
+struct CircuitBreakerConfig
+{
+    /** Consecutive failures that trip Closed -> Open. */
+    std::size_t failureThreshold = 3;
+
+    /** Virtual seconds the breaker stays Open before the next
+     * arrival probes it Half-Open. */
+    double openSec = 0.5;
+
+    /** Consecutive Half-Open successes that close the breaker. */
+    std::size_t halfOpenSuccesses = 2;
+};
+
+/** Breaker state (see file header). */
+enum class BreakerState
+{
+    Closed,
+    Open,
+    HalfOpen,
+};
+
+/** Stable display name ("closed", "open", "half-open"). */
+const char *breakerStateName(BreakerState state);
+
+/** Numeric gauge value for trace counters (closed 0, half-open 1,
+ * open 2 — higher is sicker). */
+double breakerStateGauge(BreakerState state);
+
+/** One shard's breaker (see file header). Pure arithmetic over
+ * (config, event sequence); unit-tested against pinned transition
+ * sequences in tests/test_faults.cc. */
+class CircuitBreaker
+{
+  public:
+    CircuitBreaker() = default;
+
+    explicit CircuitBreaker(const CircuitBreakerConfig &config)
+        : cfg(config)
+    {
+    }
+
+    /** Effective state at virtual time @p now — an Open breaker
+     * whose openSec has elapsed reads Half-Open (the next arrival
+     * is the probe). Const and pure: observation never mutates. */
+    BreakerState
+    state(double now) const
+    {
+        if (stored == BreakerState::Open &&
+            now >= openedAt + cfg.openSec)
+            return BreakerState::HalfOpen;
+        return stored;
+    }
+
+    /** Record a successful service at @p now. */
+    void
+    onSuccess(double now)
+    {
+        switch (state(now)) {
+        case BreakerState::Closed:
+            failures = 0;
+            break;
+        case BreakerState::HalfOpen:
+            stored = BreakerState::HalfOpen;
+            if (++probes >= cfg.halfOpenSuccesses) {
+                stored = BreakerState::Closed;
+                failures = 0;
+                probes = 0;
+            }
+            break;
+        case BreakerState::Open:
+            // No dispatch happens while Open; tolerate the no-op.
+            break;
+        }
+    }
+
+    /** Record a failed service attempt at @p now. */
+    void
+    onFailure(double now)
+    {
+        switch (state(now)) {
+        case BreakerState::Closed:
+            if (++failures >= cfg.failureThreshold) {
+                stored = BreakerState::Open;
+                openedAt = now;
+                probes = 0;
+            }
+            break;
+        case BreakerState::HalfOpen:
+            // A failed probe re-opens for a fresh openSec.
+            stored = BreakerState::Open;
+            openedAt = now;
+            probes = 0;
+            failures = cfg.failureThreshold;
+            break;
+        case BreakerState::Open:
+            break;
+        }
+    }
+
+    /** Back to pristine Closed (fleet health reset between
+     * independent serves). */
+    void
+    reset()
+    {
+        stored = BreakerState::Closed;
+        failures = 0;
+        probes = 0;
+        openedAt = 0.0;
+    }
+
+    std::size_t consecutiveFailures() const { return failures; }
+    const CircuitBreakerConfig &config() const { return cfg; }
+
+  private:
+    CircuitBreakerConfig cfg;
+    /** Stored state; Open is promoted to Half-Open by state(now). */
+    BreakerState stored = BreakerState::Closed;
+    std::size_t failures = 0; //!< consecutive failures while Closed
+    std::size_t probes = 0;   //!< consecutive Half-Open successes
+    double openedAt = 0.0;    //!< virtual time the breaker opened
+};
+
+/**
+ * Fleet fault-tolerance parameters: bounded retry with
+ * deterministic exponential backoff, per-frame deadlines, breaker
+ * behavior and the graceful-degradation policy. Consumed by the
+ * dispatch-time resolution (serving/failover.h).
+ */
+struct FaultToleranceConfig
+{
+    /** Max inference attempts per frame (>= 1); a frame that still
+     * errors on its last attempt is counted framesFailed. */
+    std::size_t maxAttempts = 3;
+
+    /** Backoff before retry r (1-based) is
+     * backoffBaseSec * backoffMultiplier^(r-1), charged as virtual
+     * time on the frame's inference stage. */
+    double backoffBaseSec = 0.002;
+    double backoffMultiplier = 2.0;
+
+    /** Per-frame virtual-time budget for inference service +
+     * backoff; a retry that would exceed it is not started and the
+     * frame fails. 0 disables deadlines. */
+    double deadlineSec = 0.0;
+
+    /** Per-shard breaker parameters. */
+    CircuitBreakerConfig breaker;
+
+    /** Serve Half-Open probe frames at reduced fidelity instead of
+     * full budget (graceful degradation). */
+    bool degradeOnHalfOpen = true;
+
+    /** Fraction of the configured sample budget K a degraded frame
+     * keeps, in (0, 1]. */
+    double degradedSampleFraction = 0.5;
+};
+
+} // namespace hgpcn
+
+#endif // HGPCN_SERVING_HEALTH_H

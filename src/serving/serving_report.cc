@@ -45,7 +45,13 @@ ServingReport::toString() const
         oss << ", " << framesAbandoned << " abandoned";
     if (framesShed > 0)
         oss << ", " << framesShed << " shed";
+    if (framesFailed > 0)
+        oss << ", " << framesFailed << " failed";
     oss << "\n";
+    // Absent on fault-free serves, keeping legacy output exact.
+    if (framesRetried > 0 || framesDegraded > 0)
+        oss << "fault-tolerance: " << framesRetried << " retried | "
+            << framesDegraded << " degraded\n";
     oss << "aggregate: " << sustainedFps << " FPS over "
         << makespanSec * 1e3 << " ms";
     oss.precision(2);
@@ -84,6 +90,10 @@ ServingReport::toString() const
             << "]: " << sr.framesDone << "/" << sr.framesIn;
         if (sr.framesShed > 0)
             oss << " (" << sr.framesShed << " shed)";
+        if (sr.framesFailed > 0)
+            oss << " (" << sr.framesFailed << " failed)";
+        if (sr.framesDegraded > 0)
+            oss << " (" << sr.framesDegraded << " degraded)";
         if (sr.generationFps > 0.0)
             oss << " | sensor " << sr.generationFps << " FPS";
         oss << " | sustained " << sr.sustainedFps << " FPS";
@@ -97,6 +107,12 @@ ServingReport::toString() const
         oss << "backend " << br.backend << " [" << br.shards
             << " shard" << (br.shards == 1 ? "" : "s")
             << "]: " << br.framesDone << "/" << br.framesIn;
+        if (br.framesFailed > 0)
+            oss << " (" << br.framesFailed << " failed)";
+        if (br.framesRetried > 0)
+            oss << " (" << br.framesRetried << " retried)";
+        if (br.framesDegraded > 0)
+            oss << " (" << br.framesDegraded << " degraded)";
         if (br.offeredFps > 0.0)
             oss << " | offered " << br.offeredFps << " FPS";
         oss << " | sustained " << br.sustainedFps << " FPS";
@@ -136,6 +152,9 @@ mergeShardOutcomes(const SensorStream &stream,
         rep.framesProcessed += r.framesProcessed;
         rep.framesDropped += r.framesDropped;
         rep.framesAbandoned += r.framesAbandoned;
+        rep.framesFailed += r.framesFailed;
+        rep.framesRetried += r.framesRetried;
+        rep.framesDegraded += r.framesDegraded;
         if (r.framesIn > 0)
             rep.paced = rep.paced && r.paced;
         rep.shardReports.push_back(r);
@@ -273,6 +292,40 @@ mergeShardOutcomes(const SensorStream &stream,
         backend_of[s] = b;
         rep.backends[b].shards++;
     }
+
+    // Fault attribution: every shard reports its failed/retried/
+    // degraded frames as shard-local indices; the globalIndex
+    // mapping pins each to its sensor (and the shard's backend).
+    for (std::size_t s = 0; s < outcomes.size(); ++s) {
+        const ShardOutcome &oc = outcomes[s];
+        const bool attributed = !oc.backend.empty();
+        const auto attribute =
+            [&](const std::vector<std::size_t> &indices,
+                std::size_t SensorServingReport::*sensor_field,
+                std::size_t BackendServingReport::*backend_field) {
+                for (const std::size_t idx : indices) {
+                    HGPCN_ASSERT(idx < oc.globalIndex.size(),
+                                 "shard ", s, " fault index ", idx,
+                                 " has no global mapping");
+                    const std::size_t g = oc.globalIndex[idx];
+                    rep.sensors[stream.sensors[g]].*sensor_field +=
+                        1;
+                    if (attributed)
+                        rep.backends[backend_of[s]].*backend_field +=
+                            1;
+                }
+            };
+        attribute(oc.result.failedFrames,
+                  &SensorServingReport::framesFailed,
+                  &BackendServingReport::framesFailed);
+        attribute(oc.result.retriedFrames,
+                  &SensorServingReport::framesRetried,
+                  &BackendServingReport::framesRetried);
+        attribute(oc.result.degradedFrames,
+                  &SensorServingReport::framesDegraded,
+                  &BackendServingReport::framesDegraded);
+    }
+
     if (!rep.backends.empty()) {
         const std::size_t n_backends = rep.backends.size();
         std::vector<std::vector<double>> offered(n_backends);
@@ -364,11 +417,28 @@ mergeEpochResults(const SensorStream &stream,
     // Counts, pacing, shed accounting.
     rep.paced = true;
     std::vector<std::size_t> sensor_shed(stream.sensorCount, 0);
+    std::vector<SensorServingReport> sensor_faults(
+        stream.sensorCount);
     for (const EpochOutcome &ep : outcomes) {
         const ServingReport &er = ep.result.report;
         rep.framesProcessed += er.framesProcessed;
         rep.framesDropped += er.framesDropped;
         rep.framesAbandoned += er.framesAbandoned;
+        rep.framesFailed += er.framesFailed;
+        rep.framesRetried += er.framesRetried;
+        rep.framesDegraded += er.framesDegraded;
+        // Epoch sub-streams keep the full stream's sensor space, so
+        // per-sensor fault attributions sum index-wise.
+        for (std::size_t k = 0;
+             k < std::min(er.sensors.size(), stream.sensorCount);
+             ++k) {
+            sensor_faults[k].framesFailed +=
+                er.sensors[k].framesFailed;
+            sensor_faults[k].framesRetried +=
+                er.sensors[k].framesRetried;
+            sensor_faults[k].framesDegraded +=
+                er.sensors[k].framesDegraded;
+        }
         if (er.framesIn > 0)
             rep.paced = rep.paced && er.paced;
         rep.framesShed += ep.shedGlobalIndex.size();
@@ -474,6 +544,9 @@ mergeEpochResults(const SensorStream &stream,
             agg.framesProcessed += er.framesProcessed;
             agg.framesDropped += er.framesDropped;
             agg.framesAbandoned += er.framesAbandoned;
+            agg.framesFailed += er.framesFailed;
+            agg.framesRetried += er.framesRetried;
+            agg.framesDegraded += er.framesDegraded;
             agg.paced = rep.paced;
             agg.policy = er.policy;
             // Batch-occupancy attribution: counts sum across the
@@ -593,6 +666,9 @@ mergeEpochResults(const SensorStream &stream,
         sr.sensor = k;
         sr.framesMissed = sr.framesIn - sr.framesDone;
         sr.framesShed = sensor_shed[k];
+        sr.framesFailed = sensor_faults[k].framesFailed;
+        sr.framesRetried = sensor_faults[k].framesRetried;
+        sr.framesDegraded = sensor_faults[k].framesDegraded;
         sr.shardSpread = sensor_shards[k].size();
         sr.generationFps = generationFpsOf(sensor_stamps[k]);
         if (sr.framesDone > 0) {
@@ -657,6 +733,11 @@ mergeEpochResults(const SensorStream &stream,
                     continue;
                 const std::size_t b = backend_of[s];
                 rep.backends[b].framesIn += ers[s].framesIn;
+                rep.backends[b].framesFailed += ers[s].framesFailed;
+                rep.backends[b].framesRetried +=
+                    ers[s].framesRetried;
+                rep.backends[b].framesDegraded +=
+                    ers[s].framesDegraded;
                 if (!seen_backend[b]) {
                     seen_backend[b] = true;
                     active_sec[b] += ep.endSec - ep.startSec;

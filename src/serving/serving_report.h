@@ -66,6 +66,13 @@ struct SensorServingReport
     /** Of framesMissed: refused by admission control before
      * dispatch (elastic serving only; 0 for a plain fleet serve). */
     std::size_t framesShed = 0;
+    /** Of framesMissed: terminally failed (retries/deadline
+     * exhausted) after dispatch. */
+    std::size_t framesFailed = 0;
+    /** Of framesDone: completed only after >= 1 retry. */
+    std::size_t framesRetried = 0;
+    /** Of framesDone: served at reduced fidelity. */
+    std::size_t framesDegraded = 0;
 
     double generationFps = 0; //!< this sensor's capture rate
     /** Completed / (first offer -> last completion), global clock. */
@@ -88,7 +95,10 @@ struct BackendServingReport
     std::size_t shards = 0;     //!< fleet replicas of this backend
     std::size_t framesIn = 0;   //!< dispatched to those shards
     std::size_t framesDone = 0; //!< completed the pipeline
-    std::size_t framesMissed = 0; //!< dropped or abandoned
+    std::size_t framesMissed = 0; //!< dropped, abandoned or failed
+    std::size_t framesFailed = 0;   //!< of missed: fault-terminal
+    std::size_t framesRetried = 0;  //!< of done: needed retries
+    std::size_t framesDegraded = 0; //!< of done: reduced fidelity
 
     /** Generation rate of the traffic routed to this backend
      * ((n-1)/span of its dispatched stamps; 0 when underivable). */
@@ -120,8 +130,16 @@ struct ServingReport
     std::size_t framesAbandoned = 0;
     /** Refused by admission control before dispatch (elastic
      * serving; conservation: framesIn == framesProcessed +
-     * framesDropped + framesAbandoned + framesShed). */
+     * framesDropped + framesAbandoned + framesShed +
+     * framesFailed). */
     std::size_t framesShed = 0;
+
+    /** Fault-tolerance attribution (zero without a fault plan).
+     * Failed frames join the conservation identity above; retried
+     * and degraded frames are subsets of framesProcessed. */
+    std::size_t framesFailed = 0;
+    std::size_t framesRetried = 0;
+    std::size_t framesDegraded = 0;
 
     bool paced = true; //!< every shard ran sensor-paced
 

@@ -1,5 +1,6 @@
 #include "serving/sharded_runner.h"
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <thread>
@@ -106,7 +107,8 @@ ShardedRunner::shardBackend(std::size_t shard) const
 
 ServingResult
 ShardedRunner::serve(const SensorStream &stream,
-                     const ServingFrameCallback &on_frame)
+                     const ServingFrameCallback &on_frame,
+                     const std::vector<bool> *degrade_sensors)
 {
     HGPCN_ASSERT(!serving.exchange(true),
                  "serve() reentered while a serve is in progress");
@@ -114,6 +116,10 @@ ShardedRunner::serve(const SensorStream &stream,
     stopped.store(false);
     for (std::size_t s = 0; s < active; ++s)
         fleet[s]->stopRequested.store(false);
+    // Breaker history belongs to one serve unless the caller opted
+    // into cross-serve persistence (ElasticRunner's epochs).
+    if (!cfg.persistHealth)
+        healthState.clear();
 
     const std::size_t n_shards = active;
     std::vector<ShardOutcome> outcomes(n_shards);
@@ -153,13 +159,122 @@ ShardedRunner::serve(const SensorStream &stream,
             service_sec.push_back(it->second);
         }
     }
-    const std::vector<std::size_t> assignment = assignShards(
+    std::vector<std::size_t> assignment = assignShards(
         stream, n_shards, cfg.placement, service_sec);
+
+    // Fault resolution (dispatch time, virtual clock): route around
+    // crashed/tripped shards and fix every frame's retry/backoff/
+    // degradation outcome before any functional work runs — the
+    // wall-clock pipeline then merely executes a schedule that is
+    // already deterministic. Skipped entirely for an empty plan, so
+    // the zero-fault serve is byte-identical to a pre-fault build.
+    const bool faulted =
+        cfg.faultPlan != nullptr && !cfg.faultPlan->empty();
+    std::vector<FrameFaultDirective> directives;
+    bool have_directives = false;
+    MetricsRegistry fault_metrics;
+    if (faulted) {
+        std::vector<std::string> backend_names;
+        backend_names.reserve(n_shards);
+        for (std::size_t s = 0; s < n_shards; ++s)
+            backend_names.push_back(fleet[s]->backend->name());
+        // Deadline arithmetic needs per-shard service estimates;
+        // reuse the placement probes when LeastLoaded already paid
+        // for them, probing once per distinct backend otherwise.
+        std::vector<double> fault_svc = service_sec;
+        if (fault_svc.empty()) {
+            fault_svc.reserve(n_shards);
+            std::map<std::string, double> estimate_of;
+            for (std::size_t s = 0; s < n_shards; ++s) {
+                if (cfg.assumedServiceSec > 0.0) {
+                    fault_svc.push_back(cfg.assumedServiceSec);
+                    continue;
+                }
+                auto it = estimate_of.find(backend_names[s]);
+                if (it == estimate_of.end()) {
+                    it = estimate_of
+                             .emplace(backend_names[s],
+                                      fleet[s]->backend
+                                          ->estimateServiceSec())
+                             .first;
+                }
+                fault_svc.push_back(it->second);
+            }
+        }
+        FaultResolution res = resolveFaultSchedule(
+            stream, assignment, backend_names, fault_svc,
+            *cfg.faultPlan, cfg.faultTolerance, healthState);
+        assignment = std::move(res.assignment);
+        directives = std::move(res.directives);
+        have_directives = true;
+        fault_metrics.counter("fault.failovers")
+            .add(res.failovers.size());
+        fault_metrics.counter("fault.frames_redirected")
+            .add(res.framesRedirected);
+        std::size_t trips = 0;
+        for (const BreakerTransition &tr : res.transitions) {
+            if (tr.to == BreakerState::Open)
+                ++trips;
+        }
+        fault_metrics.counter("fault.breaker_trips").add(trips);
+        if (HGPCN_TRACE_ENABLED()) {
+            for (const FailoverEvent &ev : res.failovers) {
+                TraceIds ids;
+                ids.sensor = static_cast<std::int64_t>(ev.sensor);
+                ids.shard = static_cast<std::int64_t>(ev.toShard);
+                HGPCN_TRACE_EVENT(Tracer::global().instant(
+                    TraceClock::Virtual, ev.timeSec,
+                    "failover:shard" + std::to_string(ev.toShard),
+                    "fault", "serving/failover", ids));
+            }
+            for (const BreakerTransition &tr : res.transitions) {
+                HGPCN_TRACE_EVENT(Tracer::global().counter(
+                    TraceClock::Virtual, tr.timeSec,
+                    "breaker:shard" + std::to_string(tr.shard),
+                    "serving/health", breakerStateGauge(tr.to)));
+            }
+        }
+    }
+    // Admission-driven degradation (degrade-instead-of-shed):
+    // flagged sensors keep serving, at reduced fidelity.
+    if (degrade_sensors != nullptr) {
+        HGPCN_ASSERT(degrade_sensors->size() == stream.sensorCount,
+                     "degrade_sensors must have one flag per "
+                     "sensor: ",
+                     degrade_sensors->size(), " vs ",
+                     stream.sensorCount);
+        if (!have_directives)
+            directives.assign(stream.size(), FrameFaultDirective{});
+        have_directives = true;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            if ((*degrade_sensors)[stream.sensors[i]] &&
+                !directives[i].failed)
+                directives[i].degraded = true;
+        }
+    }
+    if (have_directives) {
+        const double frac =
+            cfg.faultTolerance.degradedSampleFraction;
+        const auto degraded_k = static_cast<std::size_t>(std::max(
+            1.0,
+            std::floor(static_cast<double>(runnerCfg.inputPoints) *
+                           frac +
+                       0.5)));
+        for (FrameFaultDirective &d : directives) {
+            if (d.degraded && d.samplePoints == 0)
+                d.samplePoints = degraded_k;
+        }
+    }
+
     std::vector<std::vector<Frame>> sub(n_shards);
+    std::vector<std::vector<FrameFaultDirective>> shard_faults(
+        n_shards);
     for (std::size_t i = 0; i < stream.size(); ++i) {
         const std::size_t s = assignment[i];
         sub[s].push_back(stream.frames[i]);
         outcomes[s].globalIndex.push_back(i);
+        if (have_directives)
+            shard_faults[s].push_back(directives[i]);
     }
 
     // Trace the placement decisions (virtual clock, at the frame's
@@ -202,7 +317,8 @@ ShardedRunner::serve(const SensorStream &stream,
     threads.reserve(n_shards);
     for (std::size_t s = 0; s < n_shards; ++s) {
         threads.emplace_back([this, s, &sub, &outcomes, &on_frame,
-                              &trace_ids] {
+                              &trace_ids, &shard_faults,
+                              have_directives] {
             Shard &shard = *fleet[s];
             if (stopped.load() || shard.stopRequested.load()) {
                 outcomes[s].result.report.framesIn = sub[s].size();
@@ -223,7 +339,8 @@ ShardedRunner::serve(const SensorStream &stream,
             outcomes[s].result = shard.runner.run(
                 sub[s], hook,
                 trace_ids[s].frame.empty() ? nullptr
-                                           : &trace_ids[s]);
+                                           : &trace_ids[s],
+                have_directives ? &shard_faults[s] : nullptr);
         });
     }
     for (std::thread &t : threads)
@@ -239,8 +356,18 @@ ShardedRunner::serve(const SensorStream &stream,
     }
     ServingResult out = mergeShardOutcomes(
         stream, std::move(outcomes), cfg.placement);
+    if (faulted)
+        out.metrics.merge(fault_metrics.snapshot());
     serving.store(false);
     return out;
+}
+
+void
+ShardedRunner::resetHealth()
+{
+    HGPCN_ASSERT(!serving.load(),
+                 "resetHealth must not race a serve in progress");
+    healthState.clear();
 }
 
 void

@@ -52,6 +52,7 @@
 #include "backends/backend_registry.h"
 #include "core/hgpcn_system.h"
 #include "datasets/sensor_stream.h"
+#include "serving/failover.h"
 #include "serving/placement.h"
 #include "serving/serving_report.h"
 
@@ -92,6 +93,22 @@ class ShardedRunner
          * derive per shard from each backend's cost-model estimate
          * (ExecutionBackend::estimateServiceSec). */
         double assumedServiceSec = 0.0;
+
+        /** Scripted fault schedule (borrowed; must outlive the
+         * runner). Null or empty: the fault layer is inert and
+         * every serve is byte-identical to a pre-fault build. */
+        const FaultPlan *faultPlan = nullptr;
+
+        /** Retry/backoff/deadline/degradation parameters, used only
+         * when a non-empty faultPlan is set (or degraded sensors
+         * are passed to serve()). */
+        FaultToleranceConfig faultTolerance;
+
+        /** true: circuit-breaker state carries across serve()
+         * calls (ElasticRunner's epochs share one fleet history);
+         * false: every serve starts with pristine breakers. Either
+         * way resetHealth() clears them on demand. */
+        bool persistHealth = false;
     };
 
     /**
@@ -116,9 +133,16 @@ class ShardedRunner
      *
      * @param stream Tagged multi-sensor stream, interleaved order.
      * @param on_frame Optional per-frame hook.
+     * @param degrade_sensors Optional per-sensor degradation flags
+     *        (size stream.sensorCount): flagged sensors' frames run
+     *        at the reduced fidelity budget instead of full K —
+     *        ElasticRunner's degrade-instead-of-shed admission.
+     *        Composes with a fault plan; null changes nothing.
      */
     ServingResult serve(const SensorStream &stream,
-                        const ServingFrameCallback &on_frame = {});
+                        const ServingFrameCallback &on_frame = {},
+                        const std::vector<bool> *degrade_sensors =
+                            nullptr);
 
     /** Abort the serve in progress on every shard (safe from any
      * thread, including the on_frame hook). */
@@ -147,6 +171,17 @@ class ShardedRunner
 
     /** @return shard @p shard's execution backend. */
     const ExecutionBackend &shardBackend(std::size_t shard) const;
+
+    /** Forget all circuit-breaker history: the next serve starts
+     * with pristine Closed breakers. Must not race a serve. */
+    void resetHealth();
+
+    /** @return the per-shard breakers after the last faulted serve
+     * (empty when no faulted serve ran since the last reset). */
+    const std::vector<CircuitBreaker> &health() const
+    {
+        return healthState;
+    }
 
     /** @return serving parameters. */
     const Config &config() const { return cfg; }
@@ -185,6 +220,9 @@ class ShardedRunner
      * fleet, the rest are parked by setShardCount(). */
     std::vector<std::unique_ptr<Shard>> fleet;
     std::size_t active = 0;
+    /** Per-shard circuit breakers, populated by faulted serves;
+     * cleared at serve() entry unless Config::persistHealth. */
+    std::vector<CircuitBreaker> healthState;
 };
 
 } // namespace hgpcn

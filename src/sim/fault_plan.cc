@@ -1,0 +1,136 @@
+#include "sim/fault_plan.h"
+
+#include "common/logging.h"
+
+namespace hgpcn
+{
+namespace
+{
+
+/** SplitMix64 mix (same constants as common/rng.h's reseed loop):
+ * the one-way scrambler that keys every transient-error draw. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the backend name: a stable, platform-independent
+ * string key (std::hash is not specified across implementations). */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Half-open window test. */
+bool
+inWindow(double t, double start, double end)
+{
+    return t >= start && t < end;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(const Config &config) : cfg(config)
+{
+    for (const ShardCrashWindow &w : cfg.crashes)
+        HGPCN_ASSERT(w.endSec >= w.startSec,
+                     "crash window end (", w.endSec,
+                     ") before start (", w.startSec, ")");
+    for (const ShardSlowdownWindow &w : cfg.slowdowns) {
+        HGPCN_ASSERT(w.endSec >= w.startSec,
+                     "slowdown window end (", w.endSec,
+                     ") before start (", w.startSec, ")");
+        HGPCN_ASSERT(w.multiplier >= 1.0,
+                     "slowdown multiplier (", w.multiplier,
+                     ") must be >= 1");
+    }
+    for (const TransientErrorWindow &w : cfg.errors) {
+        HGPCN_ASSERT(w.endSec >= w.startSec,
+                     "error window end (", w.endSec,
+                     ") before start (", w.startSec, ")");
+        HGPCN_ASSERT(w.rate >= 0.0 && w.rate <= 1.0,
+                     "error rate (", w.rate, ") must be in [0, 1]");
+    }
+}
+
+bool
+FaultPlan::empty() const
+{
+    if (!cfg.crashes.empty())
+        return false;
+    for (const ShardSlowdownWindow &w : cfg.slowdowns) {
+        if (w.multiplier > 1.0 && w.endSec > w.startSec)
+            return false;
+    }
+    for (const TransientErrorWindow &w : cfg.errors) {
+        if (w.rate > 0.0 && w.endSec > w.startSec)
+            return false;
+    }
+    return true;
+}
+
+bool
+FaultPlan::shardCrashed(std::size_t shard, double t) const
+{
+    for (const ShardCrashWindow &w : cfg.crashes) {
+        if (w.shard == shard && inWindow(t, w.startSec, w.endSec))
+            return true;
+    }
+    return false;
+}
+
+double
+FaultPlan::slowdown(std::size_t shard, double t) const
+{
+    double mult = 1.0;
+    for (const ShardSlowdownWindow &w : cfg.slowdowns) {
+        if (w.shard == shard && inWindow(t, w.startSec, w.endSec))
+            mult *= w.multiplier;
+    }
+    return mult;
+}
+
+double
+FaultPlan::errorRate(const std::string &backend, double t) const
+{
+    double rate = 0.0;
+    for (const TransientErrorWindow &w : cfg.errors) {
+        if (!w.backend.empty() && w.backend != backend)
+            continue;
+        if (inWindow(t, w.startSec, w.endSec) && w.rate > rate)
+            rate = w.rate;
+    }
+    return rate;
+}
+
+bool
+FaultPlan::transientError(const std::string &backend,
+                          std::size_t shard, std::size_t frame,
+                          std::uint32_t attempt, double t) const
+{
+    const double rate = errorRate(backend, t);
+    if (rate <= 0.0)
+        return false;
+    if (rate >= 1.0)
+        return true;
+    std::uint64_t h = splitmix64(cfg.seed ^ fnv1a(backend));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(shard));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(frame));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+    // 53 high bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < rate;
+}
+
+} // namespace hgpcn

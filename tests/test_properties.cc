@@ -26,7 +26,9 @@
 #include "sampling/fps_sampler.h"
 #include "sampling/ois_fps_sampler.h"
 #include "sampling/random_sampler.h"
+#include "serving/sharded_runner.h"
 #include "sim/bitonic_sorter.h"
+#include "sim/fault_plan.h"
 #include "sim/systolic_array.h"
 
 namespace hgpcn
@@ -711,6 +713,157 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.0, 0.1, 0.5, 1.0),
                        ::testing::Values(std::uint64_t{3},
                                          std::uint64_t{29})));
+
+// ------------------------------------------- fault-tolerant serving
+
+/** (transient error rate, shards, maxBatch) grid: conservation and
+ * byte-identical replay must hold at every point — including the
+ * rate-0 corner, where the fault layer must also stay inert. */
+class FaultSweep
+    : public ::testing::TestWithParam<
+          std::tuple<double, std::size_t, std::size_t>>
+{
+  protected:
+    /** 4-sensor phase-offset stream over [0, 1). */
+    static SensorStream
+    stream()
+    {
+        SensorStream s;
+        s.sensorCount = 4;
+        Rng rng(11);
+        for (std::size_t i = 0; i < 24; ++i) {
+            Frame frame;
+            frame.timestamp =
+                static_cast<double>(i) / 24.0;
+            frame.name = "p" + std::to_string(i);
+            frame.cloud.reserve(300);
+            for (std::size_t p = 0; p < 300; ++p) {
+                frame.cloud.add({rng.uniform(0.0f, 10.0f),
+                                 rng.uniform(0.0f, 10.0f),
+                                 rng.uniform(0.0f, 3.0f)});
+            }
+            s.frames.push_back(std::move(frame));
+            s.sensors.push_back(i % 4);
+        }
+        return s;
+    }
+
+    static PointNet2Spec
+    spec()
+    {
+        PointNet2Spec spec = PointNet2Spec::classification(5);
+        spec.inputPoints = 256;
+        spec.sa[0].npoint = 64;
+        spec.sa[0].k = 8;
+        spec.sa[1].npoint = 16;
+        spec.sa[1].k = 8;
+        return spec;
+    }
+
+    FaultPlan::Config
+    planConfig() const
+    {
+        const auto [rate, shards, batch] = GetParam();
+        FaultPlan::Config plan;
+        plan.seed = 23;
+        plan.errors.push_back({"", rate, 0.0, 0.7});
+        // Cover failover in the multi-shard points; with one shard
+        // the crash window exercises the all-down terminal path.
+        plan.slowdowns.push_back({0, 0.2, 0.5, 1.5});
+        plan.crashes.push_back({shards - 1, 0.3, 0.45});
+        return plan;
+    }
+
+    ShardedRunner::Config
+    fleetConfig(const FaultPlan *plan) const
+    {
+        const auto [rate, shards, batch] = GetParam();
+        ShardedRunner::Config cfg;
+        cfg.shards = shards;
+        cfg.runner.maxBatch = batch;
+        cfg.runner.batchTimeoutVirtualSec =
+            batch > 1 ? 0.005 : 0.0;
+        cfg.faultPlan = plan;
+        cfg.faultTolerance.maxAttempts = 2;
+        cfg.faultTolerance.backoffBaseSec = 0.001;
+        cfg.faultTolerance.breaker.failureThreshold = 5;
+        cfg.faultTolerance.breaker.openSec = 0.1;
+        return cfg;
+    }
+};
+
+TEST_P(FaultSweep, ConservationHoldsAtEveryGridPoint)
+{
+    const auto [rate, shards, batch] = GetParam();
+    const FaultPlan plan(planConfig());
+    HgPcnSystem::Config system;
+    ShardedRunner runner(system, spec(), fleetConfig(&plan));
+    const ServingResult result = runner.serve(stream());
+    const ServingReport &rep = result.report;
+
+    EXPECT_EQ(rep.framesIn, 24u);
+    EXPECT_EQ(rep.framesIn,
+              rep.framesProcessed + rep.framesDropped +
+                  rep.framesAbandoned + rep.framesShed +
+                  rep.framesFailed);
+    EXPECT_EQ(result.frames.size(), rep.framesProcessed);
+    EXPECT_LE(rep.framesRetried, rep.framesProcessed);
+    EXPECT_LE(rep.framesDegraded, rep.framesProcessed);
+
+    std::size_t sensor_in = 0;
+    std::size_t sensor_failed = 0;
+    for (const SensorServingReport &sr : rep.sensors) {
+        EXPECT_EQ(sr.framesIn, sr.framesDone + sr.framesMissed);
+        EXPECT_LE(sr.framesFailed, sr.framesMissed);
+        sensor_in += sr.framesIn;
+        sensor_failed += sr.framesFailed;
+    }
+    EXPECT_EQ(sensor_in, rep.framesIn);
+    EXPECT_EQ(sensor_failed, rep.framesFailed);
+    std::size_t backend_failed = 0;
+    for (const BackendServingReport &br : rep.backends)
+        backend_failed += br.framesFailed;
+    EXPECT_EQ(backend_failed, rep.framesFailed);
+
+    if (rate == 0.0) {
+        // The only fault source left is the crash window; no
+        // transient error can fire, so nothing retries.
+        EXPECT_EQ(rep.framesRetried, 0u);
+    }
+}
+
+TEST_P(FaultSweep, FaultedServeReplaysByteIdentically)
+{
+    const FaultPlan plan(planConfig());
+    HgPcnSystem::Config system;
+    ShardedRunner first(system, spec(), fleetConfig(&plan));
+    ShardedRunner second(system, spec(), fleetConfig(&plan));
+    const ServingResult r1 = first.serve(stream());
+    const ServingResult r2 = second.serve(stream());
+
+    EXPECT_EQ(r1.report.toString(), r2.report.toString());
+    ASSERT_EQ(r1.frames.size(), r2.frames.size());
+    for (std::size_t i = 0; i < r1.frames.size(); ++i) {
+        EXPECT_EQ(r1.frames[i].globalIndex,
+                  r2.frames[i].globalIndex);
+        EXPECT_EQ(r1.frames[i].shard, r2.frames[i].shard);
+        EXPECT_EQ(r1.frames[i].doneSec, r2.frames[i].doneSec);
+        EXPECT_EQ(r1.frames[i].latencySec,
+                  r2.frames[i].latencySec);
+    }
+    EXPECT_EQ(r1.metrics.countOf("fault.failovers"),
+              r2.metrics.countOf("fault.failovers"));
+    EXPECT_EQ(r1.metrics.countOf("fault.breaker_trips"),
+              r2.metrics.countOf("fault.breaker_trips"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.9),
+                       ::testing::Values(std::size_t{1},
+                                         std::size_t{3}),
+                       ::testing::Values(std::size_t{1},
+                                         std::size_t{3})));
 
 } // namespace
 } // namespace hgpcn

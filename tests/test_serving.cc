@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/hgpcn_system.h"
 #include "datasets/sensor_stream.h"
 #include "serving/placement.h"
@@ -67,6 +69,27 @@ stampedStream(const std::vector<double> &stamps,
     return stream;
 }
 
+/** RAII warn() capture: malformed-frame rejects are asserted on,
+ * not printed into the test log. */
+class WarningCapture
+{
+  public:
+    WarningCapture()
+    {
+        previous = setLogSink(
+            [this](LogLevel level, const std::string &msg) {
+                if (level == LogLevel::Warn)
+                    lines.push_back(msg);
+            });
+    }
+    ~WarningCapture() { setLogSink(previous); }
+
+    std::vector<std::string> lines;
+
+  private:
+    LogSink previous;
+};
+
 // ------------------------------------------------------ SensorStream
 
 TEST(SensorStream, MergeInterleavesByTimestamp)
@@ -93,17 +116,32 @@ TEST(SensorStream, MergeInterleavesByTimestamp)
 TEST(SensorStream, MergeRejectsSharedTimestamps)
 {
     // Two same-rate sensors with no phase offset collide on every
-    // stamp: user error, fatal with actionable guidance.
+    // stamp. Malformed capture data is recoverable: the colliding
+    // frames are rejected per frame (warned + counted, with
+    // actionable guidance) and the rest of the merge proceeds.
     std::vector<std::vector<Frame>> per_sensor(2);
     for (std::size_t s = 0; s < 2; ++s) {
         for (std::size_t f = 0; f < 2; ++f) {
             Frame frame;
+            frame.name = "s" + std::to_string(s) + ".f" +
+                         std::to_string(f);
             frame.timestamp = 0.1 * static_cast<double>(f);
             per_sensor[s].push_back(std::move(frame));
         }
     }
-    EXPECT_EXIT(mergeSensorStreams(std::move(per_sensor)),
-                ::testing::ExitedWithCode(1), "phase offsets");
+    WarningCapture capture;
+    const SensorStream stream =
+        mergeSensorStreams(std::move(per_sensor));
+    // Sensor 0 wins every tie (first in selection order); sensor
+    // 1's colliding frames are the ones rejected.
+    ASSERT_EQ(stream.size(), 2u);
+    EXPECT_EQ(stream.rejectedFrames, 2u);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        EXPECT_EQ(stream.sensors[i], 0u);
+    ASSERT_EQ(capture.lines.size(), 2u);
+    for (const std::string &line : capture.lines)
+        EXPECT_NE(line.find("phase offsets"), std::string::npos)
+            << line;
 }
 
 TEST(SensorStream, MergeOfNothingYieldsEmptyStream)
@@ -145,38 +183,67 @@ TEST(SensorStream, SingleSensorMergeIsIdentity)
     EXPECT_NEAR(sensorGenerationFps(stream, 0), 10.0, 1e-9);
 }
 
-TEST(SensorStream, DuplicateTimestampWithinSensorIsFatal)
+TEST(SensorStream, DuplicateTimestampWithinSensorIsRejected)
 {
     // A sensor that repeats a stamp mid-sequence is a corrupt
-    // capture log: the strictly-increasing pre-check rejects it
-    // before any merging happens.
+    // capture log: the offending frame is rejected (warned +
+    // counted), the well-formed frames around it survive.
     std::vector<std::vector<Frame>> per_sensor(1);
-    for (const double t : {0.0, 0.1, 0.1}) {
+    for (const double t : {0.0, 0.1, 0.1, 0.2}) {
         Frame frame;
+        frame.name = "f" + std::to_string(per_sensor[0].size());
         frame.timestamp = t;
         per_sensor[0].push_back(std::move(frame));
     }
-    EXPECT_EXIT(mergeSensorStreams(std::move(per_sensor)),
-                ::testing::ExitedWithCode(1),
-                "strictly increasing");
+    WarningCapture capture;
+    const SensorStream stream =
+        mergeSensorStreams(std::move(per_sensor));
+    ASSERT_EQ(stream.size(), 3u);
+    EXPECT_EQ(stream.rejectedFrames, 1u);
+    EXPECT_EQ(stream.frames[0].name, "f0");
+    EXPECT_EQ(stream.frames[1].name, "f1");
+    EXPECT_EQ(stream.frames[2].name, "f3");
+    // The surviving interleave is strictly increasing again.
+    for (std::size_t i = 1; i < stream.size(); ++i)
+        EXPECT_LT(stream.frames[i - 1].timestamp,
+                  stream.frames[i].timestamp);
+    ASSERT_EQ(capture.lines.size(), 1u);
+    EXPECT_NE(capture.lines[0].find("f2"), std::string::npos)
+        << capture.lines[0];
+    EXPECT_NE(capture.lines[0].find("strictly increasing"),
+              std::string::npos)
+        << capture.lines[0];
 }
 
-TEST(SensorStream, UnstampedSensorCannotBeMerged)
+TEST(SensorStream, UnstampedSensorKeepsOnlyItsFirstFrame)
 {
     // All-identical stamps read as "unstamped" (the non-LiDAR
-    // generators leave 0.0), which the strictly-increasing
-    // pre-check deliberately tolerates for batch runs — but an
-    // unstamped sequence cannot take part in a paced interleave,
-    // and the error must say so rather than suggest phase offsets.
+    // generators leave 0.0). An unstamped sequence cannot take
+    // part in a paced interleave: every frame after the first
+    // fails to advance the sensor's clock and is rejected, with a
+    // message about stamping — not phase offsets, which would not
+    // fix a sensor that carries no timing at all.
     std::vector<std::vector<Frame>> per_sensor(1);
-    for (std::size_t f = 0; f < 2; ++f) {
+    for (std::size_t f = 0; f < 3; ++f) {
         Frame frame;
+        frame.name = "f" + std::to_string(f);
         frame.timestamp = 0.0;
         per_sensor[0].push_back(std::move(frame));
     }
-    EXPECT_EXIT(mergeSensorStreams(std::move(per_sensor)),
-                ::testing::ExitedWithCode(1),
-                "sensor 0 repeats timestamp");
+    WarningCapture capture;
+    const SensorStream stream =
+        mergeSensorStreams(std::move(per_sensor));
+    ASSERT_EQ(stream.size(), 1u);
+    EXPECT_EQ(stream.frames[0].name, "f0");
+    EXPECT_EQ(stream.rejectedFrames, 2u);
+    ASSERT_EQ(capture.lines.size(), 2u);
+    for (const std::string &line : capture.lines) {
+        EXPECT_NE(line.find("does not advance its timestamp"),
+                  std::string::npos)
+            << line;
+        EXPECT_EQ(line.find("phase offsets"), std::string::npos)
+            << line;
+    }
 }
 
 // --------------------------------------------------------- Placement

@@ -73,6 +73,12 @@ RULES = {
     # (wall-clock is stdout-only by design): exact rules are the
     # determinism check, like preprocess_coherence.
     "batching_throughput": [],
+    # serving_faults records the faulted virtual schedule: the
+    # completion ratio, fault/retry/failover counters and modeled
+    # FPS are all deterministic arithmetic (wall-clock stays on
+    # stdout), so the exact rules pin the whole faulted schedule —
+    # completionRatio drift is a fault-machinery regression.
+    "serving_faults": [],
 }
 
 
@@ -199,6 +205,40 @@ def self_test():
          lambda f: f.update(tracerOverheadPct=-3.0), False)
     case("dropped committed key fails",
          lambda f: f.pop("traceVirtualEvents"), True)
+
+    # serving_faults is all-exact: the faulted schedule is
+    # deterministic, so any numeric drift is a regression.
+    faults_base = {
+        "bench": "serving_faults",
+        "schema": "hgpcn-bench-faults/1",
+        "frames": 756,
+        "completionRatio": 0.994708,
+        "framesFailed": 4,
+        "framesRetried": 48,
+        "failovers": 146,
+        "faultedSustainedFps": 3744.8,
+        "zeroPlanIdentical": True,
+        "replayIdentical": True,
+    }
+
+    def faults_case(name, mutate, expect_problems):
+        fresh = dict(faults_base)
+        mutate(fresh)
+        problems, notices = check(faults_base, fresh)
+        ok = bool(problems) == expect_problems and not notices
+        cases.append((name, ok, problems, notices))
+
+    faults_case("identical faults record passes", lambda f: None,
+                False)
+    faults_case("completion-ratio drift fails",
+                lambda f: f.update(completionRatio=0.92), True)
+    faults_case("fault-counter drift fails",
+                lambda f: f.update(framesRetried=47), True)
+    faults_case("modeled-FPS drift fails (deterministic schedule)",
+                lambda f: f.update(faultedSustainedFps=3744.9),
+                True)
+    faults_case("lost replay identity fails",
+                lambda f: f.update(replayIdentical=False), True)
 
     failed = [c for c in cases if not c[1]]
     for name, ok, problems, notices in cases:

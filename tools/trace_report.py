@@ -29,7 +29,13 @@ Usage:
 non-negative durations, known span categories, and per-frame
 conservation: each frame's virtual spans must tile its arrival-to-
 completion interval with no gaps or overlaps beyond float-formatting
-noise. Stdlib only (runs on a bare CI python3).
+noise. Fault-tolerant serves keep this invariant: retry/backoff and
+slowdown time is charged *inside* the frame's exec span (the fault
+layer stretches the stage occupancy, it does not add spans), so a
+retried or failed frame tiles exactly like a clean one. Fault
+events themselves are instants — retry:<stage>, fail:<stage>,
+degrade:<stage>, failover:shard<N> — summarized in their own table.
+Stdlib only (runs on a bare CI python3).
 """
 
 import json
@@ -42,7 +48,11 @@ STALL_PREFIXES = ("exec", "wait", "batchwait", "blocked", "pend")
 # Spans excluded from per-frame conservation: batch spans aggregate
 # several frames, epoch spans are control-loop time.
 NON_FRAME_SPAN_PREFIXES = ("batch", "epoch")
-KNOWN_INSTANT_PREFIXES = ("place", "drop", "shed", "scale", "octree")
+KNOWN_INSTANT_PREFIXES = ("place", "drop", "shed", "scale", "octree",
+                          "retry", "fail", "degrade", "failover")
+# Fault-layer instants (src/runtime/stream_runner.cc,
+# src/serving/sharded_runner.cc): reported in their own table.
+FAULT_INSTANT_PREFIXES = ("retry", "fail", "degrade", "failover")
 VIRTUAL_PID = 1
 WALL_PID = 2
 # %.9g formatting keeps ~9 significant digits; at megasecond-scale
@@ -119,6 +129,39 @@ def report(doc):
         ])
     widths = [max(len(c), *(len(r[i]) for r in rows))
               for i, c in enumerate(cols)]
+    line = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(v.ljust(widths[i]) for i, v in enumerate(r)))
+
+    fault_report(doc)
+
+
+def fault_report(doc):
+    """Per-shard fault-event table (retry/fail/degrade/failover
+    instants on the virtual clock); silent when the trace carries
+    none, so non-faulted reports are unchanged."""
+    counts = defaultdict(lambda: defaultdict(int))
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "i" or ev.get("pid") != VIRTUAL_PID:
+            continue
+        prefix = span_prefix(ev["name"])
+        if prefix not in FAULT_INSTANT_PREFIXES:
+            continue
+        counts[shard_of(ev)][prefix] += 1
+    if not counts:
+        return
+
+    print()
+    cols = ["shard", "retries", "failures", "degraded", "failovers"]
+    rows = []
+    for shard in sorted(counts):
+        c = counts[shard]
+        rows.append([shard, str(c["retry"]), str(c["fail"]),
+                     str(c["degrade"]), str(c["failover"])])
+    widths = [max(len(col), *(len(r[i]) for r in rows))
+              for i, col in enumerate(cols)]
     line = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
     print(line)
     print("-" * len(line))
